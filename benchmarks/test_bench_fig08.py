@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 8 (path-interference distributions).
+
+Run ``pytest benchmarks/test_bench_fig08.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_fig08(benchmark, scale):
+    result = run_experiment_once(benchmark, "fig08", scale)
+    print()
+    print(result.report())

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 16 (rho sweep on TCP).
+
+Run ``pytest benchmarks/test_bench_fig16.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_fig16(benchmark, scale):
+    result = run_experiment_once(benchmark, "fig16", scale)
+    print()
+    print(result.report())

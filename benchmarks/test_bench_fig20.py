@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 20 (flow behaviour vs arrival rate).
+
+Run ``pytest benchmarks/test_bench_fig20.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_fig20(benchmark, scale):
+    result = run_experiment_once(benchmark, "fig20", scale)
+    print()
+    print(result.report())

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the library's computational kernels.
+
+These complement the per-figure benchmarks: they measure the building blocks (layer
+construction, forwarding-table population, max-min fair allocation, disjoint-path
+counting, the flow simulator event loop) whose performance determines how far the
+reproduction scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FatPathsConfig
+from repro.core.fatpaths import FatPathsRouting
+from repro.core.forwarding import build_forwarding_tables
+from repro.core.layers import build_layers, random_edge_sampling_layers
+from repro.diversity.disjoint_paths import disjoint_path_distribution
+from repro.routing import EcmpRouting
+from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.flowsim import simulate_workload
+from repro.topologies import slim_fly
+from repro.traffic.flows import uniform_size_workload
+from repro.traffic.patterns import random_permutation
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return slim_fly(9)   # 162 routers, k' = 13
+
+
+def test_bench_layer_construction(benchmark, sf):
+    config = FatPathsConfig(num_layers=9, rho=0.7, seed=0)
+    layers = benchmark(random_edge_sampling_layers, sf, config)
+    assert len(layers) == 9
+
+
+def test_bench_forwarding_tables(benchmark, sf):
+    layers = build_layers(sf, FatPathsConfig(num_layers=4, rho=0.7, seed=0))
+    tables = benchmark(build_forwarding_tables, layers)
+    assert tables.num_layers == 4
+
+
+def test_bench_disjoint_path_distribution(benchmark, sf):
+    rng = np.random.default_rng(0)
+    values = benchmark(disjoint_path_distribution, sf, 3, 50, rng)
+    assert len(values) == 50
+
+
+def test_bench_max_min_fair(benchmark):
+    rng = np.random.default_rng(0)
+    num_links, num_flows = 500, 2000
+    caps = np.full(num_links, 1.25e9)
+    paths = [list(rng.choice(num_links, size=4, replace=False)) for _ in range(num_flows)]
+    rates = benchmark(max_min_fair_rates, paths, caps)
+    assert rates.shape == (num_flows,)
+
+
+def test_bench_flow_simulation(benchmark, sf):
+    routing = FatPathsRouting(sf, FatPathsConfig(num_layers=4, rho=0.7, seed=0))
+    pattern = random_permutation(sf.num_endpoints, np.random.default_rng(0)).subsample(
+        0.2, np.random.default_rng(1))
+    workload = uniform_size_workload(pattern, 256 * 1024)
+
+    def run():
+        return simulate_workload(sf, routing, workload, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) == len(workload)
+
+
+def test_bench_ecmp_path_computation(benchmark, sf):
+    routing = EcmpRouting(sf, max_paths=8, seed=0)
+    rng = np.random.default_rng(0)
+    pairs = [tuple(rng.choice(sf.num_routers, size=2, replace=False)) for _ in range(100)]
+
+    def run():
+        routing._cache.clear()
+        return [routing.router_paths(int(s), int(t)) for s, t in pairs]
+
+    paths = benchmark(run)
+    assert len(paths) == 100

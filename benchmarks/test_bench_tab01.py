@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table I (routing-scheme feature comparison).
+
+Run ``pytest benchmarks/test_bench_tab01.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_tab01(benchmark, scale):
+    result = run_experiment_once(benchmark, "tab01", scale)
+    print()
+    print(result.report())

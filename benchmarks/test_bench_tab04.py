@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table IV (CDP/PI diversity summaries at distance d').
+
+Run ``pytest benchmarks/test_bench_tab04.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_tab04(benchmark, scale):
+    result = run_experiment_once(benchmark, "tab04", scale)
+    print()
+    print(result.report())

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table V (topology configuration parameters).
+
+Run ``pytest benchmarks/test_bench_tab05.py --benchmark-only -s`` to execute and print
+the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_tab05(benchmark, scale):
+    result = run_experiment_once(benchmark, "tab05", scale)
+    print()
+    print(result.report())

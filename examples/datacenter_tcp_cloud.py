@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Cloud/TCP scenario: FatPaths vs ECMP vs LetFlow on a Slim Fly data-center fabric.
+
+Models the paper's §VII-C setting: a TCP-based cloud data center built on a
+low-diameter topology, running a mixed pFabric-like workload with Poisson flow
+arrivals.  Compares three deployments a cluster operator could choose between:
+
+* classic ECMP (static flow hashing over minimal paths),
+* LetFlow (flowlet switching over minimal paths),
+* FatPaths with four layers and rho = 0.6 on DCTCP.
+
+Prints mean/99% FCT per flow-size class and the speedups over ECMP.
+
+Run:  python examples/datacenter_tcp_cloud.py [--arrival-rate 200]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.mapping import random_mapping
+from repro.experiments.simcommon import build_stack, simulate_stack
+from repro.topologies import slim_fly
+from repro.traffic.flows import poisson_workload
+from repro.traffic.patterns import random_permutation
+
+SIZE_CLASSES = {"small (<=64KiB)": 64 * 1024, "medium (<=1MiB)": 1024 * 1024,
+                "large (>1MiB)": float("inf")}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arrival-rate", type=float, default=200.0,
+                        help="flows per endpoint per second (paper: lambda = 200)")
+    parser.add_argument("--duration", type=float, default=0.02,
+                        help="workload duration in seconds")
+    parser.add_argument("--q", type=int, default=7, help="Slim Fly parameter q")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(0)
+    topology = slim_fly(args.q)
+    print(f"fabric: {topology}")
+
+    pattern = random_permutation(topology.num_endpoints, rng).subsample(0.3, rng)
+    workload = poisson_workload(pattern, args.arrival_rate, args.duration, rng=rng)
+    mapping = random_mapping(topology.num_endpoints, rng)
+    print(f"workload: {len(workload)} flows, {workload.total_bytes() / 1e9:.2f} GB total")
+
+    results = {}
+    for variant, kwargs in {
+        "ecmp": dict(stack="ecmp"),
+        "letflow": dict(stack="letflow"),
+        "fatpaths": dict(stack="fatpaths_tcp", num_layers=4, rho=0.6),
+    }.items():
+        stack = build_stack(topology, seed=0, **kwargs)
+        results[variant] = simulate_stack(topology, stack, workload, mapping=mapping,
+                                          seed=0, drop_warmup=True)
+
+    baseline = results["ecmp"].summary()
+    print(f"\n{'variant':10s} {'mean FCT ms':>12s} {'99% FCT ms':>12s} "
+          f"{'speedup mean':>13s} {'speedup 99%':>12s}")
+    for variant, result in results.items():
+        summary = result.summary()
+        print(f"{variant:10s} {summary['fct_mean'] * 1e3:12.3f} "
+              f"{summary['fct_p99'] * 1e3:12.3f} "
+              f"{baseline['fct_mean'] / summary['fct_mean']:13.2f} "
+              f"{baseline['fct_p99'] / summary['fct_p99']:12.2f}")
+
+    print("\nper-size-class mean FCT (ms):")
+    bounds = list(SIZE_CLASSES.values())
+    for variant, result in results.items():
+        buckets = result.by_size_bucket([b if b != float("inf") else 1e12 for b in bounds])
+        cells = []
+        for (label, bound), key in zip(SIZE_CLASSES.items(), buckets):
+            bucket = buckets[key]
+            value = bucket.summary().get("fct_mean", float("nan")) if len(bucket) else float("nan")
+            cells.append(f"{label}: {value * 1e3:8.3f}")
+        print(f"  {variant:10s} " + "   ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Slim Fly, analyse its path diversity, and route with FatPaths.
+
+This walks through the library's core workflow in a few minutes of runtime:
+
+1. build a low-diameter topology (Slim Fly, diameter 2);
+2. measure why shortest paths "fall short" (most router pairs have one shortest path)
+   but "almost-minimal" paths are plentiful;
+3. build FatPaths layered routing and inspect the multi-path candidates it exposes;
+4. simulate a permutation workload and compare FatPaths against single-path ECMP.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FatPathsConfig, FatPathsRouting
+from repro.core.loadbalance import EcmpSelector, FlowletSelector
+from repro.diversity import disjoint_path_distribution, minimal_path_statistics
+from repro.routing import EcmpRouting
+from repro.sim.flowsim import simulate_workload
+from repro.topologies import slim_fly
+from repro.traffic.flows import uniform_size_workload
+from repro.traffic.patterns import random_permutation
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. A Slim Fly with q = 7: 98 routers, diameter 2, ~588 endpoints.
+    topology = slim_fly(7)
+    print(f"topology: {topology}")
+    print(f"  diameter = {topology.diameter()}, average path length = "
+          f"{topology.average_path_length():.2f}")
+
+    # 2. Path diversity: shortest paths are scarce, almost-minimal paths are not.
+    stats = minimal_path_statistics(topology, num_samples=300, rng=rng)
+    print(f"\npath diversity (sampled router pairs):")
+    print(f"  fraction of pairs with a single shortest path: "
+          f"{stats.fraction_single_shortest_path:.0%}")
+    almost_minimal = disjoint_path_distribution(topology, max_len=3, num_samples=200, rng=rng)
+    print(f"  median disjoint paths of <= 3 hops: {np.median(almost_minimal):.0f} "
+          f"(>= 3 for {np.mean(almost_minimal >= 3):.0%} of pairs)")
+
+    # 3. FatPaths layered routing: one (possibly non-minimal) path per layer.
+    routing = FatPathsRouting(topology, FatPathsConfig(num_layers=9, rho=0.75, seed=0))
+    s, t = 0, 60
+    print(f"\nFatPaths candidate paths from router {s} to router {t}:")
+    for path in routing.router_paths(s, t):
+        print(f"  {path}  ({len(path) - 1} hops)")
+
+    # 4. Simulate a random permutation workload: FatPaths vs single-path ECMP.
+    pattern = random_permutation(topology.num_endpoints, rng).subsample(0.3, rng)
+    workload = uniform_size_workload(pattern, 1024 * 1024)   # 1 MiB messages
+    fatpaths_result = simulate_workload(topology, routing, workload,
+                                        selector=FlowletSelector(seed=0), seed=0)
+    ecmp_result = simulate_workload(topology, EcmpRouting(topology, seed=0), workload,
+                                    selector=EcmpSelector(seed=0), seed=0)
+    fp, ec = fatpaths_result.summary(), ecmp_result.summary()
+    print(f"\n1 MiB permutation workload ({len(workload)} flows):")
+    print(f"  FatPaths: mean FCT = {fp['fct_mean'] * 1e3:.3f} ms, "
+          f"99% FCT = {fp['fct_p99'] * 1e3:.3f} ms")
+    print(f"  ECMP:     mean FCT = {ec['fct_mean'] * 1e3:.3f} ms, "
+          f"99% FCT = {ec['fct_p99'] * 1e3:.3f} ms")
+    print(f"  tail speedup of FatPaths over ECMP: {ec['fct_p99'] / fp['fct_p99']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network access, so PEP 517
+editable installs (which require bdist_wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy setup.py develop path.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

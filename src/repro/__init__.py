@@ -1,0 +1,39 @@
+"""FatPaths reproduction library.
+
+A from-scratch Python implementation of the systems described in
+
+    Besta et al., "FatPaths: Routing in Supercomputers and Data Centers when Shortest
+    Paths Fall Short", ACM/IEEE Supercomputing (SC) 2020.
+
+Subpackages
+-----------
+``repro.topologies``
+    Low-diameter topology generators (Slim Fly, Dragonfly, Jellyfish, Xpander, HyperX,
+    fat tree, clique) and fair-cost configuration classes.
+``repro.diversity``
+    Path-diversity analysis: minimal path counts, length-limited disjoint paths, path
+    interference, total network load, flow-collision analysis and the appendix's
+    algebraic connectivity algorithms.
+``repro.core``
+    The FatPaths architecture: layered routing (layer construction, forwarding tables),
+    flowlet load balancing, purified transport models and workload mapping.
+``repro.routing``
+    Baseline routing schemes: ECMP/shortest paths, k-shortest paths, SPAIN, PAST,
+    Valiant, plus the paper's Table I feature comparison.
+``repro.traffic``
+    Traffic patterns (uniform, permutation, off-diagonal, shuffle, stencil,
+    adversarial, worst-case matching) and flow workload generation (pFabric sizes,
+    Poisson arrivals).
+``repro.mcf``
+    Multi-commodity-flow linear programs for maximum achievable throughput.
+``repro.sim``
+    Flow-level and packet-level network simulators plus queueing-model predictions.
+``repro.cost``
+    The cost model used for fair-cost comparisons (Figure 10).
+``repro.experiments``
+    One module per paper table/figure, regenerating its rows/series.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,175 @@
+"""Per-layer forwarding functions and tables (paper §V-A, §V-C, Appendix C.A).
+
+FatPaths uses destination-based forwarding: within layer ``i`` a routing function
+``sigma_i(s, t)`` returns the next-hop router on a *minimal path inside that layer*
+from ``s`` towards ``t``.  This module computes those functions as dense next-hop
+tables (one ``Nr x Nr`` int array per layer) plus the per-layer distance matrices, and
+provides path extraction by iterating the forwarding function.
+
+Distances are computed with ``scipy.sparse.csgraph`` (C-speed BFS over all sources);
+next hops are chosen uniformly at random among the neighbours that make progress
+(Listing 3: "choose a random first step port, if there are multiple options").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.core.layers import Layer, LayerSet
+from repro.topologies.base import Topology
+
+UNREACHABLE = -1
+
+
+def _layer_distance_matrix(topology: Topology, layer: Layer) -> np.ndarray:
+    """All-pairs hop distances within one layer (inf for unreachable)."""
+    n = topology.num_routers
+    edges = list(layer.edges)
+    if not edges:
+        mat = np.full((n, n), np.inf)
+        np.fill_diagonal(mat, 0.0)
+        return mat
+    rows = [u for u, v in edges] + [v for u, v in edges]
+    cols = [v for u, v in edges] + [u for u, v in edges]
+    data = np.ones(2 * len(edges))
+    graph = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return shortest_path(graph, method="D", unweighted=True, directed=False)
+
+
+def _next_hop_table(topology: Topology, layer: Layer, distances: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Dense next-hop table for one layer: ``table[s, t]`` = next router from s towards t.
+
+    For each router ``s`` and each neighbour ``v`` (within the layer), ``v`` is a valid
+    next hop towards all destinations ``t`` with ``dist(v, t) == dist(s, t) - 1``.
+    Neighbours are visited in random order and fill unassigned entries, which picks a
+    uniformly random valid port per (s, t) without materialising all candidate sets.
+    """
+    n = topology.num_routers
+    table = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    np.fill_diagonal(table, np.arange(n))
+    neighbours: List[List[int]] = [[] for _ in range(n)]
+    for u, v in layer.edges:
+        neighbours[u].append(v)
+        neighbours[v].append(u)
+    for s in range(n):
+        neigh = neighbours[s]
+        if not neigh:
+            continue
+        order = rng.permutation(len(neigh))
+        dist_s = distances[s]
+        for idx in order:
+            v = neigh[int(idx)]
+            progress = distances[v] == dist_s - 1
+            assignable = progress & (table[s] == UNREACHABLE)
+            table[s, assignable] = v
+        table[s, s] = s
+    return table
+
+
+@dataclass
+class ForwardingTables:
+    """Forwarding state for all layers of a FatPaths deployment.
+
+    Attributes
+    ----------
+    topology, layer_set:
+        The network and its layers.
+    next_hops:
+        ``next_hops[i][s, t]`` = next router from ``s`` towards ``t`` inside layer ``i``
+        (or ``UNREACHABLE``).
+    distances:
+        ``distances[i][s, t]`` = hop distance inside layer ``i`` (``inf`` if unreachable).
+    """
+
+    topology: Topology
+    layer_set: LayerSet
+    next_hops: List[np.ndarray]
+    distances: List[np.ndarray]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.next_hops)
+
+    def next_hop(self, layer: int, source: int, target: int) -> int:
+        """``sigma_layer(source, target)`` — the next router, or ``UNREACHABLE``."""
+        return int(self.next_hops[layer][source, target])
+
+    def reachable(self, layer: int, source: int, target: int) -> bool:
+        return np.isfinite(self.distances[layer][source, target])
+
+    def path(self, layer: int, source: int, target: int,
+             fallback_to_full: bool = True) -> Optional[List[int]]:
+        """The router path obtained by iterating ``sigma_layer`` from source to target.
+
+        If the pair is unreachable within the layer and ``fallback_to_full`` is set, the
+        full (first) layer is used instead — mirroring a deployment where a missing
+        route in a sparsified layer falls back to default forwarding.
+        """
+        if source == target:
+            return [source]
+        use_layer = layer
+        if not self.reachable(layer, source, target):
+            if not fallback_to_full:
+                return None
+            use_layer = 0
+            if not self.reachable(0, source, target):
+                return None
+        table = self.next_hops[use_layer]
+        path = [source]
+        current = source
+        limit = self.topology.num_routers + 1
+        for _ in range(limit):
+            current = int(table[current, target])
+            if current == UNREACHABLE:
+                return None
+            path.append(current)
+            if current == target:
+                return path
+        raise RuntimeError("forwarding loop detected")  # pragma: no cover - defensive
+
+    def paths(self, source: int, target: int, unique: bool = True) -> List[List[int]]:
+        """One path per layer from source to target (deduplicated when ``unique``)."""
+        seen = set()
+        out: List[List[int]] = []
+        for layer in range(self.num_layers):
+            p = self.path(layer, source, target)
+            if p is None:
+                continue
+            key = tuple(p)
+            if unique and key in seen:
+                continue
+            seen.add(key)
+            out.append(p)
+        return out
+
+    def path_lengths(self, source: int, target: int) -> List[int]:
+        """Hop count of the per-layer path for every layer (full-layer fallback applies)."""
+        return [len(p) - 1 for p in self.paths(source, target, unique=False)]
+
+    def table_entries(self) -> int:
+        """Total number of forwarding entries (the hardware-resource metric of §VI-B)."""
+        return sum(int((t != UNREACHABLE).sum()) - self.topology.num_routers
+                   for t in self.next_hops)
+
+
+def build_forwarding_tables(layer_set: LayerSet, seed: Optional[int] = None) -> ForwardingTables:
+    """Populate per-layer forwarding tables for ``layer_set`` (Listing 3)."""
+    topology = layer_set.topology
+    rng = np.random.default_rng(layer_set.config.seed if seed is None else seed)
+    next_hops: List[np.ndarray] = []
+    distances: List[np.ndarray] = []
+    for layer in layer_set:
+        dist = _layer_distance_matrix(topology, layer)
+        table = _next_hop_table(topology, layer, dist, rng)
+        next_hops.append(table)
+        distances.append(dist)
+    return ForwardingTables(topology=topology, layer_set=layer_set,
+                            next_hops=next_hops, distances=distances,
+                            meta={"algorithm": layer_set.meta.get("algorithm", "random")})

@@ -1,0 +1,170 @@
+"""Load-balancing path selectors (paper §III-B, §V-F).
+
+A *path selector* decides, for a flow and a point in time, which of the flow's candidate
+paths (one per FatPaths layer, or the set of minimal paths for ECMP-style schemes) the
+next batch of bytes travels on.  The selectors model the schemes compared in the paper:
+
+* :class:`EcmpSelector` — static, flow-hash based: one path for the whole flow.
+* :class:`FlowletSelector` — flowlet switching (LetFlow / FatPaths adaptivity): a new
+  path is picked at every flowlet boundary; optionally congestion-aware (FatPaths: the
+  receiver requests a layer change when it observes trimmed payloads) and optionally
+  biased towards shorter paths (flowlet elasticity sends more bytes over shorter, less
+  congested paths).
+* :class:`PacketSpraySelector` — per-packet / per-chunk oblivious spraying (NDP's
+  default on Clos): all candidate paths are used simultaneously in equal shares.
+
+Selectors are deliberately simulator-agnostic: they only need the candidate paths and a
+callable reporting current path congestion, so both the flow-level and the packet-level
+simulator (and unit tests) drive them directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+#: Signature of the congestion oracle handed to selectors: path index -> load estimate
+#: (0 = idle, 1 = fully utilised, >1 = oversubscribed).
+CongestionOracle = Callable[[int], float]
+
+
+def _fnv1a(value: int) -> int:
+    """Fowler–Noll–Vo hash (the paper's ECMP hash), over the integer's 8 bytes."""
+    data = int(value) & 0xFFFFFFFFFFFFFFFF
+    h = 0xCBF29CE484222325
+    for _ in range(8):
+        h ^= data & 0xFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        data >>= 8
+    return h
+
+
+class PathSelector(abc.ABC):
+    """Interface: pick a candidate-path index for the next flowlet/packet batch."""
+
+    #: True if the selector distributes a flow over all paths simultaneously.
+    sprays: bool = False
+
+    @abc.abstractmethod
+    def initial_path(self, flow_id: int, num_paths: int,
+                     path_lengths: Optional[Sequence[int]] = None) -> int:
+        """Path used when the flow starts."""
+
+    @abc.abstractmethod
+    def next_path(self, flow_id: int, current: int, num_paths: int,
+                  congestion: Optional[CongestionOracle] = None,
+                  path_lengths: Optional[Sequence[int]] = None) -> int:
+        """Path used after a flowlet boundary / congestion signal."""
+
+    def spray_weights(self, num_paths: int,
+                      path_lengths: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-path traffic shares for spraying selectors (uniform by default)."""
+        return np.full(num_paths, 1.0 / num_paths)
+
+
+@dataclass
+class EcmpSelector(PathSelector):
+    """Static flow-level hashing over the candidate paths (classic ECMP)."""
+
+    seed: int = 0
+
+    def initial_path(self, flow_id, num_paths, path_lengths=None):
+        if num_paths < 1:
+            raise ValueError("need at least one candidate path")
+        return _fnv1a(flow_id ^ _fnv1a(self.seed)) % num_paths
+
+    def next_path(self, flow_id, current, num_paths, congestion=None, path_lengths=None):
+        # ECMP never re-routes a flow.
+        return current
+
+
+@dataclass
+class FlowletSelector(PathSelector):
+    """Flowlet switching over layers (LetFlow and the FatPaths adaptivity variant).
+
+    ``adaptive=False`` reproduces LetFlow: a uniformly random path per flowlet
+    (optionally biased towards shorter paths via ``length_bias``).
+
+    ``adaptive=True`` reproduces FatPaths' endpoint adaptivity and the elasticity of
+    flowlets: a flow stays on (one of) the *shortest* candidate paths while that path
+    is uncongested, and spills to longer, less-loaded layers only when the load on the
+    preferred path exceeds ``congestion_threshold`` — "larger flowlets travel the short
+    uncongested paths, smaller flowlets the longer congested ones".
+    """
+
+    seed: int = 0
+    adaptive: bool = True
+    congestion_threshold: float = 0.9
+    length_bias: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _weights(self, num_paths: int, path_lengths: Optional[Sequence[int]]) -> np.ndarray:
+        if path_lengths is None or self.length_bias <= 0:
+            return np.full(num_paths, 1.0 / num_paths)
+        lengths = np.asarray(path_lengths, dtype=float)[:num_paths]
+        weights = 1.0 / np.power(np.maximum(lengths, 1.0), self.length_bias)
+        return weights / weights.sum()
+
+    def _shortest_choice(self, num_paths: int, path_lengths: Optional[Sequence[int]],
+                         mask: Optional[np.ndarray] = None) -> int:
+        """A random path among the shortest candidates (optionally restricted by mask)."""
+        if path_lengths is None:
+            pool = np.arange(num_paths) if mask is None else np.flatnonzero(mask)
+            return int(self._rng.choice(pool))
+        lengths = np.asarray(path_lengths, dtype=float)[:num_paths]
+        if mask is not None:
+            lengths = np.where(mask, lengths, np.inf)
+        shortest = np.flatnonzero(lengths == lengths.min())
+        return int(self._rng.choice(shortest))
+
+    def initial_path(self, flow_id, num_paths, path_lengths=None):
+        if num_paths < 1:
+            raise ValueError("need at least one candidate path")
+        if self.adaptive:
+            return self._shortest_choice(num_paths, path_lengths)
+        weights = self._weights(num_paths, path_lengths)
+        return int(self._rng.choice(num_paths, p=weights))
+
+    def next_path(self, flow_id, current, num_paths, congestion=None, path_lengths=None):
+        if num_paths <= 1:
+            return current
+        if self.adaptive:
+            if congestion is None:
+                return self._shortest_choice(num_paths, path_lengths)
+            loads = np.array([congestion(i) for i in range(num_paths)])
+            acceptable = loads < self.congestion_threshold
+            if acceptable.any():
+                # prefer the shortest path among the uncongested candidates
+                return self._shortest_choice(num_paths, path_lengths, mask=acceptable)
+            # everything congested: move to the least-loaded path
+            least = np.flatnonzero(loads == loads.min())
+            return int(self._rng.choice(least))
+        weights = self._weights(num_paths, path_lengths)
+        return int(self._rng.choice(num_paths, p=weights))
+
+
+@dataclass
+class PacketSpraySelector(PathSelector):
+    """Per-packet oblivious load balancing (NDP on Clos): equal shares on all paths."""
+
+    seed: int = 0
+    sprays: bool = True
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def initial_path(self, flow_id, num_paths, path_lengths=None):
+        if num_paths < 1:
+            raise ValueError("need at least one candidate path")
+        return int(self._rng.integers(num_paths))
+
+    def next_path(self, flow_id, current, num_paths, congestion=None, path_lengths=None):
+        return int(self._rng.integers(num_paths))
+
+    def spray_weights(self, num_paths, path_lengths=None):
+        return np.full(num_paths, 1.0 / num_paths)

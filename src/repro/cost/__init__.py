@@ -1,0 +1,5 @@
+"""Cost model for fair-cost topology comparison (paper §VII-A2, Figure 10)."""
+
+from repro.cost.model import CostBreakdown, CostModel, default_cost_model, cost_per_endpoint
+
+__all__ = ["CostBreakdown", "CostModel", "default_cost_model", "cost_per_endpoint"]

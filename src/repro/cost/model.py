@@ -1,0 +1,144 @@
+"""Equipment cost model (paper §VII-A2, Figure 10).
+
+The paper derives comparable-cost configurations from linear router- and cable-cost
+models parameterised with list prices of 100GbE equipment (Mellanox gear on
+ColfaxDirect, following the Slim Fly and Dragonfly papers):
+
+* a router costs a fixed base plus a per-port price;
+* an electrical (copper) cable is used for short runs — endpoint attachments and
+  intra-group / intra-pod links;
+* an optical (fiber) cable, roughly 2-3x more expensive, is used for long runs —
+  inter-group, inter-pod and global links.
+
+The absolute dollar values are approximations of 2019-era list prices; only the
+*relative* cost per endpoint across topologies (the shape of Figure 10) matters for the
+reproduction, and that shape is driven by the ratios encoded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.topologies.base import Topology
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear cost model: routers by radix, cables by type.
+
+    All prices in USD.  Defaults approximate 100GbE equipment (see module docstring).
+    """
+
+    router_base: float = 2000.0
+    router_per_port: float = 350.0
+    copper_cable: float = 100.0
+    fiber_cable: float = 350.0
+    endpoint_nic: float = 500.0
+
+    def router_cost(self, radix: int) -> float:
+        if radix < 1:
+            raise ValueError("radix must be >= 1")
+        return self.router_base + self.router_per_port * radix
+
+    def cable_cost(self, is_fiber: bool) -> float:
+        return self.fiber_cable if is_fiber else self.copper_cable
+
+
+def default_cost_model() -> CostModel:
+    """The 100GbE cost model used throughout the experiments."""
+    return CostModel()
+
+
+@dataclass
+class CostBreakdown:
+    """Total and per-endpoint cost of one topology configuration."""
+
+    topology_name: str
+    num_endpoints: int
+    switches: float
+    interconnect_cables: float
+    endpoint_links: float
+    fiber_fraction: float
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.switches + self.interconnect_cables + self.endpoint_links
+
+    @property
+    def per_endpoint(self) -> float:
+        return self.total / self.num_endpoints if self.num_endpoints else float("inf")
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology_name,
+            "N": self.num_endpoints,
+            "switches": round(self.switches, 2),
+            "interconnect": round(self.interconnect_cables, 2),
+            "endpoint_links": round(self.endpoint_links, 2),
+            "total": round(self.total, 2),
+            "per_endpoint": round(self.per_endpoint, 2),
+            "fiber_fraction": round(self.fiber_fraction, 3),
+        }
+
+
+def _link_is_fiber(topology: Topology, u: int, v: int) -> bool:
+    """Classify a router-router link as long (fiber) or short (copper).
+
+    The classification mirrors the paper's discussion: Dragonfly / Slim Fly inter-group
+    links and fat-tree links into the core layer are long optical runs; intra-group,
+    intra-pod and flat-topology local links are short electrical runs.  Topologies
+    without structure information (Jellyfish, Xpander, HyperX) are treated as racks of
+    routers where a fixed share of links leaves the rack — approximated by classifying
+    links between "distant" router ids as fiber.
+    """
+    family = topology.meta.get("family")
+    if family == "dragonfly":
+        a = int(topology.meta["a"])
+        return u // a != v // a
+    if family == "slimfly":
+        q = int(topology.meta["q"])
+        return (u < q * q) != (v < q * q) or (u // q != v // q)
+    if family == "fattree":
+        num_edge = int(topology.meta["num_edge"])
+        num_agg = int(topology.meta["num_agg"])
+        # links touching the core layer are the long runs
+        return u >= num_edge + num_agg or v >= num_edge + num_agg
+    if family == "hyperx":
+        side = int(topology.meta["side"])
+        # links along the first dimension stay in the rack/row; others leave it
+        return u // side != v // side
+    if family in ("jellyfish", "xpander"):
+        # random/flat topologies: links between distant racks (id blocks of 32) are long
+        return abs(u - v) >= 32
+    if family == "complete":
+        return False
+    return abs(u - v) >= 32
+
+
+def cost_per_endpoint(topology: Topology, model: CostModel | None = None) -> CostBreakdown:
+    """Cost breakdown (switches / interconnect cables / endpoint links) for a topology."""
+    model = model or default_cost_model()
+    switch_cost = 0.0
+    degrees = topology.degrees()
+    for router in range(topology.num_routers):
+        ports = int(degrees[router]) + len(topology.endpoints_of_router(router))
+        switch_cost += model.router_cost(max(1, ports))
+
+    fiber_links = 0
+    cable_cost = 0.0
+    for u, v in topology.edges:
+        fiber = _link_is_fiber(topology, u, v)
+        fiber_links += int(fiber)
+        cable_cost += model.cable_cost(fiber)
+
+    endpoint_cost = topology.num_endpoints * (model.copper_cable + model.endpoint_nic)
+    return CostBreakdown(
+        topology_name=topology.name,
+        num_endpoints=topology.num_endpoints,
+        switches=switch_cost,
+        interconnect_cables=cable_cost,
+        endpoint_links=endpoint_cost,
+        fiber_fraction=fiber_links / max(1, topology.num_edges),
+    )

@@ -1,0 +1,67 @@
+"""Path-diversity analysis of low-diameter topologies (paper §IV and Appendix B).
+
+The FatPaths design rests on a quantitative analysis of *path diversity*:
+
+* :mod:`repro.diversity.minimal_paths` — lengths ``l_min`` and counts ``c_min`` of
+  shortest paths between router pairs (Figure 6).
+* :mod:`repro.diversity.disjoint_paths` — length-limited counts of edge-disjoint paths
+  ``c_l(A, B)`` (the CDP measure, Figure 7 / Table IV).
+* :mod:`repro.diversity.interference` — the Path Interference metric ``I_ac,bd``
+  (Figure 8 / Table IV).
+* :mod:`repro.diversity.metrics` — Total Network Load, CDP/PI summary statistics and
+  edge density.
+* :mod:`repro.diversity.collisions` — the flow-collision analysis that motivates
+  "three disjoint paths per router pair" (Figure 4).
+* :mod:`repro.diversity.matrixcount` — adjacency-matrix path counting and next-hop set
+  computation (Appendix B.A).
+* :mod:`repro.diversity.connectivity` — the algebraic (Cheung-style) length-limited
+  connectivity algorithm (Appendix B.C).
+"""
+
+from repro.diversity.collisions import collision_histogram, collisions_per_router_pair
+from repro.diversity.connectivity import (
+    algebraic_edge_connectivity,
+    algebraic_vertex_connectivity,
+)
+from repro.diversity.disjoint_paths import (
+    count_disjoint_paths,
+    count_disjoint_paths_sets,
+    disjoint_path_distribution,
+)
+from repro.diversity.interference import (
+    interference_distribution,
+    path_interference,
+)
+from repro.diversity.matrixcount import count_paths_matrix, next_hop_sets
+from repro.diversity.metrics import (
+    DiversitySummary,
+    cdp_summary,
+    pi_summary,
+    total_network_load,
+)
+from repro.diversity.minimal_paths import (
+    minimal_path_lengths,
+    minimal_path_counts,
+    minimal_path_statistics,
+)
+
+__all__ = [
+    "collision_histogram",
+    "collisions_per_router_pair",
+    "algebraic_edge_connectivity",
+    "algebraic_vertex_connectivity",
+    "count_disjoint_paths",
+    "count_disjoint_paths_sets",
+    "disjoint_path_distribution",
+    "interference_distribution",
+    "path_interference",
+    "count_paths_matrix",
+    "next_hop_sets",
+    "DiversitySummary",
+    "cdp_summary",
+    "pi_summary",
+    "total_network_load",
+    "minimal_path_lengths",
+    "minimal_path_counts",
+    "minimal_path_statistics",
+]

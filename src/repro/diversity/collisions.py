@@ -1,0 +1,106 @@
+"""Flow-collision analysis (paper §IV-A, Figure 4).
+
+Two flows *collide* when their communicating endpoint pairs occupy the same ordered
+router pair (source endpoints on the same router, destination endpoints on the same
+router).  Collisions depend only on the workload mapping, the concentration ``p`` and
+the router count — not on the topology wiring — and they determine how many disjoint
+paths per router pair a routing scheme must provide (the paper's answer: three).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topologies.base import Topology
+
+
+def collisions_per_router_pair(topology: Topology,
+                               endpoint_pairs: Iterable[Tuple[int, int]],
+                               mapping: Optional[Sequence[int]] = None) -> Dict[Tuple[int, int], int]:
+    """Number of flows per ordered router pair.
+
+    Parameters
+    ----------
+    topology:
+        The network (provides endpoint -> router attachment).
+    endpoint_pairs:
+        Communicating endpoint pairs ``(source endpoint, destination endpoint)``.
+    mapping:
+        Optional endpoint permutation: logical endpoint ``e`` runs on physical endpoint
+        ``mapping[e]`` (the paper's randomized workload mapping).  Defaults to identity.
+
+    Returns
+    -------
+    dict mapping ``(source router, destination router)`` to the number of flows between
+    that router pair; pairs with source router == destination router are skipped (those
+    flows never enter the network).
+    """
+    counts: Counter = Counter()
+    for src, dst in endpoint_pairs:
+        if mapping is not None:
+            src = mapping[src]
+            dst = mapping[dst]
+        rs = topology.router_of_endpoint(int(src))
+        rt = topology.router_of_endpoint(int(dst))
+        if rs == rt:
+            continue
+        counts[(rs, rt)] += 1
+    return dict(counts)
+
+
+def collision_histogram(topology: Topology,
+                        endpoint_pairs: Iterable[Tuple[int, int]],
+                        mapping: Optional[Sequence[int]] = None) -> Dict[int, int]:
+    """Histogram "number of colliding flows -> number of router pairs" (Figure 4).
+
+    A router pair carrying ``m`` flows contributes one occurrence at multiplicity ``m``;
+    router pairs carrying no flow are not reported (the paper's histogram starts at 1).
+    """
+    per_pair = collisions_per_router_pair(topology, endpoint_pairs, mapping)
+    histogram: Counter = Counter(per_pair.values())
+    return dict(sorted(histogram.items()))
+
+
+def fraction_with_at_least(histogram: Dict[int, int], threshold: int) -> float:
+    """Fraction of (flow-carrying) router pairs with at least ``threshold`` colliding flows."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    heavy = sum(count for multiplicity, count in histogram.items() if multiplicity >= threshold)
+    return heavy / total
+
+
+def max_collisions(histogram: Dict[int, int]) -> int:
+    """Largest collision multiplicity observed."""
+    return max(histogram) if histogram else 0
+
+
+def required_disjoint_paths(topology: Topology,
+                            endpoint_pairs_by_pattern: Dict[str, Sequence[Tuple[int, int]]],
+                            mapping: Optional[Sequence[int]] = None,
+                            tail_fraction: float = 0.01) -> int:
+    """Disjoint paths per router pair needed to cover all but ``tail_fraction`` of collisions.
+
+    This reproduces the paper's takeaway from §IV-A: over the considered workloads the
+    multiplicity needed to cover 99% of router pairs is (at most) three for D >= 2
+    topologies under random mapping.
+    """
+    worst = 1
+    for pattern_pairs in endpoint_pairs_by_pattern.values():
+        hist = collision_histogram(topology, pattern_pairs, mapping)
+        if not hist:
+            continue
+        total = sum(hist.values())
+        # smallest multiplicity m such that pairs with > m collisions are < tail_fraction
+        cumulative = 0
+        needed = max(hist)
+        for multiplicity in sorted(hist):
+            cumulative += hist[multiplicity]
+            if (total - cumulative) / total < tail_fraction:
+                needed = multiplicity
+                break
+        worst = max(worst, needed)
+    return worst

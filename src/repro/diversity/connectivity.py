@@ -1,0 +1,129 @@
+"""Algebraic (Cheung-style) connectivity estimators (paper Appendix B.C).
+
+These estimate the number of disjoint paths between router pairs with linear algebra
+instead of combinatorial search: random coefficients are injected at the source's
+outgoing edges (or neighbours), propagated ``l`` times through a random *connection
+matrix*, and the number of linearly independent components arriving at the target —
+the rank of a small submatrix — equals the number of disjoint paths (with probability 1
+over the random coefficients, up to floating-point rank tolerance).
+
+Two variants are provided:
+
+* :func:`algebraic_edge_connectivity` — edge-disjoint paths of length <= ``max_len``
+  (propagation over the directed line graph, matching the appendix's K').
+* :func:`algebraic_vertex_connectivity` — internally vertex-disjoint paths of length
+  <= ``max_len`` between non-adjacent routers (propagation over vertices).
+
+Unlike the greedy estimator in :mod:`repro.diversity.disjoint_paths` (a lower bound),
+the algebraic estimator upper-bounds the greedy count: it counts disjoint path *systems*
+of bounded length without requiring that each individual augmenting path is shortest.
+With ``max_len >= Nr`` both variants converge to the classical edge/vertex connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.topologies.base import Topology
+
+
+def _rank(matrix: np.ndarray, tol: float = 1e-8) -> int:
+    if matrix.size == 0:
+        return 0
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    if singular.size == 0:
+        return 0
+    return int(np.sum(singular > tol * max(singular[0], 1.0)))
+
+
+def algebraic_edge_connectivity(topology: Topology, source: int, target: int,
+                                max_len: int, rng: np.random.Generator | None = None) -> int:
+    """Estimate the number of edge-disjoint paths of length <= ``max_len`` from s to t."""
+    if source == target:
+        raise ValueError("source and target must differ")
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    rng = rng or np.random.default_rng(0)
+
+    directed = topology.directed_edges()
+    edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(directed)}
+    num_edges = len(directed)
+    out_edges: List[List[int]] = [[] for _ in range(topology.num_routers)]
+    in_edges: List[List[int]] = [[] for _ in range(topology.num_routers)]
+    for (u, v), idx in edge_index.items():
+        out_edges[u].append(idx)
+        in_edges[v].append(idx)
+
+    # Connection matrix over directed edges: K[(i,k),(k,j)] = random weight, but never
+    # doubling straight back over the same physical link (a path never uses both
+    # orientations of one link).
+    connection = np.zeros((num_edges, num_edges))
+    for (u, v), idx in edge_index.items():
+        for nxt in out_edges[v]:
+            v2, w = directed[nxt]
+            if w == u:
+                continue
+            connection[idx, nxt] = rng.uniform(0.5, 1.5)
+
+    src_out = out_edges[source]
+    if not src_out:
+        return 0
+    inject = np.zeros((len(src_out), num_edges))
+    for row, edge in enumerate(src_out):
+        inject[row, edge] = rng.uniform(0.5, 1.5)
+
+    state = inject.copy()
+    for _ in range(max_len - 1):
+        state = state @ connection + inject
+        norm = np.abs(state).max()
+        if norm > 0:
+            state /= norm
+    columns = in_edges[target]
+    if not columns:
+        return 0
+    return _rank(state[:, columns])
+
+
+def algebraic_vertex_connectivity(topology: Topology, source: int, target: int,
+                                  max_len: int, rng: np.random.Generator | None = None) -> int:
+    """Estimate internally vertex-disjoint paths (length <= ``max_len``) between
+    non-adjacent routers ``source`` and ``target``.
+
+    Raises ValueError for adjacent routers, where vertex connectivity is undefined
+    (as discussed in the paper's appendix).
+    """
+    if source == target:
+        raise ValueError("source and target must differ")
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    adj = topology.adjacency()
+    if target in adj[source]:
+        raise ValueError("vertex connectivity is undefined for adjacent routers")
+    rng = rng or np.random.default_rng(0)
+    n = topology.num_routers
+
+    connection = np.zeros((n, n))
+    for u, v in topology.edges:
+        connection[u, v] = rng.uniform(0.5, 1.5)
+        connection[v, u] = rng.uniform(0.5, 1.5)
+    # Paths must not pass through the source or target as intermediate vertices.
+    connection[:, source] = 0.0
+    connection[target, :] = 0.0
+
+    neighbours = adj[source]
+    inject = np.zeros((len(neighbours), n))
+    for row, v in enumerate(neighbours):
+        inject[row, v] = rng.uniform(0.5, 1.5)
+
+    state = inject.copy()
+    for _ in range(max_len - 1):
+        state = state @ connection + inject
+        norm = np.abs(state).max()
+        if norm > 0:
+            state /= norm
+    columns = adj[target]
+    if not columns:
+        return 0
+    return _rank(state[:, columns])

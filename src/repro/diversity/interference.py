@@ -1,0 +1,55 @@
+"""Path Interference (PI) — the paper's novel overlap metric (§IV-B2, Figure 8).
+
+Two communicating router pairs ``(a, b)`` and ``(c, d)`` *interfere* at distance ``l``
+when their combined count of disjoint paths is smaller than the sum of the individual
+counts:
+
+    I_ac,bd(l) = c_l({a,c},{b}) + c_l({a,c},{d}) - c_l({a,c},{b,d})
+
+A positive value quantifies the bandwidth lost to shared links when both pairs
+communicate concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.diversity.disjoint_paths import count_disjoint_paths_sets
+from repro.topologies.base import Topology
+
+
+def path_interference(topology: Topology, a: int, b: int, c: int, d: int, max_len: int) -> int:
+    """Path interference ``I_ac,bd`` at distance ``max_len`` (see module docstring)."""
+    routers = {a, b, c, d}
+    if len(routers) != 4:
+        raise ValueError("a, b, c, d must be four distinct routers")
+    to_b = count_disjoint_paths_sets(topology, [a, c], [b], max_len)
+    to_d = count_disjoint_paths_sets(topology, [a, c], [d], max_len)
+    combined = count_disjoint_paths_sets(topology, [a, c], [b, d], max_len)
+    return int(to_b + to_d - combined)
+
+
+def interference_distribution(topology: Topology, max_len: int, num_samples: int = 200,
+                              rng: Optional[np.random.Generator] = None,
+                              tuples: Optional[List[Tuple[int, int, int, int]]] = None) -> np.ndarray:
+    """Sampled distribution of path interference at distance ``max_len`` (Figure 8).
+
+    Router 4-tuples ``(a, b, c, d)`` are sampled uniformly at random (all four routers
+    distinct) from the endpoint-hosting routers, unless explicit ``tuples`` are provided.
+    """
+    rng = rng or np.random.default_rng(0)
+    candidates = np.asarray(topology.endpoint_routers)
+    if candidates.size < 4:
+        raise ValueError("need at least four endpoint-hosting routers to measure interference")
+    samples: List[Tuple[int, int, int, int]]
+    if tuples is not None:
+        samples = list(tuples)
+    else:
+        samples = []
+        while len(samples) < num_samples:
+            picks = rng.choice(candidates, size=4, replace=False)
+            samples.append(tuple(int(x) for x in picks))
+    values = [path_interference(topology, *tpl, max_len=max_len) for tpl in samples]
+    return np.asarray(values, dtype=np.int64)

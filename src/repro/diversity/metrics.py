@@ -1,0 +1,110 @@
+"""Aggregate path-diversity metrics: TNL and the Table IV summary statistics.
+
+* Total Network Load (TNL, §IV-B3): ``k' * Nr / d`` — an upper bound on the number of
+  flows a topology can host without congestion.
+* CDP/PI summaries (Table IV): mean and tail statistics of the disjoint-path counts and
+  path-interference values, reported radix-invariantly as fractions of ``k'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.diversity.disjoint_paths import disjoint_path_distribution
+from repro.diversity.interference import interference_distribution
+from repro.topologies.base import Topology
+
+
+def total_network_load(topology: Topology, average_path_length: Optional[float] = None,
+                       sample: Optional[int] = 64) -> float:
+    """Total Network Load ``k' * Nr / d`` (paper §IV-B3).
+
+    ``d`` defaults to the topology's measured average shortest-path length (sampled for
+    large instances); pass ``average_path_length`` to evaluate TNL under a specific
+    routing scheme's average path length.
+    """
+    d = average_path_length
+    if d is None:
+        d = topology.average_path_length(sample=sample)
+    if d <= 0:
+        raise ValueError("average path length must be positive")
+    return topology.network_radix * topology.num_routers / d
+
+
+@dataclass
+class DiversitySummary:
+    """Radix-invariant summary of a sampled diversity distribution (one Table IV cell group)."""
+
+    metric: str
+    distance: int
+    mean: float
+    tail_1pct: float
+    tail_99pct: float
+    tail_999pct: float
+    mean_fraction_of_radix: float
+    num_samples: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "distance": self.distance,
+            "mean": round(self.mean, 3),
+            "tail_1pct": round(self.tail_1pct, 3),
+            "tail_99pct": round(self.tail_99pct, 3),
+            "tail_999pct": round(self.tail_999pct, 3),
+            "mean_fraction_of_radix": round(self.mean_fraction_of_radix, 3),
+            "num_samples": self.num_samples,
+        }
+
+
+def _summary(metric: str, values: np.ndarray, distance: int, radix: int) -> DiversitySummary:
+    values = np.asarray(values, dtype=float)
+    return DiversitySummary(
+        metric=metric,
+        distance=distance,
+        mean=float(values.mean()),
+        tail_1pct=float(np.percentile(values, 1)),
+        tail_99pct=float(np.percentile(values, 99)),
+        tail_999pct=float(np.percentile(values, 99.9)),
+        mean_fraction_of_radix=float(values.mean() / radix) if radix else float("nan"),
+        num_samples=int(values.size),
+    )
+
+
+def cdp_summary(topology: Topology, distance: int, num_samples: int = 200,
+                rng: Optional[np.random.Generator] = None) -> DiversitySummary:
+    """Count-of-disjoint-paths summary at ``distance`` (Table IV "CDP" columns).
+
+    The paper reports CDP as a fraction of router radix ``k'`` (``mean_fraction_of_radix``)
+    plus the 1% tail.
+    """
+    values = disjoint_path_distribution(topology, distance, num_samples=num_samples, rng=rng)
+    return _summary("CDP", values, distance, topology.network_radix)
+
+
+def pi_summary(topology: Topology, distance: int, num_samples: int = 200,
+               rng: Optional[np.random.Generator] = None) -> DiversitySummary:
+    """Path-interference summary at ``distance`` (Table IV "PI" columns)."""
+    values = interference_distribution(topology, distance, num_samples=num_samples, rng=rng)
+    return _summary("PI", values, distance, topology.network_radix)
+
+
+def choose_table4_distance(topology: Topology, num_samples: int = 100,
+                           rng: Optional[np.random.Generator] = None,
+                           required_tail_paths: int = 3, max_distance: int = 6) -> int:
+    """Pick the Table IV evaluation distance d'.
+
+    The paper chooses d' as the smallest distance at which the 99.9% "tail of demand"
+    still finds at least ``required_tail_paths`` disjoint paths — i.e. the smallest l
+    such that the 0.1% lower tail of ``c_l`` is >= 3.
+    """
+    rng = rng or np.random.default_rng(0)
+    start = topology.diameter_hint or 1
+    for distance in range(max(1, start), max_distance + 1):
+        values = disjoint_path_distribution(topology, distance, num_samples=num_samples, rng=rng)
+        if float(np.percentile(values, 0.1)) >= required_tail_paths:
+            return distance
+    return max_distance

@@ -1,0 +1,118 @@
+"""Minimal-path statistics: lengths ``l_min`` and diversities ``c_min`` (paper §IV-B1, Fig 6).
+
+``l_min(s, t)`` is the shortest-path length between routers; ``c_min(s, t)`` is the
+number of edge-disjoint shortest paths, i.e. ``c_l({s},{t})`` evaluated at
+``l = l_min(s, t)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diversity.disjoint_paths import count_disjoint_paths
+from repro.topologies.base import Topology
+
+
+def minimal_path_lengths(topology: Topology, sources: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Matrix of shortest-path lengths ``l_min`` from ``sources`` (default: all routers).
+
+    Returns an array of shape ``(len(sources), Nr)``; unreachable pairs get -1.
+    """
+    if sources is None:
+        sources = range(topology.num_routers)
+    rows = [topology.bfs_distances(int(s)) for s in sources]
+    return np.vstack(rows)
+
+
+def minimal_path_counts(topology: Topology, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """``c_min(s, t)`` for the given router pairs: edge-disjoint shortest-path counts."""
+    out = np.zeros(len(pairs), dtype=np.int64)
+    dist_cache: Dict[int, np.ndarray] = {}
+    for i, (s, t) in enumerate(pairs):
+        if s == t:
+            raise ValueError("pairs must consist of distinct routers")
+        if s not in dist_cache:
+            dist_cache[s] = topology.bfs_distances(s)
+        lmin = int(dist_cache[s][t])
+        if lmin < 0:
+            out[i] = 0
+            continue
+        out[i] = count_disjoint_paths(topology, s, t, lmin)
+    return out
+
+
+@dataclass
+class MinimalPathStatistics:
+    """Distributions of shortest-path lengths and diversities over sampled router pairs."""
+
+    length_histogram: Dict[int, float]
+    count_histogram: Dict[int, float]
+    mean_length: float
+    mean_count: float
+    fraction_single_shortest_path: float
+    num_pairs: int
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for tabular printing in experiments."""
+        rows: List[Dict[str, object]] = []
+        for length, frac in sorted(self.length_histogram.items()):
+            rows.append({"metric": "l_min", "value": length, "fraction": frac})
+        for count, frac in sorted(self.count_histogram.items()):
+            rows.append({"metric": "c_min", "value": count, "fraction": frac})
+        return rows
+
+
+def minimal_path_statistics(topology: Topology, num_samples: int = 500,
+                            rng: Optional[np.random.Generator] = None,
+                            count_cap: int = 4) -> MinimalPathStatistics:
+    """Sampled distributions of ``l_min`` and ``c_min`` (paper Figure 6).
+
+    ``count_cap`` groups all diversities ``>= count_cap`` into one bucket, matching the
+    paper's ">3" category.  Pairs are sampled from the endpoint-hosting routers (all
+    routers except for fat trees, where only edge switches exchange traffic).
+    """
+    rng = rng or np.random.default_rng(0)
+    candidates = list(topology.endpoint_routers)
+    nc = len(candidates)
+    if nc < 2:
+        raise ValueError("need at least two endpoint-hosting routers")
+    pairs: List[Tuple[int, int]] = []
+    max_pairs = nc * (nc - 1) // 2
+    if num_samples >= max_pairs:
+        pairs = [(candidates[i], candidates[j]) for i in range(nc) for j in range(i + 1, nc)]
+    else:
+        seen = set()
+        while len(pairs) < num_samples:
+            i, j = (int(x) for x in rng.integers(0, nc, size=2))
+            if i == j:
+                continue
+            s, t = candidates[min(i, j)], candidates[max(i, j)]
+            if (s, t) in seen:
+                continue
+            seen.add((s, t))
+            pairs.append((s, t))
+
+    lengths: List[int] = []
+    dist_cache: Dict[int, np.ndarray] = {}
+    for s, t in pairs:
+        if s not in dist_cache:
+            dist_cache[s] = topology.bfs_distances(s)
+        lengths.append(int(dist_cache[s][t]))
+    counts = minimal_path_counts(topology, pairs)
+
+    length_counter = Counter(lengths)
+    capped = [min(int(c), count_cap) for c in counts]
+    count_counter = Counter(capped)
+    n = len(pairs)
+    return MinimalPathStatistics(
+        length_histogram={k: v / n for k, v in sorted(length_counter.items())},
+        count_histogram={k: v / n for k, v in sorted(count_counter.items())},
+        mean_length=float(np.mean(lengths)),
+        mean_count=float(np.mean(counts)),
+        fraction_single_shortest_path=float(np.mean(counts == 1)),
+        num_pairs=n,
+    )

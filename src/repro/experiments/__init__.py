@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentResult``;
+:mod:`repro.experiments.runner` provides a CLI (``fatpaths-experiment <name>``) and
+:func:`repro.experiments.registry` lists all experiments.  EXPERIMENTS.md records the
+paper-vs-measured comparison for each of them.
+"""
+
+from repro.experiments.common import ExperimentResult, Scale, registry, run_experiment
+
+__all__ = ["ExperimentResult", "Scale", "registry", "run_experiment"]

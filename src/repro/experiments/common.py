@@ -1,0 +1,130 @@
+"""Shared infrastructure for the experiment modules.
+
+* :class:`Scale` — how large an instance to run ("tiny" for CI/tests, "small" default
+  for benchmarks, "medium"/"large" for closer-to-paper sizes).
+* :class:`ExperimentResult` — a named set of result rows plus formatting helpers.
+* :func:`registry` / :func:`run_experiment` — experiment discovery and dispatch.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.topologies.configs import SizeClass
+
+
+class Scale(str, Enum):
+    """Execution scale of an experiment relative to the paper's instance sizes."""
+
+    TINY = "tiny"       # seconds; used by the test suite
+    SMALL = "small"     # tens of seconds; default for benchmarks
+    MEDIUM = "medium"   # minutes; closest to the paper's N ~ 10k class
+
+    def size_class(self) -> SizeClass:
+        return {Scale.TINY: SizeClass.TINY, Scale.SMALL: SizeClass.SMALL,
+                Scale.MEDIUM: SizeClass.MEDIUM}[self]
+
+    def pick(self, tiny, small, medium):
+        """Select a per-scale parameter value."""
+        return {Scale.TINY: tiny, Scale.SMALL: small, Scale.MEDIUM: medium}[self]
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment: tabular rows plus free-form metadata."""
+
+    name: str
+    description: str
+    paper_reference: str
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_table(self, max_rows: Optional[int] = None) -> str:
+        """Plain-text table of the result rows (what the CLI prints)."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cols = self.columns()
+        if not rows:
+            return "(no rows)"
+        rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+        widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+        header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+        sep = "  ".join("-" * w for w in widths)
+        body = "\n".join("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rendered)
+        return "\n".join([header, sep, body])
+
+    def report(self) -> str:
+        lines = [f"== {self.name}: {self.description}",
+                 f"   (reproduces {self.paper_reference})", ""]
+        lines.append(self.to_table())
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def filter_rows(self, **criteria) -> List[Dict[str, object]]:
+        """Rows matching all key=value criteria (convenience for tests)."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+#: experiment name -> module path (one per paper table/figure reproduced)
+_EXPERIMENTS: Dict[str, str] = {
+    "fig02": "repro.experiments.fig02_throughput_randomized",
+    "fig04": "repro.experiments.fig04_collisions",
+    "fig06": "repro.experiments.fig06_minimal_paths",
+    "fig07": "repro.experiments.fig07_nonminimal_paths",
+    "fig08": "repro.experiments.fig08_interference",
+    "fig09": "repro.experiments.fig09_theoretical_mat",
+    "fig10": "repro.experiments.fig10_cost",
+    "fig11": "repro.experiments.fig11_adversarial",
+    "fig12": "repro.experiments.fig12_layer_setup",
+    "fig13": "repro.experiments.fig13_large_scale",
+    "fig14": "repro.experiments.fig14_tcp_speedups",
+    "fig15": "repro.experiments.fig15_fct_distribution",
+    "fig16": "repro.experiments.fig16_rho_impact",
+    "fig17": "repro.experiments.fig17_stencil",
+    "fig19": "repro.experiments.fig19_edge_density",
+    "fig20": "repro.experiments.fig20_flow_arrival",
+    "tab01": "repro.experiments.tab01_scheme_comparison",
+    "tab04": "repro.experiments.tab04_diversity_summary",
+    "tab05": "repro.experiments.tab05_topologies",
+}
+
+
+def registry() -> Dict[str, str]:
+    """All experiment names and their module paths."""
+    return dict(_EXPERIMENTS)
+
+
+def run_experiment(name: str, scale: Scale | str = Scale.TINY, seed: int = 0,
+                   **kwargs) -> ExperimentResult:
+    """Import and run one experiment by name."""
+    if name not in _EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(_EXPERIMENTS)}")
+    module = importlib.import_module(_EXPERIMENTS[name])
+    return module.run(scale=Scale(scale), seed=seed, **kwargs)

@@ -1,0 +1,55 @@
+"""Figure 8: distribution of Path Interference at various distances.
+
+The paper samples router 4-tuples and plots the distribution of the interference
+``I_ac,bd`` at path-length limits l = 2..5 for SF, DF, HX, FT3 and Jellyfish
+equivalents.  Takeaways: PI is small at l=2 (few paths exist, and they rarely overlap),
+peaks at l=3..4 (the hop counts most router pairs actually use), nearly vanishes at
+l=5, and is exactly zero for fat trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diversity.interference import interference_distribution
+from repro.experiments.common import ExperimentResult, Scale
+from repro.topologies import build, equivalent_jellyfish
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    scale = Scale(scale)
+    size_class = scale.size_class()
+    num_samples = scale.pick(40, 120, 250)
+    rng = np.random.default_rng(seed)
+    sf = build("SF", size_class)
+    topologies = {
+        "SF": sf,
+        "SF-JF": equivalent_jellyfish(sf, seed=seed + 1),
+        "DF": build("DF", size_class),
+        "HX3": build("HX3", size_class),
+        "FT3": build("FT3", size_class),
+    }
+    rows = []
+    for name, topo in topologies.items():
+        for length in (2, 3, 4, 5):
+            values = interference_distribution(topo, length, num_samples=num_samples, rng=rng)
+            rows.append({
+                "topology": name,
+                "l": length,
+                "mean": round(float(values.mean()), 3),
+                "p999": float(np.percentile(values, 99.9)),
+                "frac_zero": round(float((values == 0).mean()), 3),
+                "mean_frac_of_radix": round(float(values.mean()) / topo.network_radix, 3),
+            })
+    notes = [
+        "Paper finding: most interference occurs at l=3 and l=4; FT3 shows zero PI due "
+        "to symmetry and high path diversity; little PI remains at l=5.",
+    ]
+    return ExperimentResult(
+        name="fig08",
+        description="Path-interference distributions at l = 2..5",
+        paper_reference="Figure 8",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale), "num_samples": num_samples},
+    )

@@ -1,0 +1,42 @@
+"""Figure 10: cost per endpoint of the compared topologies.
+
+Evaluates the 100GbE cost model on the fair-comparison configurations and splits the
+per-endpoint cost into switches, interconnect cables and endpoint links.  The shape to
+reproduce: per-endpoint costs of SF, JF, XP, DF and FT3 are comparable (within ~2x)
+with HyperX the most expensive (its high radix forces big switches).
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import cost_per_endpoint
+from repro.experiments.common import ExperimentResult, Scale
+from repro.topologies import comparable_configurations, equivalent_jellyfish
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    scale = Scale(scale)
+    configs = comparable_configurations(scale.size_class(),
+                                        topologies=["SF", "XP", "DF", "FT3", "HX3"],
+                                        seed=seed)
+    configs["SF-JF"] = equivalent_jellyfish(configs["SF"], seed=seed + 1)
+    rows = []
+    for name, topo in configs.items():
+        breakdown = cost_per_endpoint(topo)
+        row = breakdown.as_row()
+        row["topology"] = name          # short name, not the constructor string
+        rows.append(row)
+    baseline = min(r["per_endpoint"] for r in rows)
+    for row in rows:
+        row["relative_cost"] = round(row["per_endpoint"] / baseline, 2)
+    notes = [
+        "Paper finding (Fig 10): costs per endpoint are comparable across SF/JF/XP/DF/FT3; "
+        "HyperX is notably more expensive due to its very high router radix.",
+    ]
+    return ExperimentResult(
+        name="fig10",
+        description="Cost per endpoint (switches / interconnect / endpoint links)",
+        paper_reference="Figure 10",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale)},
+    )

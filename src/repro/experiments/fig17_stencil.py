@@ -1,0 +1,73 @@
+"""Figure 17: stencil-with-barrier completion time, FatPaths vs ECMP and LetFlow (TCP).
+
+The paper measures the total time to complete a bulk-synchronous stencil step (each
+process exchanges messages with four off-diagonal neighbours, then a barrier) — i.e.
+the completion time of the *slowest* flow — under ECMP, LetFlow and FatPaths with
+rho = 0.6 and rho = 1.  The shape to reproduce: FatPaths shortens the total completion
+time (the barrier waits for the stragglers) most on SF and DF, with speedups growing
+for larger messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import random_mapping
+from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.simcommon import build_stack, simulate_stack
+from repro.topologies import comparable_configurations
+from repro.traffic.flows import uniform_size_workload
+from repro.traffic.patterns import stencil_pattern
+
+FLOW_SIZES = {"20K": 20_000, "200K": 200_000, "2M": 2_000_000}
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    scale = Scale(scale)
+    size_class = scale.size_class()
+    sizes = scale.pick(["200K"], ["20K", "200K", "2M"], ["20K", "200K", "2M"])
+    topo_names = scale.pick(["SF", "DF"], ["SF", "DF", "HX3", "XP", "FT3"],
+                            ["SF", "DF", "HX3", "XP", "FT3"])
+    fraction = scale.pick(0.2, 0.25, 0.2)
+    configs = comparable_configurations(size_class, topologies=topo_names, seed=seed)
+    variants = {
+        "ecmp": dict(stack="ecmp"),
+        "letflow": dict(stack="letflow"),
+        "fatpaths_rho0.6": dict(stack="fatpaths_tcp", num_layers=4, rho=0.6),
+        "fatpaths_rho1": dict(stack="fatpaths_tcp", num_layers=4, rho=1.0),
+    }
+    rows = []
+    for topo_name, topo in configs.items():
+        rng = np.random.default_rng(seed)
+        pattern = stencil_pattern(topo.num_endpoints).subsample(fraction, rng)
+        mapping = random_mapping(topo.num_endpoints, rng)
+        for size_label in sizes:
+            workload = uniform_size_workload(pattern, FLOW_SIZES[size_label])
+            completion = {}
+            for variant, kwargs in variants.items():
+                stack = build_stack(topo, seed=seed, **kwargs)
+                result = simulate_stack(topo, stack, workload, mapping=mapping, seed=seed)
+                # barrier semantics: the step finishes when the last flow finishes
+                completion[variant] = float(max(r.completion_time for r in result.records))
+            baseline = completion["ecmp"]
+            for variant, value in completion.items():
+                rows.append({
+                    "topology": topo_name,
+                    "flow_size": size_label,
+                    "variant": variant,
+                    "completion_ms": round(value * 1e3, 4),
+                    "speedup_vs_ecmp": round(baseline / value, 3),
+                })
+    notes = [
+        "Paper finding (Fig 17): FatPaths yields the best stencil completion times, e.g. "
+        ">2.5x on SF for 200K flows and ~2x on XP for 2M flows; LetFlow can even hurt "
+        "total completion time on JF-like topologies due to losses.",
+    ]
+    return ExperimentResult(
+        name="fig17",
+        description="Stencil + barrier completion time speedups (TCP)",
+        paper_reference="Figure 17",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale)},
+    )

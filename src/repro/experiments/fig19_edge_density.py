@@ -1,0 +1,49 @@
+"""Figure 19 (appendix): edge density and router radix as a function of network size.
+
+For every topology family the paper plots (a) the edge density — cables (including
+endpoint links) per endpoint — and (b) the router radix k needed to reach a given
+endpoint count N.  Takeaways: edge density is asymptotically constant per family and
+grows with diameter (DF needs the most cables); fat trees reach a given N with the
+smallest radix at the cost of a higher diameter; SF needs a lower radix than other
+diameter-2 networks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Scale
+from repro.topologies import SizeClass, build
+from repro.topologies.configs import PAPER_TOPOLOGIES
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    scale = Scale(scale)
+    classes = {
+        Scale.TINY: [SizeClass.TINY, SizeClass.SMALL],
+        Scale.SMALL: [SizeClass.TINY, SizeClass.SMALL, SizeClass.MEDIUM],
+        Scale.MEDIUM: [SizeClass.TINY, SizeClass.SMALL, SizeClass.MEDIUM, SizeClass.LARGE],
+    }[scale]
+    rows = []
+    for size_class in classes:
+        for name in ("SF", "DF", "HX2", "HX3", "FT3"):
+            topo = build(name, size_class, seed=seed)
+            rows.append({
+                "topology": name,
+                "size_class": size_class.value,
+                "N": topo.num_endpoints,
+                "edge_density": round(topo.edge_density(), 3),
+                "router_radix": topo.router_radix,
+                "diameter": topo.diameter_hint,
+            })
+    notes = [
+        "Paper finding: edge density is ~2 and asymptotically constant per family, "
+        "higher for higher-diameter networks (DF); FT scales N with the smallest radix; "
+        "SF needs a lower radix than HyperX for the same N.",
+    ]
+    return ExperimentResult(
+        name="fig19",
+        description="Edge density and router radix vs. network size",
+        paper_reference="Figure 19 (appendix)",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale)},
+    )

@@ -1,0 +1,64 @@
+"""Figures 20/21 (appendix): flow behaviour vs arrival rate lambda on a crossbar.
+
+On a single-switch ("star") network the only contention is at endpoint links, so
+sweeping the per-endpoint flow arrival rate shows where the transport/workload model
+saturates: per-flow throughput decreases (FCT grows superlinearly) beyond the
+saturation point (~250 flows/s per endpoint for the paper's pFabric mix on 10G links).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.loadbalance import EcmpSelector
+from repro.core.transport import tcp_transport
+from repro.experiments.common import ExperimentResult, Scale
+from repro.routing import EcmpRouting
+from repro.sim.flowsim import simulate_workload
+from repro.sim.queueing import offered_load
+from repro.topologies import star
+from repro.traffic.flows import pfabric_mean_size, poisson_workload
+from repro.traffic.patterns import random_permutation
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    scale = Scale(scale)
+    num_endpoints = scale.pick(24, 60, 60)
+    duration = scale.pick(0.01, 0.02, 0.05)
+    rates = scale.pick([50, 200, 400], [50, 200, 400, 800], [50, 100, 200, 400, 600, 800])
+    flow_size = 2_000_000.0  # long flows, as in the appendix figure
+
+    topo = star(num_endpoints)
+    routing = EcmpRouting(topo)
+    rows = []
+    for rate in rates:
+        rng = np.random.default_rng(seed)
+        pattern = random_permutation(num_endpoints, rng)
+        workload = poisson_workload(pattern, float(rate), duration, rng=rng,
+                                    fixed_size=flow_size)
+        result = simulate_workload(topo, routing, workload, selector=EcmpSelector(seed=seed),
+                                   transport=tcp_transport(), seed=seed, drop_warmup=True)
+        summary = result.summary(percentiles=(10, 90))
+        rows.append({
+            "lambda": rate,
+            "offered_load": round(offered_load(rate, flow_size, 10e9), 3),
+            "flows": len(result),
+            "fct_mean_ms": round(summary["fct_mean"] * 1e3, 4),
+            "fct_p10_ms": round(summary["fct_p10"] * 1e3, 4),
+            "fct_p90_ms": round(summary["fct_p90"] * 1e3, 4),
+            "throughput_mean_MiBs": round(summary["throughput_mean"] / 2**20, 2),
+        })
+    notes = [
+        "Paper finding (Fig 20): per-flow throughput decreases beyond lambda ~ 250 "
+        "flows/s/endpoint — the network-saturation point used to pick lambda = 200/300 "
+        "for the TCP/NDP simulations.",
+        f"Mean pFabric flow size for load calibration: {pfabric_mean_size():.0f} bytes.",
+    ]
+    return ExperimentResult(
+        name="fig20",
+        description="Flow behaviour vs arrival rate on a crossbar (saturation analysis)",
+        paper_reference="Figures 20-21 (appendix)",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale), "num_endpoints": num_endpoints},
+    )

@@ -1,0 +1,62 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+List experiments::
+
+    fatpaths-experiment --list
+
+Run one experiment at a given scale::
+
+    fatpaths-experiment fig09 --scale small
+    python -m repro.experiments.runner fig02 --scale tiny --seed 1
+
+Run everything (tiny scale, for a quick end-to-end check)::
+
+    fatpaths-experiment all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import Scale, registry, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fatpaths-experiment",
+        description="Regenerate the tables and figures of the FatPaths paper.")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment name (e.g. fig09, tab04) or 'all'")
+    parser.add_argument("--scale", default="tiny", choices=[s.value for s in Scale],
+                        help="instance scale (default: tiny)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="limit the number of printed rows")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name, module in sorted(registry().items()):
+            print(f"  {name:8s} {module}")
+        return 0
+
+    names = sorted(registry()) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.report() if args.max_rows is None else
+              "\n".join([f"== {result.name}: {result.description}",
+                         result.to_table(max_rows=args.max_rows)]))
+        print(f"\n[{name} completed in {elapsed:.1f}s at scale={args.scale}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

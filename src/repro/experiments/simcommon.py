@@ -1,0 +1,90 @@
+"""Shared helpers for the simulation-based experiments (Figures 2, 11-17, 20).
+
+The paper evaluates a handful of recurring routing/transport stacks; this module maps
+their names to concrete (routing scheme, path selector, transport model) triples and
+provides a single entry point to simulate one workload under one stack.
+
+Stack names
+-----------
+``fatpaths``        FatPaths layered routing + adaptive flowlet balancing + purified (NDP) transport
+``fatpaths_rho1``   FatPaths with minimal-only layers (rho = 1)
+``fatpaths_tcp``    FatPaths layers + flowlets on a TCP transport (the §VII-C cloud setting)
+``ndp``             Minimal-path (ECMP-style) candidates + per-packet spraying + NDP transport
+                    (the fat-tree baseline of Handley et al.)
+``ecmp``            Minimal-path candidates + static flow hashing + TCP (lower bound)
+``letflow``         Minimal-path candidates + non-adaptive flowlet switching + TCP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import FatPathsConfig
+from repro.core.fatpaths import FatPathsRouting
+from repro.core.loadbalance import EcmpSelector, FlowletSelector, PacketSpraySelector, PathSelector
+from repro.core.transport import TransportModel, dctcp_transport, ndp_transport, tcp_transport
+from repro.routing.ecmp import EcmpRouting
+from repro.sim.flowsim import FlowSimConfig, simulate_workload
+from repro.sim.metrics import SimulationResult
+from repro.topologies.base import Topology
+from repro.traffic.flows import Workload
+
+STACKS = ("fatpaths", "fatpaths_rho1", "fatpaths_tcp", "ndp", "ecmp", "letflow")
+
+
+@dataclass
+class Stack:
+    """One routing/load-balancing/transport combination used in the evaluation."""
+
+    name: str
+    routing: object
+    selector: PathSelector
+    transport: TransportModel
+
+
+def build_stack(topology: Topology, stack: str, seed: int = 0,
+                num_layers: Optional[int] = None, rho: Optional[float] = None) -> Stack:
+    """Instantiate one of the named stacks for ``topology``."""
+    if stack not in STACKS:
+        raise ValueError(f"unknown stack {stack!r}; available: {STACKS}")
+    if stack in ("fatpaths", "fatpaths_rho1", "fatpaths_tcp"):
+        deployment = "tcp" if stack == "fatpaths_tcp" else "ethernet"
+        from repro.core.config import recommended_config
+
+        config = recommended_config(topology, deployment=deployment, seed=seed)
+        if num_layers is not None:
+            config = config.with_(num_layers=num_layers)
+        if rho is not None:
+            config = config.with_(rho=rho)
+        if stack == "fatpaths_rho1":
+            config = config.with_(rho=1.0)
+        routing = FatPathsRouting(topology, config)
+        selector = FlowletSelector(seed=seed, adaptive=True)
+        transport = ndp_transport() if stack != "fatpaths_tcp" else dctcp_transport()
+        return Stack(stack, routing, selector, transport)
+    routing = EcmpRouting(topology, max_paths=8, seed=seed)
+    if stack == "ndp":
+        return Stack(stack, routing, PacketSpraySelector(seed=seed), ndp_transport())
+    if stack == "ecmp":
+        return Stack(stack, routing, EcmpSelector(seed=seed), tcp_transport())
+    return Stack(stack, routing, FlowletSelector(seed=seed, adaptive=False, length_bias=0.0),
+                 tcp_transport())
+
+
+def simulate_stack(topology: Topology, stack: Stack, workload: Workload,
+                   mapping: Optional[Sequence[int]] = None,
+                   config: Optional[FlowSimConfig] = None, seed: int = 0,
+                   drop_warmup: bool = False) -> SimulationResult:
+    """Run one workload under one stack with the flow-level simulator."""
+    return simulate_workload(topology, stack.routing, workload, selector=stack.selector,
+                             transport=stack.transport, config=config, mapping=mapping,
+                             seed=seed, drop_warmup=drop_warmup)
+
+
+def tail_and_mean_throughput(result: SimulationResult) -> Tuple[float, float]:
+    """(1% tail, mean) per-flow throughput in MiB/s — the units of Figures 2 and 11."""
+    tput = result.throughputs() / (1024 * 1024)
+    return float(np.percentile(tput, 1)), float(tput.mean())

@@ -1,0 +1,27 @@
+"""Table I: support for path diversity across routing schemes.
+
+A static (but checked) reproduction of the paper's feature comparison: for each scheme,
+which of the seven path-diversity aspects (SP, NP, SM, MP, DP, ALB, AT) it supports.
+FatPaths is the only scheme supporting all of them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Scale
+from repro.routing.comparison import FEATURES, feature_table, only_fully_supporting_scheme
+
+
+def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+    rows = feature_table(sort_by_score=True)
+    notes = [
+        f"Aspects: {', '.join(FEATURES)} (see repro.routing.comparison for definitions).",
+        f"Only scheme supporting every aspect: {only_fully_supporting_scheme()}.",
+    ]
+    return ExperimentResult(
+        name="tab01",
+        description="Path-diversity feature support across routing schemes",
+        paper_reference="Table I",
+        rows=rows,
+        notes=notes,
+        meta={"scale": str(scale)},
+    )

@@ -1,0 +1,27 @@
+"""Multi-commodity-flow linear programs for maximum achievable throughput (paper §VI).
+
+* :mod:`repro.mcf.general` — the classic edge-based MCF formulation (Eqs. 1-4 plus a
+  maximised throughput factor ``T``): an upper bound assuming perfectly fluid routing.
+* :mod:`repro.mcf.layered` — the path/layer-restricted formulation (Eqs. 5-9): flow may
+  only use the candidate paths a routing scheme exposes (FatPaths layers, SPAIN VLANs,
+  PAST trees, k shortest paths), with no leaking between layers.
+* :mod:`repro.mcf.throughput` — the TopoBench-style harness: derive commodities from a
+  traffic pattern and compare schemes' maximum achievable throughput (Figure 9).
+"""
+
+from repro.mcf.general import Commodity, general_max_throughput
+from repro.mcf.layered import path_restricted_max_throughput
+from repro.mcf.throughput import (
+    commodities_from_pattern,
+    compare_schemes,
+    scheme_max_throughput,
+)
+
+__all__ = [
+    "Commodity",
+    "general_max_throughput",
+    "path_restricted_max_throughput",
+    "commodities_from_pattern",
+    "compare_schemes",
+    "scheme_max_throughput",
+]

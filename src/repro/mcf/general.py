@@ -1,0 +1,154 @@
+"""General (edge-based) multi-commodity flow LP for maximum achievable throughput.
+
+The maximum achievable throughput (MAT) ``T`` is the largest factor such that a
+feasible multi-commodity flow routes ``demand_i * T`` for every commodity ``i``
+simultaneously, subject to link capacities and flow conservation (paper §VI-A, Eqs.
+1-4).  This edge-based formulation puts no restriction on which paths flow may take, so
+it upper-bounds every concrete routing scheme and serves as the "optimal routing"
+reference.
+
+Solved with ``scipy.optimize.linprog`` (HiGHS) over a sparse constraint matrix.
+Variables: one flow value per (commodity, directed edge) plus the throughput ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from repro.topologies.base import Topology
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """One aggregated traffic demand between two routers."""
+
+    source: int
+    target: int
+    demand: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("commodity source and target must differ")
+        if self.demand <= 0:
+            raise ValueError("commodity demand must be positive")
+
+
+@dataclass
+class MaxThroughputResult:
+    """LP solution summary."""
+
+    throughput: float
+    status: str
+    num_variables: int
+    num_constraints: int
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return self.throughput
+
+
+def general_max_throughput(topology: Topology, commodities: Sequence[Commodity],
+                           link_capacity: float = 1.0,
+                           throughput_cap: Optional[float] = None) -> MaxThroughputResult:
+    """Solve the edge-based MCF MAT for the given commodities.
+
+    Parameters
+    ----------
+    topology:
+        Router graph; every physical link provides ``link_capacity`` in each direction.
+    commodities:
+        Aggregated router-to-router demands.
+    link_capacity:
+        Capacity of each directed link (1.0 = one unit of line rate).
+    throughput_cap:
+        Optional upper bound on ``T`` (the paper's ``T_upperbound``); defaults to a
+        loose structural bound.
+    """
+    if not commodities:
+        raise ValueError("need at least one commodity")
+    directed = topology.directed_edges()
+    num_edges = len(directed)
+    edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(directed)}
+    k = len(commodities)
+    n = topology.num_routers
+
+    num_flow_vars = k * num_edges
+    t_var = num_flow_vars  # index of the throughput variable
+    num_vars = num_flow_vars + 1
+
+    def var(i: int, e: int) -> int:
+        return i * num_edges + e
+
+    # ---- equality constraints: flow conservation -------------------------------
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs: List[float] = []
+    row = 0
+    out_edges: List[List[int]] = [[] for _ in range(n)]
+    in_edges: List[List[int]] = [[] for _ in range(n)]
+    for (u, v), idx in edge_index.items():
+        out_edges[u].append(idx)
+        in_edges[v].append(idx)
+
+    for i, commodity in enumerate(commodities):
+        for vertex in range(n):
+            if vertex == commodity.target:
+                continue
+            for e in out_edges[vertex]:
+                eq_rows.append(row)
+                eq_cols.append(var(i, e))
+                eq_vals.append(1.0)
+            for e in in_edges[vertex]:
+                eq_rows.append(row)
+                eq_cols.append(var(i, e))
+                eq_vals.append(-1.0)
+            if vertex == commodity.source:
+                # net outflow - demand * T = 0
+                eq_rows.append(row)
+                eq_cols.append(t_var)
+                eq_vals.append(-commodity.demand)
+                eq_rhs.append(0.0)
+            else:
+                eq_rhs.append(0.0)
+            row += 1
+    num_eq = row
+
+    # ---- inequality constraints: capacity --------------------------------------
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    ub_rhs: List[float] = []
+    for e in range(num_edges):
+        for i in range(k):
+            ub_rows.append(e)
+            ub_cols.append(var(i, e))
+            ub_vals.append(1.0)
+        ub_rhs.append(link_capacity)
+    num_ub = num_edges
+
+    a_eq = coo_matrix((eq_vals, (eq_rows, eq_cols)), shape=(num_eq, num_vars))
+    a_ub = coo_matrix((ub_vals, (ub_rows, ub_cols)), shape=(num_ub, num_vars))
+
+    objective = np.zeros(num_vars)
+    objective[t_var] = -1.0  # maximise T
+
+    if throughput_cap is None:
+        total_demand = sum(c.demand for c in commodities)
+        throughput_cap = num_edges * link_capacity / total_demand + 1.0
+    bounds = [(0, None)] * num_flow_vars + [(0, throughput_cap)]
+
+    result = linprog(objective, A_ub=a_ub, b_ub=np.asarray(ub_rhs),
+                     A_eq=a_eq, b_eq=np.asarray(eq_rhs), bounds=bounds,
+                     method="highs")
+    throughput = float(result.x[t_var]) if result.status == 0 else 0.0
+    return MaxThroughputResult(
+        throughput=throughput,
+        status=result.message if result.status != 0 else "optimal",
+        num_variables=num_vars,
+        num_constraints=num_eq + num_ub,
+    )

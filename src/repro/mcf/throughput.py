@@ -1,0 +1,78 @@
+"""TopoBench-style throughput comparison harness (paper §VI-C, Figure 9).
+
+Derives aggregated router-to-router commodities from an endpoint traffic pattern and
+evaluates the maximum achievable throughput of several routing schemes on the same
+topology, including the unrestricted (optimal) MCF bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.mcf.general import Commodity, general_max_throughput
+from repro.mcf.layered import path_restricted_max_throughput
+from repro.routing.base import MultiPathRouting
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+
+
+def commodities_from_pattern(topology: Topology, pattern: TrafficPattern,
+                             mapping: Optional[Sequence[int]] = None,
+                             max_commodities: Optional[int] = None,
+                             rng: Optional[np.random.Generator] = None) -> list[Commodity]:
+    """Aggregate an endpoint pattern into router-to-router commodities.
+
+    Endpoint pairs whose endpoints sit on the same router are dropped (they never enter
+    the network).  The demand of a commodity is the number of endpoint pairs mapped to
+    that router pair.  ``max_commodities`` optionally subsamples the commodity set (for
+    LP tractability) — demands are kept, so relative stress is preserved.
+    """
+    counter: Counter = Counter()
+    for s, t in pattern.pairs:
+        if mapping is not None:
+            s, t = mapping[s], mapping[t]
+        rs = topology.router_of_endpoint(int(s))
+        rt = topology.router_of_endpoint(int(t))
+        if rs != rt:
+            counter[(rs, rt)] += 1
+    commodities = [Commodity(source=s, target=t, demand=float(d))
+                   for (s, t), d in sorted(counter.items())]
+    if max_commodities is not None and len(commodities) > max_commodities:
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(len(commodities), size=max_commodities, replace=False)
+        commodities = [commodities[int(i)] for i in sorted(idx)]
+    return commodities
+
+
+def scheme_max_throughput(topology: Topology, commodities: Sequence[Commodity],
+                          routing: Optional[MultiPathRouting],
+                          link_capacity: float = 1.0) -> float:
+    """MAT of one scheme; ``routing=None`` solves the unrestricted (optimal) MCF."""
+    if not commodities:
+        return 0.0
+    if routing is None:
+        return general_max_throughput(topology, commodities, link_capacity).throughput
+    return path_restricted_max_throughput(topology, commodities, routing,
+                                          link_capacity).throughput
+
+
+def compare_schemes(topology: Topology, pattern: TrafficPattern,
+                    schemes: Mapping[str, Optional[MultiPathRouting]],
+                    mapping: Optional[Sequence[int]] = None,
+                    max_commodities: Optional[int] = 120,
+                    link_capacity: float = 1.0,
+                    rng: Optional[np.random.Generator] = None) -> Dict[str, float]:
+    """Maximum achievable throughput per scheme for one pattern on one topology.
+
+    ``schemes`` maps display names to path providers; a value of ``None`` requests the
+    unrestricted MCF bound.  Returns ``{scheme name: T}``.
+    """
+    commodities = commodities_from_pattern(topology, pattern, mapping=mapping,
+                                           max_commodities=max_commodities, rng=rng)
+    results: Dict[str, float] = {}
+    for name, routing in schemes.items():
+        results[name] = scheme_max_throughput(topology, commodities, routing, link_capacity)
+    return results

@@ -1,0 +1,29 @@
+"""Baseline routing schemes the paper compares FatPaths against (§VI, Table I).
+
+All schemes implement the :class:`repro.routing.base.MultiPathRouting` protocol —
+"return the candidate router paths between two routers" — so the simulators and the
+throughput LPs can treat FatPaths, ECMP, k-shortest-paths, SPAIN, PAST and Valiant
+routing uniformly.
+"""
+
+from repro.routing.base import LayerSetRouting, MultiPathRouting, SinglePathRouting
+from repro.routing.ecmp import EcmpRouting
+from repro.routing.ksp import KShortestPathsRouting
+from repro.routing.past import PastRouting
+from repro.routing.spain import SpainRouting
+from repro.routing.valiant import ValiantRouting
+from repro.routing.comparison import ROUTING_SCHEME_TABLE, SchemeFeatures, feature_table
+
+__all__ = [
+    "MultiPathRouting",
+    "SinglePathRouting",
+    "LayerSetRouting",
+    "EcmpRouting",
+    "KShortestPathsRouting",
+    "PastRouting",
+    "SpainRouting",
+    "ValiantRouting",
+    "ROUTING_SCHEME_TABLE",
+    "SchemeFeatures",
+    "feature_table",
+]

@@ -1,0 +1,44 @@
+"""k-shortest-paths routing (Jellyfish's routing scheme, paper §VI baseline).
+
+Spreads traffic over the ``k`` shortest simple paths between two routers (which, unlike
+ECMP, may include non-minimal paths).  Path enumeration uses Yen's algorithm via
+NetworkX's ``shortest_simple_paths`` generator.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.routing.base import MultiPathRouting
+from repro.topologies.base import Topology
+
+
+class KShortestPathsRouting(MultiPathRouting):
+    """The k shortest simple paths per router pair (Yen's algorithm)."""
+
+    name = "ksp"
+
+    def __init__(self, topology: Topology, k: int = 8) -> None:
+        super().__init__(topology)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._graph = topology.to_networkx()
+        self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    def router_paths(self, source_router: int, target_router: int) -> List[List[int]]:
+        if source_router == target_router:
+            return [[source_router]]
+        key = (source_router, target_router)
+        if key in self._cache:
+            return self._cache[key]
+        try:
+            generator = nx.shortest_simple_paths(self._graph, source_router, target_router)
+            paths = [list(p) for p in islice(generator, self.k)]
+        except nx.NetworkXNoPath:
+            paths = []
+        self._cache[key] = paths
+        return paths

@@ -1,0 +1,90 @@
+"""PAST — Per-Address Spanning Trees (Stephens et al., CoNEXT'12).
+
+PAST installs one spanning tree per destination address and forwards all traffic
+towards that destination along its tree — so there is exactly one path per
+(source, destination) pair and no multi-pathing between two hosts (the deficiency
+Table I and §VI call out).  Two tree-construction variants from the paper's appendix:
+
+* ``variant="shortest"`` — breadth-first tree rooted at the destination with random
+  tie-breaking (destination-rooted shortest paths).
+* ``variant="nonminimal"`` — the Valiant-inspired variant: the BFS tree is rooted at a
+  *random* switch, so paths towards the destination may be non-minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.routing.base import SinglePathRouting
+from repro.topologies.base import Topology
+
+
+class PastRouting(SinglePathRouting):
+    """One spanning tree per destination router; a single path per router pair."""
+
+    name = "past"
+
+    def __init__(self, topology: Topology, variant: str = "shortest", seed: int = 0) -> None:
+        super().__init__(topology)
+        if variant not in ("shortest", "nonminimal"):
+            raise ValueError("variant must be 'shortest' or 'nonminimal'")
+        self.variant = variant
+        self._rng = np.random.default_rng(seed)
+        # parent[dest][v] = next router from v towards dest inside dest's tree
+        self._parents: Dict[int, np.ndarray] = {}
+
+    def _build_tree(self, destination: int) -> np.ndarray:
+        adj = self.topology.adjacency()
+        n = self.topology.num_routers
+        root = destination
+        if self.variant == "nonminimal":
+            root = int(self._rng.integers(n))
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[root] = root
+        frontier = [root]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                neighbours = list(adj[u])
+                self._rng.shuffle(neighbours)
+                for v in neighbours:
+                    if parent[v] < 0:
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        if self.variant == "nonminimal" and root != destination:
+            # Reorient the tree so that walking parents always reaches `destination`:
+            # reverse the root->destination branch.
+            chain = [destination]
+            while chain[-1] != root:
+                chain.append(int(parent[chain[-1]]))
+            for child, above in zip(chain, chain[1:]):
+                parent[above] = child
+            parent[destination] = destination
+        return parent
+
+    def _parents_for(self, destination: int) -> np.ndarray:
+        if destination not in self._parents:
+            self._parents[destination] = self._build_tree(destination)
+        return self._parents[destination]
+
+    def router_path(self, source_router: int, target_router: int) -> Optional[List[int]]:
+        if source_router == target_router:
+            return [source_router]
+        parent = self._parents_for(target_router)
+        if parent[source_router] < 0:
+            return None
+        path = [source_router]
+        current = source_router
+        for _ in range(self.topology.num_routers + 1):
+            current = int(parent[current])
+            path.append(current)
+            if current == target_router:
+                return path
+        raise RuntimeError("PAST tree walk did not terminate")  # pragma: no cover
+
+    def tree_count(self) -> int:
+        """Number of spanning trees PAST needs: one per destination (O(N) by design)."""
+        return len(self.topology.endpoint_routers)

@@ -1,0 +1,254 @@
+"""SPAIN — Smart Path Assignment In Networks (Mudigonda et al., NSDI'10).
+
+SPAIN is the paper's closest layered-routing baseline (§VI, Appendix C.B): it
+pre-computes, per destination, a set of (preferably link-disjoint) short paths, colours
+the paths of each destination into VLANs such that each VLAN's per-destination subgraph
+is loop-free, and finally merges VLANs of different destinations greedily as long as
+the union stays acyclic.  Every merged VLAN is an acyclic link subset — i.e. a *layer*
+in FatPaths terms, which is exactly how the comparison in the paper integrates it.
+
+The key structural difference from FatPaths (and the source of SPAIN's disadvantage on
+low-diameter topologies) is that each layer is a forest, so a layer can hold at most
+``Nr - 1`` links and O(k') to O(Nr) layers are needed to cover the path diversity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import FatPathsConfig
+from repro.core.layers import Layer, LayerSet
+from repro.routing.base import LayerSetRouting
+from repro.topologies.base import Topology
+
+Edge = Tuple[int, int]
+
+
+def _normalize(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def _weighted_shortest_path(adj: List[List[int]], weights: Dict[Edge, float],
+                            source: int, target: int) -> Optional[List[int]]:
+    """Dijkstra over hop-count + usage penalties (prefers link-disjoint repeats)."""
+    import heapq
+
+    dist = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, float("inf")):
+            continue
+        if u == target:
+            break
+        for v in adj[u]:
+            w = 1.0 + weights.get(_normalize(u, v), 0.0)
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if target not in dist:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def _vlan_compatible(path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+    """Listing 4's compatibility check: shared routers must agree on the next hop.
+
+    Both paths lead to the same destination; if they disagree on the outgoing link at a
+    shared router, putting them in one VLAN would create ambiguity/loops.
+    """
+    next_hop_a = {path_a[i]: path_a[i + 1] for i in range(len(path_a) - 1)}
+    for i in range(len(path_b) - 1):
+        router = path_b[i]
+        if router in next_hop_a and next_hop_a[router] != path_b[i + 1]:
+            return False
+    return True
+
+
+def _greedy_coloring(conflicts: List[Set[int]]) -> List[int]:
+    """Greedy vertex colouring of the path-conflict graph (smallest available colour)."""
+    colors = [-1] * len(conflicts)
+    for vertex in range(len(conflicts)):
+        used = {colors[other] for other in conflicts[vertex] if colors[other] >= 0}
+        color = 0
+        while color in used:
+            color += 1
+        colors[vertex] = color
+    return colors
+
+
+def _is_acyclic(num_routers: int, edges: Set[Edge]) -> bool:
+    """Union-find cycle check for an undirected edge set."""
+    parent = list(range(num_routers))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True
+
+
+def _bfs_spanning_tree(topology: Topology, root: int, rng: np.random.Generator) -> Set[Edge]:
+    """BFS spanning tree rooted at ``root`` with randomised neighbour order."""
+    adj = topology.adjacency()
+    visited = {root}
+    edges: Set[Edge] = set()
+    frontier = [root]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            neighbours = list(adj[u])
+            rng.shuffle(neighbours)
+            for v in neighbours:
+                if v not in visited:
+                    visited.add(v)
+                    edges.add(_normalize(u, v))
+                    nxt.append(v)
+        frontier = nxt
+    return edges
+
+
+def build_spain_layers(topology: Topology, paths_per_pair: int = 3,
+                       destinations: Optional[Sequence[int]] = None,
+                       seed: int = 0, max_layers: Optional[int] = None,
+                       return_paths: bool = False):
+    """Run the SPAIN path pre-computation + VLAN merging and return the layers.
+
+    Parameters
+    ----------
+    topology:
+        Router graph.
+    paths_per_pair:
+        The ``k`` of SPAIN's per-destination k-path computation.
+    destinations:
+        Destination routers to compute VLANs for (default: all endpoint routers).
+        Restricting this bounds the O(|V|^2 (|V|+|E|)) precomputation on larger graphs.
+    seed:
+        Randomisation seed (tie breaking, merge order).
+    max_layers:
+        Optional cap on the number of merged layers (VLAN hardware limit); excess
+        layers are dropped, keeping the densest ones plus the fallback spanning tree.
+    return_paths:
+        If True, also return the per-pair precomputed paths
+        (``{(source, destination): [paths]}``) — the paths SPAIN actually installs.
+    """
+    rng = np.random.default_rng(seed)
+    adj = topology.adjacency()
+    if destinations is None:
+        destinations = list(topology.endpoint_routers)
+    sources = list(topology.endpoint_routers)
+
+    # Phase 1+2: per-destination path computation and VLAN colouring.
+    per_destination_vlans: List[Set[Edge]] = []
+    pair_paths: Dict[Tuple[int, int], List[List[int]]] = {}
+    for dest in destinations:
+        paths: List[List[int]] = []
+        for src in sources:
+            if src == dest:
+                continue
+            weights: Dict[Edge, float] = {}
+            for _ in range(paths_per_pair):
+                path = _weighted_shortest_path(adj, weights, src, dest)
+                if path is None:
+                    break
+                if path in paths:
+                    break
+                paths.append(path)
+                pair_paths.setdefault((src, dest), []).append(path)
+                for u, v in zip(path, path[1:]):
+                    weights[_normalize(u, v)] = weights.get(_normalize(u, v), 0.0) + len(topology.edges)
+        if not paths:
+            continue
+        conflicts: List[Set[int]] = [set() for _ in paths]
+        for i in range(len(paths)):
+            for j in range(i + 1, len(paths)):
+                if not _vlan_compatible(paths[i], paths[j]):
+                    conflicts[i].add(j)
+                    conflicts[j].add(i)
+        colors = _greedy_coloring(conflicts)
+        for color in range(max(colors) + 1):
+            edge_set: Set[Edge] = set()
+            for path, c in zip(paths, colors):
+                if c != color:
+                    continue
+                for u, v in zip(path, path[1:]):
+                    edge_set.add(_normalize(u, v))
+            if edge_set:
+                per_destination_vlans.append(edge_set)
+
+    # Phase 3: greedily merge VLANs across destinations while the union stays acyclic.
+    order = list(range(len(per_destination_vlans)))
+    rng.shuffle(order)
+    merged: List[Set[Edge]] = []
+    for idx in order:
+        vlan = per_destination_vlans[idx]
+        placed = False
+        for target in merged:
+            union = target | vlan
+            if _is_acyclic(topology.num_routers, union):
+                target |= vlan
+                placed = True
+                break
+        if not placed:
+            merged.append(set(vlan))
+
+    # VLAN 1: a fallback spanning tree covering every pair (SPAIN's base VLAN).
+    fallback = _bfs_spanning_tree(topology, int(rng.integers(topology.num_routers)), rng)
+    merged.sort(key=len, reverse=True)
+    if max_layers is not None and len(merged) > max_layers - 1:
+        merged = merged[: max_layers - 1]
+    layer_edge_sets = [fallback] + merged
+
+    layers = [Layer(index=i, edges=frozenset(edges), is_full=False)
+              for i, edges in enumerate(layer_edge_sets)]
+    config = FatPathsConfig(num_layers=max(1, len(layers)), rho=1.0, seed=seed)
+    layer_set = LayerSet(topology=topology, layers=layers, config=config,
+                         meta={"algorithm": "spain", "paths_per_pair": paths_per_pair})
+    if return_paths:
+        return layer_set, pair_paths
+    return layer_set
+
+
+class SpainRouting(LayerSetRouting):
+    """SPAIN as a multi-path provider.
+
+    A pair's candidate paths are the paths SPAIN actually precomputes and maps to VLANs
+    (at most ``paths_per_pair`` per pair); pairs whose destination was not part of the
+    VLAN computation fall back to the spanning-tree VLAN (layer 0) route — matching
+    SPAIN's behaviour of defaulting unknown destinations to VLAN 1.
+    """
+
+    def __init__(self, topology: Topology, paths_per_pair: int = 3,
+                 destinations: Optional[Sequence[int]] = None, seed: int = 0,
+                 max_layers: Optional[int] = None) -> None:
+        layer_set, pair_paths = build_spain_layers(
+            topology, paths_per_pair=paths_per_pair, destinations=destinations,
+            seed=seed, max_layers=max_layers, return_paths=True)
+        super().__init__(topology, layer_set, name="spain", fallback_to_full=True, seed=seed)
+        self._pair_paths = pair_paths
+
+    def router_paths(self, source_router: int, target_router: int) -> List[List[int]]:
+        if source_router == target_router:
+            return [[source_router]]
+        precomputed = self._pair_paths.get((source_router, target_router))
+        if precomputed:
+            return precomputed
+        # unknown destination: use the fallback spanning-tree VLAN only
+        path = self.tables.path(0, source_router, target_router)
+        return [path] if path else []

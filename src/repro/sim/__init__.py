@@ -1,0 +1,35 @@
+"""Network simulators and analytic models (paper §VII).
+
+* :mod:`repro.sim.fairshare` — max-min fair bandwidth allocation (water filling) over
+  directed links, the core of the flow-level simulator.
+* :mod:`repro.sim.flowsim` — an event-driven flow-level simulator: flows arrive, get
+  routed over candidate paths (FatPaths layers, ECMP paths, ...), share link bandwidth
+  max-min fairly, and may switch paths at flowlet boundaries or on congestion.  It
+  substitutes for the paper's htsim/OMNeT++ packet simulations (see DESIGN.md).
+* :mod:`repro.sim.packetsim` — a small-scale packet-level simulator with output queues,
+  NDP-style payload trimming and receiver-driven pulls, exercising the purified
+  transport mechanics directly.
+* :mod:`repro.sim.queueing` — M/G/1 processor-sharing predictions used as the reference
+  model in Figure 15.
+* :mod:`repro.sim.metrics` — flow-completion-time / throughput summaries.
+"""
+
+from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.flowsim import FlowSimConfig, FlowLevelSimulator, simulate_workload
+from repro.sim.metrics import FlowRecord, SimulationResult, summarize_flows
+from repro.sim.packetsim import PacketSimConfig, PacketLevelSimulator
+from repro.sim.queueing import mg1_ps_fct, predict_fct_distribution
+
+__all__ = [
+    "max_min_fair_rates",
+    "FlowSimConfig",
+    "FlowLevelSimulator",
+    "simulate_workload",
+    "FlowRecord",
+    "SimulationResult",
+    "summarize_flows",
+    "PacketSimConfig",
+    "PacketLevelSimulator",
+    "mg1_ps_fct",
+    "predict_fct_distribution",
+]

@@ -1,0 +1,114 @@
+"""Max-min fair bandwidth allocation over directed links (water filling).
+
+Given a set of flows, each pinned to a path (a list of directed links), and per-link
+capacities, the max-min fair allocation raises every flow's rate uniformly until a link
+saturates, freezes the flows crossing that link, and repeats — the classical
+progressive-filling algorithm.  This models ideal congestion control (per-flow
+fairness), which is what the paper's NDP-style transport approximates.
+
+The implementation is vectorised: the link/flow incidence is a sparse CSR matrix and
+each filling round is a sparse mat-vec, so thousands of flows are allocated in
+milliseconds (see the HPC guides: vectorise the hot loop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+
+def max_min_fair_rates(paths_links: Sequence[Sequence[int]], link_capacities: np.ndarray,
+                       weights: Sequence[float] | None = None,
+                       epsilon: float = 1e-12) -> np.ndarray:
+    """Max-min fair rates for flows pinned to link paths.
+
+    Parameters
+    ----------
+    paths_links:
+        For each flow, the list of link indices it traverses.  Flows with an empty link
+        list (source and destination on the same router) are given infinite rate — the
+        caller handles them separately.
+    link_capacities:
+        Capacity of each link (same unit as the returned rates, e.g. bytes/s).
+    weights:
+        Optional per-flow weights (a flow of weight w behaves like w unit flows, used to
+        model packet-spraying subflows); defaults to 1.
+    epsilon:
+        Numerical slack when deciding link saturation.
+
+    Returns
+    -------
+    ndarray of per-flow rates.
+    """
+    num_flows = len(paths_links)
+    capacities = np.asarray(link_capacities, dtype=np.float64)
+    num_links = capacities.shape[0]
+    if num_flows == 0:
+        return np.zeros(0)
+    w = np.ones(num_flows) if weights is None else np.asarray(weights, dtype=np.float64)
+    if w.shape[0] != num_flows or (w <= 0).any():
+        raise ValueError("weights must be positive and one per flow")
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    empty = np.zeros(num_flows, dtype=bool)
+    for f, links in enumerate(paths_links):
+        if not links:
+            empty[f] = True
+            continue
+        for link in links:
+            if not 0 <= link < num_links:
+                raise ValueError(f"flow {f} references unknown link {link}")
+            rows.append(link)
+            cols.append(f)
+            vals.append(w[f])
+    rates = np.zeros(num_flows)
+    rates[empty] = np.inf
+    if not vals:
+        return rates
+
+    incidence = csr_matrix((vals, (rows, cols)), shape=(num_links, num_flows))
+    unfixed = ~empty
+    remaining = capacities.astype(np.float64).copy()
+
+    for _ in range(num_links + 1):
+        if not unfixed.any():
+            break
+        load = incidence @ unfixed.astype(np.float64)   # weighted count of unfixed flows per link
+        active_links = load > 0
+        if not active_links.any():
+            break
+        headroom = np.full(num_links, np.inf)
+        headroom[active_links] = remaining[active_links] / load[active_links]
+        increment = float(headroom.min())
+        if increment <= 0:
+            increment = 0.0
+        rates[unfixed] += increment
+        remaining = remaining - load * increment
+        saturated = active_links & (remaining <= epsilon * capacities + epsilon)
+        if not saturated.any():
+            # no link saturates (should not happen with finite capacities); freeze all
+            break
+        # flows crossing a saturated link become fixed
+        saturated_load = np.asarray(incidence[saturated].sum(axis=0)).ravel()
+        unfixed = unfixed & ~(saturated_load > 0)
+    return rates
+
+
+def link_utilisation(paths_links: Sequence[Sequence[int]], rates: np.ndarray,
+                     link_capacities: np.ndarray) -> np.ndarray:
+    """Utilisation (load / capacity) of each link under the given flow rates."""
+    capacities = np.asarray(link_capacities, dtype=np.float64)
+    load = np.zeros(capacities.shape[0])
+    for f, links in enumerate(paths_links):
+        rate = rates[f]
+        if not np.isfinite(rate):
+            continue
+        for link in links:
+            load[link] += rate
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(capacities > 0, load / capacities, 0.0)
+    return util

@@ -1,0 +1,121 @@
+"""Flow-completion-time and throughput metrics (paper §VII-A5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class FlowRecord:
+    """Result of one simulated flow."""
+
+    flow_id: int
+    source: int
+    destination: int
+    size_bytes: float
+    start_time: float
+    completion_time: float
+    path_hops: float
+    num_path_switches: int = 0
+    congestion_events: int = 0
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds."""
+        return self.completion_time - self.start_time
+
+    @property
+    def throughput(self) -> float:
+        """Throughput per flow in bytes/s (the paper's TPF = size / FCT)."""
+        return self.size_bytes / self.fct if self.fct > 0 else float("inf")
+
+
+@dataclass
+class SimulationResult:
+    """All flow records of one simulation run plus summary helpers."""
+
+    records: List[FlowRecord]
+    name: str = "simulation"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def fcts(self) -> np.ndarray:
+        return np.array([r.fct for r in self.records])
+
+    def throughputs(self) -> np.ndarray:
+        return np.array([r.throughput for r in self.records])
+
+    def sizes(self) -> np.ndarray:
+        return np.array([r.size_bytes for r in self.records])
+
+    def warmup_filtered(self, warmup_fraction: float = 0.5) -> "SimulationResult":
+        """Drop flows that start in the first ``warmup_fraction`` of the start-time window
+        (the paper drops the first half of the window for warm-up)."""
+        if not self.records or warmup_fraction <= 0:
+            return self
+        starts = np.array([r.start_time for r in self.records])
+        cutoff = starts.min() + warmup_fraction * (starts.max() - starts.min())
+        kept = [r for r in self.records if r.start_time >= cutoff]
+        if not kept:
+            kept = self.records
+        return SimulationResult(records=kept, name=self.name, meta=dict(self.meta))
+
+    def summary(self, percentiles: Sequence[float] = (1, 10, 50, 90, 99)) -> Dict[str, float]:
+        return summarize_flows(self.records, percentiles)
+
+    def by_size_bucket(self, buckets: Sequence[float]) -> Dict[float, "SimulationResult"]:
+        """Partition records by flow size (bucket = largest bound >= size)."""
+        out: Dict[float, List[FlowRecord]] = {b: [] for b in buckets}
+        sorted_buckets = sorted(buckets)
+        for record in self.records:
+            for bound in sorted_buckets:
+                if record.size_bytes <= bound:
+                    out[bound].append(record)
+                    break
+            else:
+                out[sorted_buckets[-1]].append(record)
+        return {b: SimulationResult(records=rs, name=f"{self.name}|<= {int(b)}B", meta=dict(self.meta))
+                for b, rs in out.items()}
+
+
+def summarize_flows(records: Sequence[FlowRecord],
+                    percentiles: Sequence[float] = (1, 10, 50, 90, 99)) -> Dict[str, float]:
+    """Mean/percentile summary of FCT and per-flow throughput."""
+    if not records:
+        return {"count": 0}
+    fct = np.array([r.fct for r in records])
+    tput = np.array([r.throughput for r in records])
+    summary: Dict[str, float] = {
+        "count": float(len(records)),
+        "fct_mean": float(fct.mean()),
+        "fct_max": float(fct.max()),
+        "throughput_mean": float(tput.mean()),
+        "path_hops_mean": float(np.mean([r.path_hops for r in records])),
+        "path_switches_mean": float(np.mean([r.num_path_switches for r in records])),
+    }
+    for p in percentiles:
+        summary[f"fct_p{p:g}"] = float(np.percentile(fct, p))
+        summary[f"throughput_p{p:g}"] = float(np.percentile(tput, p))
+    # the paper reports "1% tail" throughput = the 1st percentile of per-flow throughput
+    summary["throughput_tail"] = summary.get("throughput_p1", float(tput.min()))
+    summary["fct_tail"] = summary.get("fct_p99", float(fct.max()))
+    return summary
+
+
+def speedup_over_baseline(result: SimulationResult, baseline: SimulationResult,
+                          metric: str = "fct_mean") -> float:
+    """Relative speedup of ``result`` over ``baseline`` for an FCT-style metric.
+
+    A value > 1 means ``result`` is faster (smaller FCT) — the convention used by the
+    paper's Figures 14 and 17.
+    """
+    ours = result.summary().get(metric)
+    theirs = baseline.summary().get(metric)
+    if not ours or not theirs:
+        return float("nan")
+    return theirs / ours

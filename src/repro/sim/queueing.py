@@ -1,0 +1,57 @@
+"""Simple queueing-model predictions for flow completion times (paper Figure 15).
+
+The paper compares measured FCT distributions against "predictions from a simple
+queueing model".  We use the M/G/1 processor-sharing (PS) model, the natural analytic
+reference for fair-sharing transports: flows of size ``x`` arriving as a Poisson
+process at load ``rho`` complete, in expectation, after
+
+    E[FCT | size = x] = x / (C * (1 - rho))
+
+where ``C`` is the bottleneck capacity.  Processor sharing is insensitive to the size
+distribution beyond its mean, which makes it a robust reference for the heavy-tailed
+pFabric workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def offered_load(arrival_rate_per_endpoint: float, mean_flow_size: float,
+                 link_rate_bps: float) -> float:
+    """Offered load ``rho`` of one endpoint link."""
+    if arrival_rate_per_endpoint < 0 or mean_flow_size <= 0 or link_rate_bps <= 0:
+        raise ValueError("rates and sizes must be positive")
+    return arrival_rate_per_endpoint * mean_flow_size / (link_rate_bps / 8.0)
+
+
+def mg1_ps_fct(flow_size: float, load: float, link_rate_bps: float,
+               base_latency: float = 0.0) -> float:
+    """Expected FCT of one flow of ``flow_size`` bytes under M/G/1-PS at ``load``."""
+    if not 0 <= load < 1:
+        raise ValueError("load must be in [0, 1)")
+    if flow_size <= 0:
+        raise ValueError("flow_size must be positive")
+    service = flow_size / (link_rate_bps / 8.0)
+    return base_latency + service / (1.0 - load)
+
+
+def predict_fct_distribution(flow_sizes: Sequence[float], load: float, link_rate_bps: float,
+                             base_latency: float = 0.0,
+                             jitter: float = 0.3,
+                             rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Predicted FCT samples for a set of flow sizes under the M/G/1-PS model.
+
+    ``jitter`` adds a lognormal factor (sigma = jitter) around the conditional mean to
+    approximate the spread of the PS response-time distribution; with ``jitter = 0`` the
+    conditional means are returned directly.
+    """
+    rng = rng or np.random.default_rng(0)
+    sizes = np.asarray(flow_sizes, dtype=float)
+    means = np.array([mg1_ps_fct(s, load, link_rate_bps, base_latency) for s in sizes])
+    if jitter <= 0:
+        return means
+    factors = rng.lognormal(mean=-0.5 * jitter**2, sigma=jitter, size=sizes.shape)
+    return means * factors

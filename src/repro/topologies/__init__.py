@@ -1,0 +1,51 @@
+"""Topology generators for the FatPaths reproduction.
+
+Every topology produces a :class:`~repro.topologies.base.Topology`: an undirected
+router graph together with a *concentration* ``p`` (endpoints attached per router).
+Topologies follow the paper's §II-B / Appendix A descriptions:
+
+* Slim Fly (MMS construction, diameter 2)
+* Dragonfly ("balanced" variant, diameter 3)
+* Jellyfish (random regular graph)
+* Xpander (lift construction)
+* HyperX / Flattened Butterfly (Hamming graphs) and the complete graph
+* three-stage fat tree
+* a single-crossbar "star" used as a TCP baseline
+
+:mod:`repro.topologies.configs` provides "fair comparison" configurations: topology
+instances of comparable size/cost for the paper's size classes.
+"""
+
+from repro.topologies.base import Topology
+from repro.topologies.complete import complete_graph
+from repro.topologies.dragonfly import dragonfly
+from repro.topologies.fattree import fat_tree
+from repro.topologies.hyperx import flattened_butterfly, hyperx
+from repro.topologies.jellyfish import equivalent_jellyfish, jellyfish
+from repro.topologies.slimfly import slim_fly
+from repro.topologies.star import star
+from repro.topologies.xpander import xpander
+from repro.topologies.configs import (
+    SizeClass,
+    build,
+    comparable_configurations,
+    default_concentration,
+)
+
+__all__ = [
+    "Topology",
+    "complete_graph",
+    "dragonfly",
+    "fat_tree",
+    "flattened_butterfly",
+    "hyperx",
+    "jellyfish",
+    "equivalent_jellyfish",
+    "slim_fly",
+    "star",
+    "xpander",
+    "SizeClass",
+    "build",
+    "comparable_configurations",
+    "default_concentration",
+]

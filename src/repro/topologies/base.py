@@ -1,0 +1,274 @@
+"""Core network model: routers, inter-router links and attached endpoints.
+
+The paper (§II-A) models the interconnect as an undirected graph ``G = (V, E)`` over
+routers only; endpoints are attached implicitly, ``p`` per router (the *concentration*).
+``k'`` is the network radix (router-to-router channels) and ``k = k' + p`` the full
+router radix.  This module provides that model as :class:`Topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class Topology:
+    """An undirected router-level network with ``p`` endpoints per router.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier, e.g. ``"SF(q=29)"``.
+    num_routers:
+        Number of routers ``Nr``; routers are labelled ``0 .. Nr-1``.
+    edges:
+        Iterable of undirected router-router links ``(u, v)`` with ``u != v``.
+        Parallel edges and self loops are rejected.
+    concentration:
+        Endpoints attached to each router (``p``).  For heterogeneous topologies
+        (fat trees, where only edge routers host endpoints) pass
+        ``endpoint_routers`` to restrict which routers have endpoints.
+    endpoint_routers:
+        Optional list of router ids that host endpoints.  Defaults to all routers.
+    diameter_hint:
+        Known diameter of the topology (used for reporting; the true diameter can
+        always be recomputed via :meth:`diameter`).
+    meta:
+        Free-form construction parameters (``q`` for Slim Fly, ``a/h`` for
+        Dragonfly, ...), kept for reporting and cost modelling.
+    """
+
+    name: str
+    num_routers: int
+    edges: Sequence[Edge]
+    concentration: int
+    endpoint_routers: Optional[Sequence[int]] = None
+    diameter_hint: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_routers <= 0:
+            raise ValueError("num_routers must be positive")
+        if self.concentration < 0:
+            raise ValueError("concentration must be non-negative")
+        seen = set()
+        normalized: List[Edge] = []
+        for u, v in self.edges:
+            if not (0 <= u < self.num_routers and 0 <= v < self.num_routers):
+                raise ValueError(f"edge ({u},{v}) references unknown router")
+            if u == v:
+                raise ValueError(f"self loop on router {u}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            normalized.append(key)
+        self.edges = tuple(sorted(normalized))
+        if self.endpoint_routers is None:
+            self.endpoint_routers = tuple(range(self.num_routers))
+        else:
+            eps = tuple(sorted(set(self.endpoint_routers)))
+            for r in eps:
+                if not 0 <= r < self.num_routers:
+                    raise ValueError(f"endpoint router {r} out of range")
+            self.endpoint_routers = eps
+        self._adjacency: Optional[List[List[int]]] = None
+        self._degree: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected router-router links."""
+        return len(self.edges)
+
+    @property
+    def num_endpoints(self) -> int:
+        """Total number of endpoints ``N = p * |endpoint routers|``."""
+        return self.concentration * len(self.endpoint_routers)
+
+    @property
+    def network_radix(self) -> int:
+        """Maximum router-to-router degree ``k'`` over all routers."""
+        return int(self.degrees().max()) if self.num_edges else 0
+
+    @property
+    def router_radix(self) -> int:
+        """Full router radix ``k = k' + p`` (ports for links plus endpoints)."""
+        return self.network_radix + self.concentration
+
+    def adjacency(self) -> List[List[int]]:
+        """Adjacency lists (neighbour ids, sorted) — cached."""
+        if self._adjacency is None:
+            adj: List[List[int]] = [[] for _ in range(self.num_routers)]
+            for u, v in self.edges:
+                adj[u].append(v)
+                adj[v].append(u)
+            for lst in adj:
+                lst.sort()
+            self._adjacency = adj
+        return self._adjacency
+
+    def degrees(self) -> np.ndarray:
+        """Router-to-router degree of every router."""
+        if self._degree is None:
+            deg = np.zeros(self.num_routers, dtype=np.int64)
+            for u, v in self.edges:
+                deg[u] += 1
+                deg[v] += 1
+            self._degree = deg
+        return self._degree
+
+    def directed_edges(self) -> List[Edge]:
+        """Both orientations of every link (used by routing tables and LPs)."""
+        out: List[Edge] = []
+        for u, v in self.edges:
+            out.append((u, v))
+            out.append((v, u))
+        return out
+
+    # ------------------------------------------------------------- endpoints
+    def router_of_endpoint(self, endpoint: int) -> int:
+        """Router hosting ``endpoint`` (endpoints are packed p-per-router)."""
+        if not 0 <= endpoint < self.num_endpoints:
+            raise ValueError(f"endpoint {endpoint} out of range")
+        return self.endpoint_routers[endpoint // self.concentration]
+
+    def endpoints_of_router(self, router: int) -> List[int]:
+        """Endpoints attached to ``router`` (empty for non-edge routers)."""
+        try:
+            idx = self.endpoint_routers.index(router)
+        except ValueError:
+            return []
+        base = idx * self.concentration
+        return list(range(base, base + self.concentration))
+
+    def endpoint_router_array(self) -> np.ndarray:
+        """``array[e] = router hosting endpoint e`` for all endpoints."""
+        reps = np.repeat(np.asarray(self.endpoint_routers, dtype=np.int64), self.concentration)
+        return reps
+
+    # ---------------------------------------------------------------- graphs
+    def to_networkx(self) -> nx.Graph:
+        """Router graph as a NetworkX graph (for validation / reference algos)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_routers))
+        g.add_edges_from(self.edges)
+        return g
+
+    def subgraph(self, edge_subset: Iterable[Edge]) -> "Topology":
+        """A topology restricted to ``edge_subset`` (same routers/endpoints).
+
+        Used by layered routing, where a *layer* is a subset of links.
+        """
+        return Topology(
+            name=f"{self.name}|subset",
+            num_routers=self.num_routers,
+            edges=tuple(edge_subset),
+            concentration=self.concentration,
+            endpoint_routers=self.endpoint_routers,
+            diameter_hint=None,
+            meta=dict(self.meta),
+        )
+
+    # --------------------------------------------------------------- metrics
+    def is_connected(self) -> bool:
+        """True if the router graph is connected (BFS from router 0)."""
+        if self.num_routers == 1:
+            return True
+        adj = self.adjacency()
+        seen = np.zeros(self.num_routers, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.num_routers
+
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Hop distances from ``source`` to all routers (-1 if unreachable)."""
+        adj = self.adjacency()
+        dist = np.full(self.num_routers, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: List[int] = []
+            for u in frontier:
+                for v in adj[u]:
+                    if dist[v] < 0:
+                        dist[v] = d
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def diameter(self, sample: Optional[int] = None, rng: Optional[np.random.Generator] = None) -> int:
+        """Diameter of the router graph.
+
+        With ``sample`` set, only that many BFS sources are used (a lower bound,
+        adequate for vertex-transitive topologies and for sanity checks on large
+        instances).
+        """
+        sources: Iterable[int]
+        if sample is not None and sample < self.num_routers:
+            rng = rng or np.random.default_rng(0)
+            sources = rng.choice(self.num_routers, size=sample, replace=False)
+        else:
+            sources = range(self.num_routers)
+        best = 0
+        for s in sources:
+            dist = self.bfs_distances(int(s))
+            if (dist < 0).any():
+                raise ValueError("graph is disconnected; diameter undefined")
+            best = max(best, int(dist.max()))
+        return best
+
+    def average_path_length(self, sample: Optional[int] = None,
+                            rng: Optional[np.random.Generator] = None) -> float:
+        """Average shortest-path length ``d`` over (sampled) router pairs."""
+        sources: Iterable[int]
+        if sample is not None and sample < self.num_routers:
+            rng = rng or np.random.default_rng(0)
+            sources = rng.choice(self.num_routers, size=sample, replace=False)
+            n_sources = sample
+        else:
+            sources = range(self.num_routers)
+            n_sources = self.num_routers
+        total = 0.0
+        pairs = 0
+        for s in sources:
+            dist = self.bfs_distances(int(s))
+            mask = dist > 0
+            total += float(dist[mask].sum())
+            pairs += int(mask.sum())
+        if pairs == 0:
+            return 0.0
+        del n_sources
+        return total / pairs
+
+    def edge_density(self) -> float:
+        """(links incl. endpoint links) / endpoints — the paper's Fig 19 metric."""
+        if self.num_endpoints == 0:
+            return float("inf")
+        return (self.num_edges + self.num_endpoints) / self.num_endpoints
+
+    # ----------------------------------------------------------------- dunder
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, Nr={self.num_routers}, N={self.num_endpoints}, "
+            f"k'={self.network_radix}, p={self.concentration})"
+        )

@@ -1,0 +1,35 @@
+"""Complete graph (clique) topology — the diameter-1 corner case.
+
+The paper uses cliques as a lower bound on path length, to model the global channels
+of a Dragonfly (which form a complete graph over groups) and to validate metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.topologies.base import Topology
+
+
+def complete_graph(num_routers: int, concentration: Optional[int] = None) -> Topology:
+    """Fully connected graph over ``num_routers`` routers.
+
+    ``k' = num_routers - 1``; the paper's suggested concentration for cliques is
+    ``p = k'`` (Appendix A.G), which is the default here.
+    """
+    if num_routers < 2:
+        raise ValueError("complete graph needs at least 2 routers")
+    k_prime = num_routers - 1
+    if concentration is None:
+        concentration = k_prime
+    edges: List[Tuple[int, int]] = [
+        (u, v) for u in range(num_routers) for v in range(u + 1, num_routers)
+    ]
+    return Topology(
+        name=f"Clique(Nr={num_routers})",
+        num_routers=num_routers,
+        edges=edges,
+        concentration=concentration,
+        diameter_hint=1,
+        meta={"family": "complete", "network_radix": k_prime},
+    )

@@ -1,0 +1,82 @@
+"""Dragonfly topology — Kim, Dally, Scott, Abts (ISCA'08); "balanced" maximum-capacity variant.
+
+Routers are arranged in ``g`` groups of ``a`` routers.  Each group is a complete graph
+(local links); each router additionally has ``h`` global channels, and the groups form a
+complete graph of groups with exactly one global link between any two groups.
+
+The *balanced* maximum-capacity Dragonfly used in the paper (Table V) fixes
+``a = 2p = 2h`` and ``g = a*h + 1``, so a single parameter ``p`` determines everything:
+
+* routers per group  ``a = 2p``
+* global channels    ``h = p``
+* groups             ``g = 2p**2 + 1``
+* routers            ``Nr = a*g = 4p**3 + 2p``
+* network radix      ``k' = (a - 1) + h = 3p - 1``
+* diameter           ``D = 3`` (local, global, local)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.topologies.base import Topology
+
+
+def dragonfly(p: int, concentration: Optional[int] = None) -> Topology:
+    """Balanced Dragonfly parameterised by the concentration ``p`` (see module docs)."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    a = 2 * p
+    h = p
+    g = a * h + 1
+    num_routers = a * g
+    if concentration is None:
+        concentration = p
+
+    def rid(group: int, index: int) -> int:
+        return group * a + index
+
+    edges: List[Tuple[int, int]] = []
+    # Local links: each group is a complete graph over its `a` routers.
+    for grp in range(g):
+        for i in range(a):
+            for j in range(i + 1, a):
+                edges.append((rid(grp, i), rid(grp, j)))
+
+    # Global links: the "palmtree"/consecutive assignment.  Group `grp` owns a*h global
+    # ports, numbered 0 .. a*h-1 (port t belongs to router t // h within the group).
+    # Global port t of group grp connects towards group (grp + t + 1) mod g; the peer
+    # port on that group is the one pointing back, i.e. port (g - 2 - t) of that group.
+    # Each unordered group pair then gets exactly one link.
+    for grp in range(g):
+        for t in range(a * h):
+            other = (grp + t + 1) % g
+            if grp < other:
+                peer_port = g - 2 - t
+                u = rid(grp, t // h)
+                v = rid(other, peer_port // h)
+                edges.append((u, v))
+
+    topo = Topology(
+        name=f"DF(p={p})",
+        num_routers=num_routers,
+        edges=edges,
+        concentration=concentration,
+        diameter_hint=3,
+        meta={
+            "family": "dragonfly",
+            "p": p,
+            "a": a,
+            "h": h,
+            "groups": g,
+            "network_radix": 3 * p - 1,
+        },
+    )
+    return topo
+
+
+def dragonfly_group_of(topology: Topology, router: int) -> int:
+    """Group index of a router in a Dragonfly built by :func:`dragonfly`."""
+    if topology.meta.get("family") != "dragonfly":
+        raise ValueError("topology is not a dragonfly")
+    return router // int(topology.meta["a"])

@@ -1,0 +1,89 @@
+"""Three-stage fat tree (folded Clos) — Leiserson'96 / Al-Fares'08 style, as used in the paper.
+
+Built from radix-``k`` switches (``k`` even):
+
+* ``k`` pods, each with ``k/2`` edge switches and ``k/2`` aggregation switches;
+* every edge switch connects to every aggregation switch in its pod;
+* ``(k/2)**2`` core switches; aggregation switch ``j`` of every pod connects to core
+  switches ``j*k/2 .. (j+1)*k/2 - 1``;
+* each edge switch hosts ``k/2`` endpoints (``oversubscription`` multiplies that, the
+  paper uses 2x-oversubscribed fat trees for the fair-cost comparison).
+
+Totals: ``Nr = 5k^2/4`` routers, ``N = oversubscription * k^3/4`` endpoints, diameter 4
+(between endpoints in different pods).  Only edge switches host endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topologies.base import Topology
+
+
+def fat_tree(radix: int, oversubscription: int = 1) -> Topology:
+    """Three-stage fat tree from radix-``radix`` switches (``radix`` must be even)."""
+    if radix < 2 or radix % 2 != 0:
+        raise ValueError("radix must be an even integer >= 2")
+    if oversubscription < 1:
+        raise ValueError("oversubscription must be >= 1")
+    half = radix // 2
+    pods = radix
+    num_edge = pods * half
+    num_agg = pods * half
+    num_core = half * half
+    num_routers = num_edge + num_agg + num_core
+
+    # Router id layout: [edge switches][aggregation switches][core switches].
+    def edge_id(pod: int, index: int) -> int:
+        return pod * half + index
+
+    def agg_id(pod: int, index: int) -> int:
+        return num_edge + pod * half + index
+
+    def core_id(index: int) -> int:
+        return num_edge + num_agg + index
+
+    edges: List[Tuple[int, int]] = []
+    for pod in range(pods):
+        for e in range(half):
+            for a in range(half):
+                edges.append((edge_id(pod, e), agg_id(pod, a)))
+    for pod in range(pods):
+        for a in range(half):
+            for c in range(half):
+                edges.append((agg_id(pod, a), core_id(a * half + c)))
+
+    endpoint_routers = [edge_id(pod, e) for pod in range(pods) for e in range(half)]
+    concentration = half * oversubscription
+
+    return Topology(
+        name=f"FT3(k={radix}{', 2x' if oversubscription == 2 else ''})",
+        num_routers=num_routers,
+        edges=edges,
+        concentration=concentration,
+        endpoint_routers=endpoint_routers,
+        diameter_hint=4,
+        meta={
+            "family": "fattree",
+            "radix": radix,
+            "pods": pods,
+            "oversubscription": oversubscription,
+            "network_radix": radix,
+            "num_edge": num_edge,
+            "num_agg": num_agg,
+            "num_core": num_core,
+        },
+    )
+
+
+def fat_tree_level(topology: Topology, router: int) -> str:
+    """Return ``'edge'``, ``'agg'`` or ``'core'`` for a router of a fat tree."""
+    if topology.meta.get("family") != "fattree":
+        raise ValueError("topology is not a fat tree")
+    num_edge = int(topology.meta["num_edge"])
+    num_agg = int(topology.meta["num_agg"])
+    if router < num_edge:
+        return "edge"
+    if router < num_edge + num_agg:
+        return "agg"
+    return "core"

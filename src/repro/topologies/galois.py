@@ -1,0 +1,234 @@
+"""Finite-field arithmetic GF(q) for the Slim Fly (MMS) construction.
+
+Slim Fly's MMS graphs are defined over a Galois field GF(q) where ``q`` is a prime
+power with ``q = 4w + delta``, ``delta in {-1, 0, 1}``.  Prime fields use plain
+modular arithmetic; prime-power fields GF(p^m) are represented as polynomials over
+GF(p) modulo an irreducible polynomial found by exhaustive search (fields used for
+network sizing are tiny, so the search is instantaneous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality test (fields here are tiny)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    i = 3
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 2
+    return True
+
+
+def factor_prime_power(q: int) -> Tuple[int, int]:
+    """Return ``(p, m)`` with ``q == p**m`` and ``p`` prime, or raise ValueError."""
+    if q < 2:
+        raise ValueError(f"{q} is not a prime power")
+    for p in range(2, q + 1):
+        if not is_prime(p):
+            continue
+        if q % p:
+            continue
+        m = 0
+        value = q
+        while value % p == 0:
+            value //= p
+            m += 1
+        if value == 1:
+            return p, m
+        raise ValueError(f"{q} is not a prime power")
+    raise ValueError(f"{q} is not a prime power")
+
+
+def is_prime_power(q: int) -> bool:
+    """True if ``q`` is a prime power."""
+    try:
+        factor_prime_power(q)
+        return True
+    except ValueError:
+        return False
+
+
+Poly = Tuple[int, ...]
+
+
+def _poly_trim(coeffs: Sequence[int]) -> Poly:
+    coeffs = list(coeffs)
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return tuple(coeffs)
+
+
+def _poly_add(a: Poly, b: Poly, p: int) -> Poly:
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i in range(n):
+        ai = a[i] if i < len(a) else 0
+        bi = b[i] if i < len(b) else 0
+        out[i] = (ai + bi) % p
+    return _poly_trim(out)
+
+
+def _poly_mul(a: Poly, b: Poly, p: int) -> Poly:
+    if not a or not b:
+        return ()
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % p
+    return _poly_trim(out)
+
+
+def _poly_mod(a: Poly, mod: Poly, p: int) -> Poly:
+    a_list = list(a)
+    deg_mod = len(mod) - 1
+    lead_inv = pow(mod[-1], p - 2, p)
+    while len(a_list) - 1 >= deg_mod and a_list:
+        shift = len(a_list) - 1 - deg_mod
+        factor = (a_list[-1] * lead_inv) % p
+        for i, c in enumerate(mod):
+            a_list[shift + i] = (a_list[shift + i] - factor * c) % p
+        while a_list and a_list[-1] == 0:
+            a_list.pop()
+    return _poly_trim(a_list)
+
+
+def _find_irreducible(p: int, m: int) -> Poly:
+    """Find a monic irreducible degree-``m`` polynomial over GF(p) by search.
+
+    Irreducibility is checked by verifying the polynomial has no roots and is not
+    divisible by any lower-degree monic polynomial (brute force; m <= 4 in practice).
+    """
+    if m == 1:
+        return (0, 1)
+
+    def all_polys(degree: int) -> List[Poly]:
+        polys: List[Poly] = []
+        total = p ** degree
+        for code in range(total):
+            coeffs = []
+            c = code
+            for _ in range(degree):
+                coeffs.append(c % p)
+                c //= p
+            coeffs.append(1)  # monic
+            polys.append(tuple(coeffs))
+        return polys
+
+    def divides(div: Poly, poly: Poly) -> bool:
+        return len(_poly_mod(poly, div, p)) == 0
+
+    low_degree_divisors: List[Poly] = []
+    for d in range(1, m // 2 + 1):
+        low_degree_divisors.extend(all_polys(d))
+
+    for candidate in all_polys(m):
+        if all(not divides(div, candidate) for div in low_degree_divisors):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over GF({p})")  # pragma: no cover
+
+
+@dataclass
+class GaloisField:
+    """Arithmetic in GF(q) with elements encoded as integers ``0 .. q-1``.
+
+    Prime-power fields encode an element ``sum(c_i * p**i)`` for the polynomial with
+    coefficients ``c_i``.  The class exposes just what the MMS construction needs:
+    add, sub, mul, and a primitive element (generator of the multiplicative group).
+    """
+
+    q: int
+
+    def __post_init__(self) -> None:
+        self.p, self.m = factor_prime_power(self.q)
+        self._modulus = _find_irreducible(self.p, self.m) if self.m > 1 else (0, 1)
+        self._mul_table: List[List[int]] | None = None
+
+    # --------------------------------------------------------------- encoding
+    def _to_poly(self, x: int) -> Poly:
+        coeffs = []
+        while x:
+            coeffs.append(x % self.p)
+            x //= self.p
+        return _poly_trim(coeffs)
+
+    def _from_poly(self, poly: Poly) -> int:
+        value = 0
+        for c in reversed(poly):
+            value = value * self.p + c
+        return value
+
+    # -------------------------------------------------------------- operations
+    def add(self, a: int, b: int) -> int:
+        if self.m == 1:
+            return (a + b) % self.p
+        return self._from_poly(_poly_add(self._to_poly(a), self._to_poly(b), self.p))
+
+    def neg(self, a: int) -> int:
+        if self.m == 1:
+            return (-a) % self.p
+        poly = tuple((-c) % self.p for c in self._to_poly(a))
+        return self._from_poly(_poly_trim(poly))
+
+    def sub(self, a: int, b: int) -> int:
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        if self.m == 1:
+            return (a * b) % self.p
+        if self._mul_table is not None:
+            return self._mul_table[a][b]
+        prod = _poly_mul(self._to_poly(a), self._to_poly(b), self.p)
+        return self._from_poly(_poly_mod(prod, self._modulus, self.p))
+
+    def pow(self, a: int, e: int) -> int:
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def build_mul_table(self) -> None:
+        """Precompute the q x q multiplication table (speeds up MMS generation)."""
+        if self.m == 1 or self._mul_table is not None:
+            return
+        table = [[0] * self.q for _ in range(self.q)]
+        for a in range(self.q):
+            pa = self._to_poly(a)
+            for b in range(a, self.q):
+                prod = _poly_mul(pa, self._to_poly(b), self.p)
+                val = self._from_poly(_poly_mod(prod, self._modulus, self.p))
+                table[a][b] = val
+                table[b][a] = val
+        self._mul_table = table
+
+    # --------------------------------------------------------------- structure
+    def elements(self) -> range:
+        return range(self.q)
+
+    def primitive_element(self) -> int:
+        """A generator of the multiplicative group GF(q)*."""
+        order = self.q - 1
+        for candidate in range(2, self.q):
+            seen = set()
+            x = 1
+            for _ in range(order):
+                x = self.mul(x, candidate)
+                seen.add(x)
+            if len(seen) == order:
+                return candidate
+        raise RuntimeError(f"no primitive element found for GF({self.q})")  # pragma: no cover

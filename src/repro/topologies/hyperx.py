@@ -1,0 +1,71 @@
+"""HyperX (Hamming graph) topologies — Ahn et al. (SC'09).
+
+A *regular* HyperX arranges routers into an ``L``-dimensional array with ``S`` routers
+per dimension and connects every pair of routers that differ in exactly one coordinate
+(a clique along each 1-dimensional row).  Network radix is ``k' = L * (S - 1)`` and the
+diameter is ``L``.
+
+Special cases: ``L = 1`` is a complete graph; ``L = 2`` is the Flattened Butterfly used
+in the paper; ``L = 3`` is the "HX3" cube variant.  The paper uses concentration
+``p = ceil(k'/L)`` (Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.topologies.base import Topology
+
+
+def hyperx(dimensions: int, side: int, concentration: Optional[int] = None) -> Topology:
+    """Regular HyperX with ``dimensions`` = L and ``side`` = S routers per dimension."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be >= 1")
+    if side < 2:
+        raise ValueError("side must be >= 2")
+    num_routers = side ** dimensions
+    network_radix = dimensions * (side - 1)
+    if concentration is None:
+        concentration = math.ceil(network_radix / dimensions)
+
+    def coords(router: int) -> Tuple[int, ...]:
+        cs = []
+        for _ in range(dimensions):
+            cs.append(router % side)
+            router //= side
+        return tuple(cs)
+
+    def rid(cs: Tuple[int, ...]) -> int:
+        value = 0
+        for c in reversed(cs):
+            value = value * side + c
+        return value
+
+    edges: List[Tuple[int, int]] = []
+    for router in range(num_routers):
+        cs = coords(router)
+        for dim in range(dimensions):
+            for other in range(cs[dim] + 1, side):
+                peer = list(cs)
+                peer[dim] = other
+                edges.append((router, rid(tuple(peer))))
+
+    return Topology(
+        name=f"HX{dimensions}(S={side})",
+        num_routers=num_routers,
+        edges=edges,
+        concentration=concentration,
+        diameter_hint=dimensions,
+        meta={
+            "family": "hyperx",
+            "dimensions": dimensions,
+            "side": side,
+            "network_radix": network_radix,
+        },
+    )
+
+
+def flattened_butterfly(side: int, concentration: Optional[int] = None) -> Topology:
+    """Two-dimensional HyperX, i.e. a Flattened Butterfly (diameter 2)."""
+    return hyperx(2, side, concentration)

@@ -1,0 +1,142 @@
+"""Slim Fly (MMS) topology — Besta & Hoefler, SC'14; diameter-2 variant used by FatPaths.
+
+The MMS construction builds a diameter-2 graph over two groups of ``q**2`` routers each,
+labelled ``(0, x, y)`` and ``(1, m, c)`` with ``x, y, m, c`` in GF(q), where ``q`` is a
+prime power of the form ``q = 4w + delta`` with ``delta in {-1, 0, 1}``:
+
+* ``(0, x, y) ~ (0, x, y')``  iff ``y - y'``  is in the generator set ``X``
+* ``(1, m, c) ~ (1, m, c')``  iff ``c - c'``  is in the generator set ``X'``
+* ``(0, x, y) ~ (1, m, c)``   iff ``y = m*x + c``
+
+giving ``Nr = 2 q**2`` routers of network radix ``k' = (3q - delta) / 2``.  The suggested
+concentration is ``p = ceil(k'/2)`` (paper Appendix A / Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set, Tuple
+
+from repro.topologies.base import Topology
+from repro.topologies.galois import GaloisField, is_prime_power
+
+
+def mms_delta(q: int) -> int:
+    """The delta in ``q = 4w + delta`` or raise if q is not of MMS form."""
+    for delta in (-1, 0, 1):
+        if (q - delta) % 4 == 0 and (q - delta) // 4 > 0:
+            return delta
+    raise ValueError(f"q={q} is not of the form 4w-1, 4w, or 4w+1 with w >= 1")
+
+
+def _generator_sets(field: GaloisField) -> Tuple[Set[int], Set[int]]:
+    """Build the MMS generator sets X and X' for GF(q).
+
+    Uses the closed-form power sets from the Slim Fly paper; both sets are validated
+    to be symmetric (closed under negation), which is what makes the intra-group
+    Cayley graphs undirected.
+    """
+    q = field.q
+    delta = mms_delta(q)
+    xi = field.primitive_element()
+    powers = [1]
+    for _ in range(q - 2):
+        powers.append(field.mul(powers[-1], xi))
+    # powers[i] == xi**i for i in 0 .. q-2
+
+    if delta == 1:
+        x_exp = list(range(0, q - 2, 2))        # even powers (quadratic residues)
+    else:  # delta in {-1, 0}, q = 4w - 1 or q = 4w
+        w = (q - delta) // 4
+        x_exp = list(range(0, 2 * w - 1, 2)) + list(range(2 * w - 1, 4 * w - 2, 2))
+
+    gen_x = {powers[e % (q - 1)] for e in x_exp}
+    # X' is xi * X in all three cases (for delta=1 this is exactly the odd powers).
+    gen_xp = {field.mul(xi, v) for v in gen_x}
+
+    # In characteristic 2, negation is the identity so symmetry is automatic; otherwise
+    # enforce/verify symmetry, which the power formulas above guarantee for valid q.
+    for label, s in (("X", gen_x), ("X'", gen_xp)):
+        sym = {field.neg(v) for v in s}
+        if sym != s:
+            raise ValueError(
+                f"MMS generator set {label} for q={q} is not symmetric; "
+                "this q is not supported by the closed-form construction"
+            )
+    expected = (q - delta) // 2
+    if len(gen_x) != expected or len(gen_xp) != expected:
+        raise ValueError(
+            f"MMS generator sets for q={q} have sizes {len(gen_x)}/{len(gen_xp)}, "
+            f"expected {expected}"
+        )
+    return gen_x, gen_xp
+
+
+def slim_fly(q: int, concentration: Optional[int] = None, validate: bool = True) -> Topology:
+    """Build a Slim Fly (MMS) topology for prime power ``q``.
+
+    Parameters
+    ----------
+    q:
+        Prime power of the form ``4w + delta`` with ``delta in {-1, 0, 1}``.
+    concentration:
+        Endpoints per router; defaults to the paper's ``ceil(k'/2)``.
+    validate:
+        If True (default) check regularity and, for small instances, diameter 2.
+    """
+    if not is_prime_power(q):
+        raise ValueError(f"q={q} must be a prime power")
+    delta = mms_delta(q)
+    field = GaloisField(q)
+    field.build_mul_table()
+    gen_x, gen_xp = _generator_sets(field)
+
+    def rid(group: int, a: int, b: int) -> int:
+        return group * q * q + a * q + b
+
+    edges: List[Tuple[int, int]] = []
+    # Intra-group Cayley edges within group 0: (0, x, y) ~ (0, x, y') iff y - y' in X.
+    for x in range(q):
+        for y in range(q):
+            for yp in range(y + 1, q):
+                if field.sub(y, yp) in gen_x:
+                    edges.append((rid(0, x, y), rid(0, x, yp)))
+    # Intra-group Cayley edges within group 1: (1, m, c) ~ (1, m, c') iff c - c' in X'.
+    for m in range(q):
+        for c in range(q):
+            for cp in range(c + 1, q):
+                if field.sub(c, cp) in gen_xp:
+                    edges.append((rid(1, m, c), rid(1, m, cp)))
+    # Inter-group edges: (0, x, y) ~ (1, m, c) iff y = m*x + c.
+    for x in range(q):
+        for m in range(q):
+            mx = field.mul(m, x)
+            for c in range(q):
+                y = field.add(mx, c)
+                edges.append((rid(0, x, y), rid(1, m, c)))
+
+    network_radix = (3 * q - delta) // 2
+    if concentration is None:
+        concentration = math.ceil(network_radix / 2)
+
+    topo = Topology(
+        name=f"SF(q={q})",
+        num_routers=2 * q * q,
+        edges=edges,
+        concentration=concentration,
+        diameter_hint=2,
+        meta={"family": "slimfly", "q": q, "delta": delta, "network_radix": network_radix},
+    )
+
+    if validate:
+        degrees = topo.degrees()
+        if degrees.min() != network_radix or degrees.max() != network_radix:
+            raise ValueError(
+                f"Slim Fly q={q}: expected {network_radix}-regular graph, got degrees "
+                f"[{degrees.min()}, {degrees.max()}]"
+            )
+        if topo.num_routers <= 800:
+            diam = topo.diameter()
+            if diam != 2:
+                raise ValueError(f"Slim Fly q={q}: expected diameter 2, got {diam}")
+    return topo

@@ -1,0 +1,26 @@
+"""Single-crossbar "star" baseline.
+
+The paper's Appendix D uses a star topology — one crossbar switch with all endpoints
+attached — as an upper bound on performance (no inter-switch links, so no topology
+induced congestion), to characterise pure transport/flow-control effects.
+
+At the router-graph level this is a single router with ``p = N`` endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+
+
+def star(num_endpoints: int) -> Topology:
+    """A single crossbar hosting ``num_endpoints`` endpoints."""
+    if num_endpoints < 1:
+        raise ValueError("star needs at least one endpoint")
+    return Topology(
+        name=f"Star(N={num_endpoints})",
+        num_routers=1,
+        edges=(),
+        concentration=num_endpoints,
+        diameter_hint=0,
+        meta={"family": "star"},
+    )

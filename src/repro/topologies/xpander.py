@@ -1,0 +1,70 @@
+"""Xpander topology — Valadarsky, Dinitz, Schapira (HotNets'15).
+
+Xpander is built by applying an ``ell``-lift to a ``k'``-regular base graph (here the
+complete graph on ``k'+1`` vertices): the lift makes ``ell`` copies of every vertex and
+replaces each base edge by a random perfect matching between the corresponding copy
+sets.  The result is a ``k'``-regular graph on ``ell * (k'+1)`` routers with good
+expansion, deterministic up to the choice of matchings (paper Appendix A.D).
+
+The paper uses a single lift with ``ell = k'`` and concentration ``p = ceil(k'/2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.topologies.complete import complete_graph
+
+
+def xpander(network_radix: int, lift: Optional[int] = None,
+            concentration: Optional[int] = None, seed: Optional[int] = None) -> Topology:
+    """Xpander via a single random ``lift``-lift of the complete graph K_{k'+1}.
+
+    Parameters
+    ----------
+    network_radix:
+        Router-to-router degree ``k'`` (the base graph is K_{k'+1}).
+    lift:
+        Number of copies ``ell``; defaults to ``k'`` (the paper's configuration).
+    concentration:
+        Endpoints per router; defaults to ``ceil(k'/2)``.
+    seed:
+        Seed for the random matchings.
+    """
+    if network_radix < 2:
+        raise ValueError("network_radix must be >= 2")
+    if lift is None:
+        lift = network_radix
+    if lift < 1:
+        raise ValueError("lift must be >= 1")
+    if concentration is None:
+        concentration = math.ceil(network_radix / 2)
+
+    base = complete_graph(network_radix + 1)
+    rng = np.random.default_rng(seed)
+    num_routers = lift * base.num_routers
+
+    def rid(base_vertex: int, copy: int) -> int:
+        return base_vertex * lift + copy
+
+    edges: List[Tuple[int, int]] = []
+    for u, v in base.edges:
+        perm = rng.permutation(lift)
+        for copy in range(lift):
+            edges.append((rid(u, copy), rid(v, int(perm[copy]))))
+
+    topo = Topology(
+        name=f"XP(k'={network_radix},l={lift})",
+        num_routers=num_routers,
+        edges=edges,
+        concentration=concentration,
+        diameter_hint=3,
+        meta={"family": "xpander", "network_radix": network_radix, "lift": lift, "seed": seed},
+    )
+    if not topo.is_connected():
+        return xpander(network_radix, lift, concentration, seed=(seed or 0) + 10_007)
+    return topo

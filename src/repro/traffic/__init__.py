@@ -1,0 +1,48 @@
+"""Traffic patterns and flow workloads (paper §II-C and §VII-A4).
+
+* :mod:`repro.traffic.patterns` — endpoint-level traffic patterns: random uniform,
+  random permutation, off-diagonal, shuffle, 2D stencils, and skewed adversarial
+  variants.
+* :mod:`repro.traffic.worstcase` — the worst-case pattern that maximises average flow
+  path length via maximum-weight matching (used by the theoretical analysis, Fig 9).
+* :mod:`repro.traffic.flows` — flow/message workload generation: pFabric web-search
+  flow sizes, Poisson arrivals, and the stencil-with-barrier workload of Fig 17.
+"""
+
+from repro.traffic.flows import (
+    Flow,
+    Workload,
+    pfabric_flow_sizes,
+    poisson_workload,
+    uniform_size_workload,
+)
+from repro.traffic.patterns import (
+    TrafficPattern,
+    adversarial_offdiagonal,
+    all_patterns,
+    multiple_permutations,
+    off_diagonal,
+    random_permutation,
+    random_uniform,
+    shuffle_pattern,
+    stencil_pattern,
+)
+from repro.traffic.worstcase import worst_case_pattern
+
+__all__ = [
+    "Flow",
+    "Workload",
+    "pfabric_flow_sizes",
+    "poisson_workload",
+    "uniform_size_workload",
+    "TrafficPattern",
+    "adversarial_offdiagonal",
+    "all_patterns",
+    "multiple_permutations",
+    "off_diagonal",
+    "random_permutation",
+    "random_uniform",
+    "shuffle_pattern",
+    "stencil_pattern",
+    "worst_case_pattern",
+]

@@ -1,0 +1,188 @@
+"""Endpoint-level traffic patterns (paper §II-C).
+
+A traffic pattern is a set of communicating endpoint pairs ``(s, t(s))`` over the
+endpoint id space ``{0, ..., N-1}``.  The paper's selection:
+
+* **random uniform** — ``t(s)`` chosen uniformly at random (irregular workloads such as
+  graph computations);
+* **random permutation** — ``t = pi_N(s)`` for a random permutation (same motivation);
+* **off-diagonal** — ``t(s) = (s + c) mod N`` for a fixed offset ``c`` (collectives);
+* **shuffle** — ``t(s) = rotl_i(s)``, bitwise left rotation with ``2**i <= N < 2**(i+1)``;
+* **stencil** — four off-diagonals at fixed offsets (e.g. ±1, ±42), modelling 2D stencils;
+* **adversarial off-diagonal** — a skewed off-diagonal with a large offset, optionally
+  repeated (oversubscribed), chosen to maximise colliding router pairs.
+
+Patterns are represented as a :class:`TrafficPattern`, a thin wrapper over a list of
+``(source endpoint, destination endpoint)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TrafficPattern:
+    """A named set of communicating endpoint pairs."""
+
+    name: str
+    pairs: Sequence[Tuple[int, int]]
+    oversubscription: int = 1
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pairs = tuple((int(s), int(t)) for s, t in self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.pairs)
+
+    def sources(self) -> List[int]:
+        return [s for s, _ in self.pairs]
+
+    def destinations(self) -> List[int]:
+        return [t for _, t in self.pairs]
+
+    def remap(self, mapping: Sequence[int]) -> "TrafficPattern":
+        """Apply an endpoint mapping (logical -> physical), e.g. random placement."""
+        remapped = [(mapping[s], mapping[t]) for s, t in self.pairs]
+        return TrafficPattern(f"{self.name}|remapped", remapped,
+                              oversubscription=self.oversubscription, meta=dict(self.meta))
+
+    def subsample(self, fraction: float, rng: Optional[np.random.Generator] = None) -> "TrafficPattern":
+        """Keep a random ``fraction`` of pairs (used as the paper's "traffic intensity")."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1:
+            return self
+        rng = rng or np.random.default_rng(0)
+        k = max(1, int(round(fraction * len(self.pairs))))
+        idx = rng.choice(len(self.pairs), size=k, replace=False)
+        return TrafficPattern(f"{self.name}|{fraction:.2f}", [self.pairs[i] for i in idx],
+                              oversubscription=self.oversubscription, meta=dict(self.meta))
+
+
+def _check_n(num_endpoints: int) -> None:
+    if num_endpoints < 2:
+        raise ValueError("need at least two endpoints")
+
+
+def random_uniform(num_endpoints: int, rng: Optional[np.random.Generator] = None,
+                   exclude_self: bool = True) -> TrafficPattern:
+    """Every endpoint sends to a destination chosen uniformly at random."""
+    _check_n(num_endpoints)
+    rng = rng or np.random.default_rng(0)
+    destinations = rng.integers(0, num_endpoints, size=num_endpoints)
+    pairs = []
+    for s in range(num_endpoints):
+        t = int(destinations[s])
+        if exclude_self and t == s:
+            t = (t + 1) % num_endpoints
+        pairs.append((s, t))
+    return TrafficPattern("random_uniform", pairs)
+
+
+def random_permutation(num_endpoints: int, rng: Optional[np.random.Generator] = None) -> TrafficPattern:
+    """``t = pi_N(s)`` for a permutation drawn uniformly at random (fixed points allowed)."""
+    _check_n(num_endpoints)
+    rng = rng or np.random.default_rng(0)
+    perm = rng.permutation(num_endpoints)
+    pairs = [(s, int(perm[s])) for s in range(num_endpoints)]
+    return TrafficPattern("random_permutation", pairs)
+
+
+def multiple_permutations(num_endpoints: int, count: int = 4,
+                          rng: Optional[np.random.Generator] = None) -> TrafficPattern:
+    """``count`` random permutations in parallel — the paper's 4x-oversubscribed pattern."""
+    _check_n(num_endpoints)
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(count):
+        perm = rng.permutation(num_endpoints)
+        pairs.extend((s, int(perm[s])) for s in range(num_endpoints))
+    return TrafficPattern(f"{count}x_random_permutation", pairs, oversubscription=count)
+
+
+def off_diagonal(num_endpoints: int, offset: int) -> TrafficPattern:
+    """``t(s) = (s + offset) mod N`` — one diagonal of an all-to-all."""
+    _check_n(num_endpoints)
+    offset = offset % num_endpoints
+    if offset == 0:
+        raise ValueError("offset must be non-zero modulo N")
+    pairs = [(s, (s + offset) % num_endpoints) for s in range(num_endpoints)]
+    return TrafficPattern(f"off_diagonal(c={offset})", pairs, meta={"offset": offset})
+
+
+def shuffle_pattern(num_endpoints: int) -> TrafficPattern:
+    """Bitwise shuffle: ``t(s) = rotl_i(s) mod N`` with ``2**i <= N < 2**(i+1)``."""
+    _check_n(num_endpoints)
+    bits = int(np.floor(np.log2(num_endpoints)))
+    mask = (1 << bits) - 1
+    pairs = []
+    for s in range(num_endpoints):
+        x = s & mask
+        rotated = ((x << 1) | (x >> (bits - 1))) & mask
+        t = rotated % num_endpoints
+        if t == s:
+            t = (t + 1) % num_endpoints
+        pairs.append((s, t))
+    return TrafficPattern("shuffle", pairs, meta={"bits": bits})
+
+
+def stencil_pattern(num_endpoints: int, offsets: Optional[Sequence[int]] = None) -> TrafficPattern:
+    """2D stencil modelled as four off-diagonals (paper: offsets ±1, ±42 or ±1, ±1337)."""
+    _check_n(num_endpoints)
+    if offsets is None:
+        offsets = (1, -1, 42, -42) if num_endpoints <= 10_000 else (1, -1, 1337, -1337)
+    pairs: List[Tuple[int, int]] = []
+    for c in offsets:
+        c_mod = c % num_endpoints
+        if c_mod == 0:
+            continue
+        pairs.extend((s, (s + c_mod) % num_endpoints) for s in range(num_endpoints))
+    return TrafficPattern("stencil", pairs, oversubscription=len(offsets), meta={"offsets": tuple(offsets)})
+
+
+def adversarial_offdiagonal(num_endpoints: int, concentration: int,
+                            repeats: int = 1) -> TrafficPattern:
+    """Skewed off-diagonal with a large offset aligned to the concentration.
+
+    Choosing the offset as a multiple of the concentration ``p`` (plus roughly half the
+    machine) makes entire routers send to entire routers, maximising colliding paths —
+    the paper's "skewed adversarial" pattern used in Figure 11.
+    """
+    _check_n(num_endpoints)
+    if concentration < 1:
+        raise ValueError("concentration must be >= 1")
+    base = (num_endpoints // 2 // concentration) * concentration
+    if base % num_endpoints == 0:
+        base = concentration
+    pairs: List[Tuple[int, int]] = []
+    for r in range(repeats):
+        offset = (base + r * concentration) % num_endpoints
+        if offset == 0:
+            offset = concentration
+        pairs.extend((s, (s + offset) % num_endpoints) for s in range(num_endpoints))
+    return TrafficPattern("adversarial_offdiagonal", pairs, oversubscription=repeats,
+                          meta={"base_offset": base, "repeats": repeats})
+
+
+def all_patterns(num_endpoints: int, concentration: int,
+                 rng: Optional[np.random.Generator] = None) -> Dict[str, TrafficPattern]:
+    """The paper's Figure 4 pattern set: permutation, off-diagonal, shuffle, 4x
+    permutations, and a 4-point stencil."""
+    rng = rng or np.random.default_rng(0)
+    return {
+        "random_permutation": random_permutation(num_endpoints, rng),
+        "off_diagonal": off_diagonal(num_endpoints, max(1, num_endpoints // 3)),
+        "shuffle": shuffle_pattern(num_endpoints),
+        "four_permutations": multiple_permutations(num_endpoints, 4, rng),
+        "stencil": stencil_pattern(num_endpoints),
+    }

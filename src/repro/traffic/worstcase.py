@@ -1,0 +1,94 @@
+"""Worst-case traffic pattern via maximum-weight matching (paper §VI-C).
+
+Following Jyothi et al. ("Measuring and understanding throughput of network
+topologies", the TopoBench methodology the paper reuses), the worst-case pattern for a
+given topology pairs up endpoint-hosting routers so that the *average shortest-path
+length* between the paired routers is maximised — a maximum-weight perfect matching on
+the complete graph over routers, with shortest-path distances as weights.  Longer
+forced paths consume more link capacity per flow, which maximises stress on the
+interconnect and hampers effective routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+
+
+def worst_case_router_pairing(topology: Topology,
+                              max_routers: Optional[int] = None,
+                              rng: Optional[np.random.Generator] = None) -> List[Tuple[int, int]]:
+    """Maximum-weight matching of endpoint-hosting routers by shortest-path distance.
+
+    ``max_routers`` optionally restricts the matching to a random subset of routers
+    (maximum-weight matching is O(n^3) and the full matching is not needed for the
+    scaled-down theoretical analysis).
+    """
+    rng = rng or np.random.default_rng(0)
+    routers = list(topology.endpoint_routers)
+    if max_routers is not None and len(routers) > max_routers:
+        idx = rng.choice(len(routers), size=max_routers, replace=False)
+        routers = [routers[int(i)] for i in idx]
+    if len(routers) < 2:
+        raise ValueError("need at least two endpoint-hosting routers")
+
+    distances: Dict[int, np.ndarray] = {r: topology.bfs_distances(r) for r in routers}
+    graph = nx.Graph()
+    for i, u in enumerate(routers):
+        for v in routers[i + 1:]:
+            d = int(distances[u][v])
+            if d > 0:
+                graph.add_edge(u, v, weight=d)
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    return [(min(u, v), max(u, v)) for u, v in matching]
+
+
+def worst_case_pattern(topology: Topology, intensity: float = 1.0,
+                       elephant_fraction: float = 0.5,
+                       max_routers: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None) -> TrafficPattern:
+    """Worst-case endpoint pattern for ``topology`` (paper §VI-C, Figure 9).
+
+    Endpoints of each matched router pair exchange traffic in both directions.  The
+    ``intensity`` is the fraction of endpoint pairs that actually communicate, and
+    ``elephant_fraction`` marks that fraction of pairs as elephant flows (weight 4, the
+    remainder weight 1) in the pattern metadata, mirroring the mixed elephant/mice
+    demand of the original worst-case generator.
+    """
+    if not 0 < intensity <= 1:
+        raise ValueError("intensity must be in (0, 1]")
+    rng = rng or np.random.default_rng(0)
+    pairing = worst_case_router_pairing(topology, max_routers=max_routers, rng=rng)
+    p = topology.concentration
+    pairs: List[Tuple[int, int]] = []
+    weights: List[float] = []
+    for u, v in pairing:
+        eps_u = topology.endpoints_of_router(u)
+        eps_v = topology.endpoints_of_router(v)
+        for a, b in zip(eps_u, eps_v):
+            if rng.random() > intensity:
+                continue
+            weight = 4.0 if rng.random() < elephant_fraction else 1.0
+            pairs.append((a, b))
+            weights.append(weight)
+            pairs.append((b, a))
+            weights.append(weight)
+    if not pairs:  # extremely low intensity on a tiny machine: keep at least one pair
+        u, v = pairing[0]
+        pairs = [(topology.endpoints_of_router(u)[0], topology.endpoints_of_router(v)[0])]
+        weights = [1.0]
+    return TrafficPattern(
+        "worst_case_matching",
+        pairs,
+        meta={
+            "intensity": intensity,
+            "weights": tuple(weights),
+            "num_matched_routers": 2 * len(pairing),
+            "concentration": p,
+        },
+    )

@@ -1,0 +1,72 @@
+"""Shared pytest fixtures: small topology instances reused across the test suite."""
+
+import pytest
+
+from repro.topologies import (
+    SizeClass,
+    build,
+    complete_graph,
+    dragonfly,
+    equivalent_jellyfish,
+    fat_tree,
+    hyperx,
+    jellyfish,
+    slim_fly,
+    xpander,
+)
+
+
+@pytest.fixture(scope="session")
+def sf_tiny():
+    """Slim Fly q=5: 50 routers, k'=7, diameter 2."""
+    return slim_fly(5)
+
+
+@pytest.fixture(scope="session")
+def df_tiny():
+    """Balanced Dragonfly p=3: 114 routers, k'=8, diameter 3."""
+    return dragonfly(3)
+
+
+@pytest.fixture(scope="session")
+def hx_tiny():
+    """HyperX L=3, S=4: 64 routers, diameter 3."""
+    return hyperx(3, 4)
+
+
+@pytest.fixture(scope="session")
+def xp_tiny():
+    """Xpander k'=8: 72 routers."""
+    return xpander(8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def ft_tiny():
+    """Three-stage fat tree, radix 8."""
+    return fat_tree(8)
+
+
+@pytest.fixture(scope="session")
+def jf_tiny():
+    """Jellyfish with 50 routers, k'=7."""
+    return jellyfish(50, 7, 4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def clique_tiny():
+    """Complete graph on 12 routers."""
+    return complete_graph(12)
+
+
+@pytest.fixture(scope="session")
+def all_tiny(sf_tiny, df_tiny, hx_tiny, xp_tiny, ft_tiny, jf_tiny, clique_tiny):
+    """Dict of all tiny fixtures, keyed by short name."""
+    return {
+        "SF": sf_tiny,
+        "DF": df_tiny,
+        "HX3": hx_tiny,
+        "XP": xp_tiny,
+        "FT3": ft_tiny,
+        "JF": jf_tiny,
+        "CLIQUE": clique_tiny,
+    }

@@ -1,0 +1,146 @@
+"""Tests for load-balancing selectors, transport models and workload mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loadbalance import EcmpSelector, FlowletSelector, PacketSpraySelector
+from repro.core.mapping import identity_mapping, is_valid_mapping, random_mapping
+from repro.core.transport import dctcp_transport, ndp_transport, tcp_transport
+
+
+class TestEcmpSelector:
+    def test_deterministic_per_flow(self):
+        sel = EcmpSelector(seed=1)
+        first = sel.initial_path(42, 8)
+        assert all(sel.initial_path(42, 8) == first for _ in range(5))
+
+    def test_never_rerutes(self):
+        sel = EcmpSelector()
+        assert sel.next_path(42, 3, 8) == 3
+
+    def test_distributes_over_paths(self):
+        sel = EcmpSelector(seed=0)
+        picks = [sel.initial_path(f, 4) for f in range(400)]
+        counts = np.bincount(picks, minlength=4)
+        assert (counts > 50).all()
+
+    def test_requires_a_path(self):
+        with pytest.raises(ValueError):
+            EcmpSelector().initial_path(1, 0)
+
+
+class TestFlowletSelector:
+    def test_repicks_paths(self):
+        sel = FlowletSelector(seed=0, adaptive=False, length_bias=0.0)
+        picks = {sel.next_path(1, 0, 4) for _ in range(50)}
+        assert len(picks) > 1
+
+    def test_single_path_stays(self):
+        sel = FlowletSelector(seed=0)
+        assert sel.next_path(1, 0, 1) == 0
+
+    def test_adaptive_avoids_congested(self):
+        sel = FlowletSelector(seed=0, adaptive=True, length_bias=0.0)
+        congestion = lambda i: 10.0 if i == 0 else 0.1
+        picks = [sel.next_path(1, 0, 3, congestion=congestion) for _ in range(60)]
+        assert picks.count(0) == 0
+
+    def test_adaptive_all_congested_falls_back_to_uniform(self):
+        sel = FlowletSelector(seed=0, adaptive=True, length_bias=0.0)
+        congestion = lambda i: 5.0
+        picks = {sel.next_path(1, 0, 3, congestion=congestion) for _ in range(60)}
+        assert len(picks) == 3
+
+    def test_length_bias_prefers_short_paths(self):
+        sel = FlowletSelector(seed=0, adaptive=False, length_bias=2.0)
+        lengths = [2, 4, 4, 4]
+        picks = [sel.next_path(1, 0, 4, path_lengths=lengths) for _ in range(400)]
+        counts = np.bincount(picks, minlength=4)
+        assert counts[0] > counts[1]
+
+    def test_initial_path_validation(self):
+        with pytest.raises(ValueError):
+            FlowletSelector().initial_path(1, 0)
+
+
+class TestPacketSpray:
+    def test_sprays_flag(self):
+        assert PacketSpraySelector().sprays
+        assert not EcmpSelector().sprays
+
+    def test_uniform_weights(self):
+        w = PacketSpraySelector().spray_weights(5)
+        assert w.shape == (5,)
+        assert np.allclose(w.sum(), 1.0)
+        assert np.allclose(w, 0.2)
+
+    def test_next_path_random(self):
+        sel = PacketSpraySelector(seed=0)
+        picks = {sel.next_path(1, 0, 6) for _ in range(100)}
+        assert len(picks) > 3
+
+
+class TestTransportModels:
+    def test_ndp_line_rate_start(self):
+        ndp = ndp_transport()
+        assert ndp.line_rate_start
+        assert ndp.startup_rtts(1e6, 1e5) == 1.0
+
+    def test_tcp_slow_start_grows_with_flow_size(self):
+        tcp = tcp_transport()
+        small = tcp.startup_rtts(15_000, 1e6)
+        large = tcp.startup_rtts(1e6, 1e7)
+        assert large > small >= 1.0
+
+    def test_tcp_congestion_penalty_larger_than_dctcp(self):
+        assert tcp_transport().congestion_rtt_penalty > dctcp_transport().congestion_rtt_penalty
+
+    def test_startup_delay_scales_with_rtt(self):
+        tcp = tcp_transport()
+        assert tcp.startup_delay(1e6, 20e-6, 10e9) < tcp.startup_delay(1e6, 200e-6, 10e9)
+
+    def test_congestion_delay(self):
+        ndp = ndp_transport()
+        assert ndp.congestion_delay(2, 1e-4) == pytest.approx(2 * ndp.congestion_rtt_penalty * 1e-4)
+
+    def test_invalid_flow_size(self):
+        with pytest.raises(ValueError):
+            ndp_transport().startup_rtts(0, 1e6)
+
+    def test_dctcp_has_ecn(self):
+        assert dctcp_transport().ecn
+        assert not tcp_transport().ecn
+        assert ndp_transport().header_preserving
+
+
+class TestMapping:
+    def test_identity(self):
+        m = identity_mapping(10)
+        assert list(m) == list(range(10))
+        assert is_valid_mapping(m, 10)
+
+    def test_random_is_permutation(self):
+        m = random_mapping(100, np.random.default_rng(0))
+        assert is_valid_mapping(m, 100)
+
+    def test_random_deterministic_with_rng(self):
+        a = random_mapping(50, np.random.default_rng(7))
+        b = random_mapping(50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_invalid_mapping_detected(self):
+        assert not is_valid_mapping(np.array([0, 0, 1]), 3)
+        assert not is_valid_mapping(np.array([0, 1]), 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identity_mapping(0)
+        with pytest.raises(ValueError):
+            random_mapping(0)
+
+    @given(n=st.integers(min_value=1, max_value=500), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_mapping_is_permutation(self, n, seed):
+        assert is_valid_mapping(random_mapping(n, np.random.default_rng(seed)), n)

@@ -1,0 +1,52 @@
+"""Tests for the cost model (Figure 10)."""
+
+import pytest
+
+from repro.cost.model import CostModel, cost_per_endpoint, default_cost_model
+from repro.topologies import SizeClass, comparable_configurations, complete_graph
+
+
+class TestCostModel:
+    def test_router_cost_linear_in_radix(self):
+        m = default_cost_model()
+        assert m.router_cost(64) - m.router_cost(32) == pytest.approx(32 * m.router_per_port)
+
+    def test_router_cost_validation(self):
+        with pytest.raises(ValueError):
+            default_cost_model().router_cost(0)
+
+    def test_fiber_more_expensive_than_copper(self):
+        m = default_cost_model()
+        assert m.cable_cost(True) > m.cable_cost(False)
+
+
+class TestCostBreakdown:
+    def test_total_is_sum_of_parts(self, sf_tiny):
+        breakdown = cost_per_endpoint(sf_tiny)
+        assert breakdown.total == pytest.approx(
+            breakdown.switches + breakdown.interconnect_cables + breakdown.endpoint_links)
+        assert breakdown.per_endpoint > 0
+
+    def test_row_fields(self, sf_tiny):
+        row = cost_per_endpoint(sf_tiny).as_row()
+        assert set(row) >= {"topology", "N", "switches", "total", "per_endpoint"}
+
+    def test_clique_has_no_fiber(self):
+        breakdown = cost_per_endpoint(complete_graph(16))
+        assert breakdown.fiber_fraction == 0.0
+
+    def test_dragonfly_has_global_fiber_links(self, df_tiny):
+        breakdown = cost_per_endpoint(df_tiny)
+        assert 0 < breakdown.fiber_fraction < 1
+
+    def test_comparable_costs_within_class(self):
+        """Fair-cost configurations should have per-endpoint costs in the same ballpark
+        (the paper's Figure 10 spans roughly a 2x range across topologies)."""
+        configs = comparable_configurations(SizeClass.SMALL)
+        costs = {name: cost_per_endpoint(t).per_endpoint for name, t in configs.items()}
+        assert max(costs.values()) / min(costs.values()) < 2.5
+
+    def test_custom_model_changes_costs(self, sf_tiny):
+        cheap = cost_per_endpoint(sf_tiny, CostModel(router_per_port=10.0))
+        expensive = cost_per_endpoint(sf_tiny, CostModel(router_per_port=1000.0))
+        assert expensive.per_endpoint > cheap.per_endpoint

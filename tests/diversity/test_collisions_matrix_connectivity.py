@@ -1,0 +1,183 @@
+"""Tests for collision analysis, matrix path counting and algebraic connectivity."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diversity.collisions import (
+    collision_histogram,
+    collisions_per_router_pair,
+    fraction_with_at_least,
+    max_collisions,
+    required_disjoint_paths,
+)
+from repro.diversity.connectivity import (
+    algebraic_edge_connectivity,
+    algebraic_vertex_connectivity,
+)
+from repro.diversity.disjoint_paths import count_disjoint_paths
+from repro.diversity.matrixcount import (
+    count_paths_matrix,
+    count_shortest_paths,
+    next_hop_sets,
+)
+from repro.topologies import complete_graph, jellyfish, slim_fly
+from repro.topologies.base import Topology
+
+
+def ring(n):
+    return Topology("ring", n, [(i, (i + 1) % n) for i in range(n)], 1)
+
+
+class TestCollisions:
+    def test_per_pair_counts(self, sf_tiny):
+        p = sf_tiny.concentration
+        # two endpoint pairs that map to the same router pair collide
+        pairs = [(0, 3 * p), (1, 3 * p + 1), (2 * p, 5 * p)]
+        counts = collisions_per_router_pair(sf_tiny, pairs)
+        r0 = sf_tiny.router_of_endpoint(0)
+        r3 = sf_tiny.router_of_endpoint(3 * p)
+        assert counts[(r0, r3)] == 2
+
+    def test_same_router_flows_skipped(self, sf_tiny):
+        pairs = [(0, 1)]  # both endpoints on router 0
+        assert collisions_per_router_pair(sf_tiny, pairs) == {}
+
+    def test_mapping_applied(self, sf_tiny):
+        p = sf_tiny.concentration
+        pairs = [(0, 1)]
+        mapping = list(range(sf_tiny.num_endpoints))
+        mapping[1] = p  # move logical endpoint 1 to router 1
+        counts = collisions_per_router_pair(sf_tiny, pairs, mapping)
+        assert counts == {(sf_tiny.router_of_endpoint(0), sf_tiny.router_of_endpoint(p)): 1}
+
+    def test_histogram_and_helpers(self, sf_tiny):
+        p = sf_tiny.concentration
+        pairs = [(0, 3 * p), (1, 3 * p + 1), (2 * p, 5 * p)]
+        hist = collision_histogram(sf_tiny, pairs)
+        assert hist == {1: 1, 2: 1}
+        assert fraction_with_at_least(hist, 2) == pytest.approx(0.5)
+        assert max_collisions(hist) == 2
+        assert fraction_with_at_least({}, 2) == 0.0
+        assert max_collisions({}) == 0
+
+    def test_required_disjoint_paths_random_permutation(self, sf_tiny):
+        """Random permutation traffic on a D=2 topology needs only a few disjoint paths."""
+        rng = np.random.default_rng(0)
+        n = sf_tiny.num_endpoints
+        perm = rng.permutation(n)
+        pairs = [(i, int(perm[i])) for i in range(n)]
+        needed = required_disjoint_paths(sf_tiny, {"perm": pairs})
+        assert 1 <= needed <= 4
+
+
+class TestMatrixCounting:
+    def test_walk_counts_match_theory_on_ring(self):
+        t = ring(5)
+        m2 = count_paths_matrix(t, 2)
+        # two-step walks from a vertex back to itself: via both neighbours
+        assert m2[0, 0] == 2
+        assert m2[0, 2] == 1
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            count_paths_matrix(ring(4), 0)
+
+    def test_shortest_path_counts_clique(self):
+        t = complete_graph(5)
+        counts = count_shortest_paths(t)
+        assert (counts[np.triu_indices(5, 1)] == 1).all()
+        assert (np.diag(counts) == 0).all()
+
+    def test_shortest_path_counts_match_networkx(self, sf_tiny):
+        counts = count_shortest_paths(sf_tiny)
+        g = sf_tiny.to_networkx()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            s, t = rng.choice(sf_tiny.num_routers, size=2, replace=False)
+            expected = len(list(nx.all_shortest_paths(g, int(s), int(t))))
+            assert counts[s, t] == expected
+
+    def test_next_hop_sets_ring(self):
+        t = ring(6)
+        hops = next_hop_sets(t, 3)
+        # from 0 to 3 the ring needs 3 hops either way: both neighbours are valid
+        assert hops[0][3] == {1, 5}
+        # from 0 to 1, within 3 hops only the direct neighbour starts a valid walk
+        assert 1 in hops[0][1]
+        # diagonal empty
+        assert hops[2][2] == set()
+
+    def test_next_hop_sets_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            next_hop_sets(ring(4), 0)
+
+
+class TestAlgebraicConnectivity:
+    def test_edge_connectivity_matches_exact_on_small_graphs(self):
+        t = jellyfish(12, 4, 1, seed=0)
+        g = t.to_networkx()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            s, d = rng.choice(12, size=2, replace=False)
+            exact = nx.edge_connectivity(g, int(s), int(d))
+            algebraic = algebraic_edge_connectivity(t, int(s), int(d), max_len=12)
+            assert algebraic == exact
+
+    def test_edge_connectivity_length_limited_ring(self):
+        t = ring(8)
+        # opposite vertices: no path within 3 hops, both 4-hop paths at l=4
+        assert algebraic_edge_connectivity(t, 0, 4, max_len=3) == 0
+        assert algebraic_edge_connectivity(t, 0, 4, max_len=4) == 2
+
+    def test_edge_connectivity_bounded_by_greedy_and_degree(self, sf_tiny):
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            s, d = rng.choice(sf_tiny.num_routers, size=2, replace=False)
+            alg = algebraic_edge_connectivity(sf_tiny, int(s), int(d), max_len=3)
+            greedy = count_disjoint_paths(sf_tiny, int(s), int(d), 3)
+            assert greedy <= alg <= sf_tiny.network_radix
+
+    def test_vertex_connectivity_ring(self):
+        t = ring(8)
+        assert algebraic_vertex_connectivity(t, 0, 4, max_len=4) == 2
+
+    def test_vertex_connectivity_rejects_adjacent(self):
+        with pytest.raises(ValueError):
+            algebraic_vertex_connectivity(ring(6), 0, 1, max_len=3)
+
+    def test_vertex_connectivity_matches_networkx(self):
+        t = jellyfish(14, 4, 1, seed=1)
+        g = t.to_networkx()
+        rng = np.random.default_rng(1)
+        checked = 0
+        for _ in range(20):
+            s, d = (int(x) for x in rng.choice(14, size=2, replace=False))
+            if g.has_edge(s, d):
+                continue
+            exact = nx.node_connectivity(g, s, d)
+            alg = algebraic_vertex_connectivity(t, s, d, max_len=14)
+            assert alg == exact
+            checked += 1
+            if checked >= 4:
+                break
+        assert checked > 0
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_edge_connectivity_never_exceeds_min_degree(self, seed):
+        t = jellyfish(10, 3, 1, seed=seed)
+        rng = np.random.default_rng(seed)
+        s, d = (int(x) for x in rng.choice(10, size=2, replace=False))
+        assert algebraic_edge_connectivity(t, s, d, max_len=10) <= 3
+
+    def test_invalid_arguments(self):
+        t = ring(6)
+        with pytest.raises(ValueError):
+            algebraic_edge_connectivity(t, 1, 1, 3)
+        with pytest.raises(ValueError):
+            algebraic_edge_connectivity(t, 0, 1, 0)
+        with pytest.raises(ValueError):
+            algebraic_vertex_connectivity(t, 2, 2, 3)

@@ -1,0 +1,140 @@
+"""Tests for minimal-path statistics, path interference and summary metrics."""
+
+import numpy as np
+import pytest
+
+from repro.diversity.interference import interference_distribution, path_interference
+from repro.diversity.metrics import (
+    cdp_summary,
+    choose_table4_distance,
+    pi_summary,
+    total_network_load,
+)
+from repro.diversity.minimal_paths import (
+    minimal_path_counts,
+    minimal_path_lengths,
+    minimal_path_statistics,
+)
+from repro.topologies import complete_graph, fat_tree, hyperx, slim_fly
+from repro.topologies.base import Topology
+
+
+def ring(n):
+    return Topology("ring", n, [(i, (i + 1) % n) for i in range(n)], 1)
+
+
+class TestMinimalPaths:
+    def test_lengths_matrix(self):
+        t = ring(6)
+        lengths = minimal_path_lengths(t, [0])
+        assert list(lengths[0]) == [0, 1, 2, 3, 2, 1]
+
+    def test_counts_on_ring(self):
+        t = ring(6)
+        # opposite vertices have two shortest paths, adjacent only one
+        assert list(minimal_path_counts(t, [(0, 3), (0, 1)])) == [2, 1]
+
+    def test_counts_reject_equal_pair(self):
+        with pytest.raises(ValueError):
+            minimal_path_counts(ring(4), [(1, 1)])
+
+    def test_statistics_on_clique(self):
+        t = complete_graph(8)
+        stats = minimal_path_statistics(t, num_samples=100)
+        assert stats.length_histogram == {1: 1.0}
+        assert stats.mean_length == 1.0
+        # the single direct edge is the only shortest path
+        assert stats.fraction_single_shortest_path == 1.0
+
+    def test_statistics_fraction_sums_to_one(self, sf_tiny):
+        stats = minimal_path_statistics(sf_tiny, num_samples=80, rng=np.random.default_rng(0))
+        assert sum(stats.length_histogram.values()) == pytest.approx(1.0)
+        assert sum(stats.count_histogram.values()) == pytest.approx(1.0)
+        assert stats.num_pairs == 80
+
+    def test_paper_finding_shortest_paths_fall_short(self, sf_tiny, df_tiny):
+        """In SF and DF most router pairs have exactly one shortest path (Fig 6)."""
+        for topo in (sf_tiny, df_tiny):
+            stats = minimal_path_statistics(topo, num_samples=150,
+                                            rng=np.random.default_rng(1))
+            assert stats.fraction_single_shortest_path > 0.5
+
+    def test_fat_tree_has_high_minimal_diversity(self, ft_tiny):
+        """Fat trees have many shortest paths between (endpoint-hosting) edge switches
+        (Fig 6): sampling is restricted to edge switches, where diversity is k/2 = 4."""
+        stats = minimal_path_statistics(ft_tiny, num_samples=150,
+                                        rng=np.random.default_rng(1))
+        assert stats.fraction_single_shortest_path < 0.1
+        assert stats.mean_count >= 3.5
+
+    def test_as_rows(self, clique_tiny):
+        rows = minimal_path_statistics(clique_tiny, num_samples=20).as_rows()
+        assert any(r["metric"] == "l_min" for r in rows)
+        assert any(r["metric"] == "c_min" for r in rows)
+
+
+class TestPathInterference:
+    def test_requires_distinct_routers(self):
+        with pytest.raises(ValueError):
+            path_interference(ring(8), 0, 1, 0, 3, 3)
+
+    def test_no_interference_on_disjoint_ring_segments(self):
+        t = ring(12)
+        # pairs (0,1) and (6,7) live on opposite sides; 1-hop paths never share links
+        assert path_interference(t, 0, 1, 6, 7, 1) == 0
+
+    def test_full_interference_when_paths_identical(self):
+        # path graph: flows 0->3 and 1->2 must share the middle link at l=3
+        t = Topology("path", 4, [(0, 1), (1, 2), (2, 3)], 1)
+        pi = path_interference(t, 0, 3, 1, 2, 3)
+        assert pi >= 1
+
+    def test_distribution_properties(self, sf_tiny):
+        values = interference_distribution(sf_tiny, 3, num_samples=40,
+                                           rng=np.random.default_rng(0))
+        assert values.shape == (40,)
+        assert (values >= 0).all()
+
+    def test_clique_interference_small(self, clique_tiny):
+        """Cliques have near-zero PI at l=2 (paper Table IV: 2%)."""
+        values = interference_distribution(clique_tiny, 2, num_samples=30,
+                                           rng=np.random.default_rng(0))
+        assert values.mean() <= 2.5
+
+
+class TestMetrics:
+    def test_tnl_clique(self):
+        t = complete_graph(10)
+        # d = 1, so TNL = k' * Nr
+        assert total_network_load(t) == pytest.approx(9 * 10)
+
+    def test_tnl_with_explicit_path_length(self, sf_tiny):
+        tnl_short = total_network_load(sf_tiny, average_path_length=1.5)
+        tnl_long = total_network_load(sf_tiny, average_path_length=3.0)
+        assert tnl_short == pytest.approx(2 * tnl_long)
+
+    def test_tnl_rejects_nonpositive_d(self, sf_tiny):
+        with pytest.raises(ValueError):
+            total_network_load(sf_tiny, average_path_length=0)
+
+    def test_cdp_summary_fields(self, sf_tiny):
+        summary = cdp_summary(sf_tiny, 3, num_samples=30, rng=np.random.default_rng(0))
+        row = summary.as_row()
+        assert 0 < summary.mean <= sf_tiny.network_radix
+        assert 0 <= summary.mean_fraction_of_radix <= 1
+        assert row["metric"] == "CDP"
+
+    def test_pi_summary_fields(self, sf_tiny):
+        summary = pi_summary(sf_tiny, 3, num_samples=30, rng=np.random.default_rng(0))
+        assert summary.metric == "PI"
+        assert summary.tail_999pct >= summary.mean >= 0
+
+    def test_choose_table4_distance_clique(self, clique_tiny):
+        # a clique already offers >= 3 disjoint paths at l = 2
+        assert choose_table4_distance(clique_tiny, num_samples=20) == 2
+
+    def test_choose_table4_distance_sf(self, sf_tiny):
+        # Slim Fly needs "almost minimal" paths: one or two hops above the diameter
+        # (the tiny q=5 instance has a large fraction of adjacent router pairs, which
+        # pushes the strict tail criterion one hop further than the paper's d'=3).
+        assert choose_table4_distance(sf_tiny, num_samples=30) in (3, 4)

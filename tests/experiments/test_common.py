@@ -1,0 +1,101 @@
+"""Tests for the experiment harness infrastructure (common + runner + simcommon)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Scale, registry, run_experiment
+from repro.experiments.runner import main as runner_main
+from repro.experiments.simcommon import STACKS, build_stack, simulate_stack
+from repro.topologies import SizeClass, slim_fly
+from repro.traffic.flows import uniform_size_workload
+from repro.traffic.patterns import off_diagonal
+
+
+class TestScale:
+    def test_size_class_mapping(self):
+        assert Scale.TINY.size_class() == SizeClass.TINY
+        assert Scale.MEDIUM.size_class() == SizeClass.MEDIUM
+
+    def test_pick(self):
+        assert Scale.SMALL.pick(1, 2, 3) == 2
+
+    def test_from_string(self):
+        assert Scale("tiny") is Scale.TINY
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            name="demo", description="demo experiment", paper_reference="Figure 0",
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 0.001, "c": "x"}],
+            notes=["a note"])
+
+    def test_columns_union(self):
+        assert self._result().columns() == ["a", "b", "c"]
+
+    def test_table_and_report_render(self):
+        result = self._result()
+        table = result.to_table()
+        assert "a" in table and "---" in table
+        report = result.report()
+        assert "demo experiment" in report and "a note" in report
+
+    def test_empty_rows_table(self):
+        empty = ExperimentResult("x", "d", "ref", rows=[])
+        assert empty.to_table() == "(no rows)"
+
+    def test_max_rows_limit(self):
+        table = self._result().to_table(max_rows=1)
+        assert table.count("\n") == 2  # header + separator + one row
+
+    def test_filter_rows(self):
+        assert len(self._result().filter_rows(a=1)) == 1
+
+
+class TestRegistry:
+    def test_registry_covers_all_eval_figures(self):
+        names = set(registry())
+        expected = {"fig02", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+                    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig19", "fig20",
+                    "tab01", "tab04", "tab05"}
+        assert expected <= names
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_runner_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+
+    def test_runner_runs_an_experiment(self, capsys):
+        assert runner_main(["tab01", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "FatPaths" in out
+
+
+class TestSimCommon:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return slim_fly(5)
+
+    @pytest.mark.parametrize("stack_name", STACKS)
+    def test_build_every_stack(self, topo, stack_name):
+        stack = build_stack(topo, stack_name, seed=0)
+        assert stack.name == stack_name
+        assert stack.routing.router_paths(0, 30)
+
+    def test_unknown_stack_rejected(self, topo):
+        with pytest.raises(ValueError):
+            build_stack(topo, "carrier-pigeon")
+
+    def test_rho_and_layer_overrides(self, topo):
+        stack = build_stack(topo, "fatpaths", seed=0, num_layers=3, rho=0.5)
+        assert stack.routing.config.num_layers == 3
+        assert stack.routing.config.rho == 0.5
+
+    def test_simulate_stack_runs(self, topo):
+        stack = build_stack(topo, "fatpaths", seed=0)
+        workload = uniform_size_workload(off_diagonal(topo.num_endpoints, 7), 64 * 1024)
+        result = simulate_stack(topo, stack, workload, seed=0)
+        assert len(result) == len(workload)

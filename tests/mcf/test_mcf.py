@@ -1,0 +1,139 @@
+"""Tests for the MCF maximum-achievable-throughput LPs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FatPathsConfig
+from repro.core.fatpaths import FatPathsRouting
+from repro.mcf.general import Commodity, general_max_throughput
+from repro.mcf.layered import path_restricted_max_throughput
+from repro.mcf.throughput import commodities_from_pattern, compare_schemes, scheme_max_throughput
+from repro.routing import EcmpRouting, KShortestPathsRouting, PastRouting
+from repro.topologies import complete_graph, slim_fly
+from repro.topologies.base import Topology
+from repro.traffic.patterns import off_diagonal, random_permutation
+
+
+def ring(n, p=1):
+    return Topology("ring", n, [(i, (i + 1) % n) for i in range(n)], p)
+
+
+class TestCommodity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Commodity(1, 1)
+        with pytest.raises(ValueError):
+            Commodity(0, 1, demand=0)
+
+
+class TestGeneralMcf:
+    def test_single_commodity_on_path(self):
+        # path of 3 routers, one unit of capacity per direction: T = 1
+        topo = Topology("path", 3, [(0, 1), (1, 2)], 1)
+        result = general_max_throughput(topo, [Commodity(0, 2, 1.0)])
+        assert result.throughput == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_commodities_share_a_link(self):
+        topo = Topology("path", 3, [(0, 1), (1, 2)], 1)
+        commodities = [Commodity(0, 2, 1.0), Commodity(1, 2, 1.0)]
+        result = general_max_throughput(topo, commodities)
+        # both commodities traverse link (1,2): each gets half
+        assert result.throughput == pytest.approx(0.5, abs=1e-6)
+
+    def test_ring_uses_both_directions(self):
+        topo = ring(4)
+        result = general_max_throughput(topo, [Commodity(0, 2, 1.0)])
+        # two disjoint 2-hop paths, one per direction -> T = 2
+        assert result.throughput == pytest.approx(2.0, abs=1e-6)
+
+    def test_demand_scaling(self):
+        topo = ring(4)
+        heavy = general_max_throughput(topo, [Commodity(0, 2, 4.0)])
+        light = general_max_throughput(topo, [Commodity(0, 2, 1.0)])
+        assert heavy.throughput == pytest.approx(light.throughput / 4, abs=1e-6)
+
+    def test_empty_commodities_rejected(self):
+        with pytest.raises(ValueError):
+            general_max_throughput(ring(4), [])
+
+
+class TestPathRestrictedMcf:
+    def test_single_path_routing_gets_single_path_throughput(self):
+        topo = ring(6)
+        past = PastRouting(topo, seed=0)
+        result = path_restricted_max_throughput(topo, [Commodity(0, 3, 1.0)], past)
+        # PAST uses one 3-hop path -> T = 1 (capacity of that path)
+        assert result.throughput == pytest.approx(1.0, abs=1e-6)
+
+    def test_multipath_beats_single_path(self):
+        topo = ring(6)
+        ksp = KShortestPathsRouting(topo, k=4)
+        past = PastRouting(topo, seed=0)
+        commodities = [Commodity(0, 3, 1.0)]
+        multi = path_restricted_max_throughput(topo, commodities, ksp).throughput
+        single = path_restricted_max_throughput(topo, commodities, past).throughput
+        assert multi == pytest.approx(2.0, abs=1e-6)
+        assert multi > single
+
+    def test_restricted_never_exceeds_general(self, sf_tiny):
+        rng = np.random.default_rng(0)
+        pattern = random_permutation(sf_tiny.num_endpoints, rng)
+        commodities = commodities_from_pattern(sf_tiny, pattern, max_commodities=25, rng=rng)
+        general = general_max_throughput(sf_tiny, commodities).throughput
+        fatpaths = FatPathsRouting(sf_tiny, FatPathsConfig(num_layers=5, rho=0.7, seed=0))
+        restricted = path_restricted_max_throughput(sf_tiny, commodities, fatpaths).throughput
+        assert restricted <= general + 1e-6
+        assert restricted > 0
+
+    def test_fatpaths_beats_single_shortest_path_on_slimfly(self, sf_tiny):
+        """The paper's core claim (Fig 9): layered non-minimal routing achieves higher
+        worst-case throughput than single-(shortest-)path schemes on Slim Fly."""
+        rng = np.random.default_rng(1)
+        pattern = random_permutation(sf_tiny.num_endpoints, rng)
+        commodities = commodities_from_pattern(sf_tiny, pattern, max_commodities=30, rng=rng)
+        fatpaths = FatPathsRouting(sf_tiny, FatPathsConfig(num_layers=6, rho=0.7, seed=0))
+        past = PastRouting(sf_tiny, seed=0)
+        t_fp = path_restricted_max_throughput(sf_tiny, commodities, fatpaths).throughput
+        t_past = path_restricted_max_throughput(sf_tiny, commodities, past).throughput
+        assert t_fp >= t_past - 1e-9
+        assert t_fp > 0
+
+    def test_empty_commodities_rejected(self, sf_tiny):
+        with pytest.raises(ValueError):
+            path_restricted_max_throughput(sf_tiny, [], EcmpRouting(sf_tiny))
+
+
+class TestThroughputHarness:
+    def test_commodities_aggregate_demand(self, sf_tiny):
+        p = sf_tiny.concentration
+        pattern = off_diagonal(sf_tiny.num_endpoints, p)  # router i -> router i+1 for all endpoints
+        commodities = commodities_from_pattern(sf_tiny, pattern)
+        assert all(c.demand == p for c in commodities)
+
+    def test_commodities_drop_same_router_pairs(self, sf_tiny):
+        pattern = off_diagonal(sf_tiny.num_endpoints, 1)  # mostly same-router neighbours
+        commodities = commodities_from_pattern(sf_tiny, pattern)
+        assert all(c.source != c.target for c in commodities)
+
+    def test_max_commodities_subsample(self, sf_tiny):
+        pattern = random_permutation(sf_tiny.num_endpoints, np.random.default_rng(0))
+        commodities = commodities_from_pattern(sf_tiny, pattern, max_commodities=10)
+        assert len(commodities) <= 10
+
+    def test_scheme_none_is_general_bound(self):
+        topo = ring(4)
+        pattern = off_diagonal(4, 2)
+        commodities = commodities_from_pattern(topo, pattern)
+        assert scheme_max_throughput(topo, commodities, None) > 0
+
+    def test_compare_schemes_returns_all_names(self, sf_tiny):
+        pattern = random_permutation(sf_tiny.num_endpoints, np.random.default_rng(2))
+        schemes = {
+            "optimal": None,
+            "ecmp": EcmpRouting(sf_tiny, seed=0),
+            "past": PastRouting(sf_tiny, seed=0),
+        }
+        results = compare_schemes(sf_tiny, pattern, schemes, max_commodities=20)
+        assert set(results) == set(schemes)
+        assert results["optimal"] >= results["ecmp"] - 1e-9
+        assert results["optimal"] >= results["past"] - 1e-9

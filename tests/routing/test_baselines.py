@@ -1,0 +1,199 @@
+"""Tests for the baseline routing schemes (ECMP, k-SP, Valiant, SPAIN, PAST, Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    EcmpRouting,
+    KShortestPathsRouting,
+    PastRouting,
+    SpainRouting,
+    ValiantRouting,
+)
+from repro.routing.comparison import (
+    FEATURES,
+    ROUTING_SCHEME_TABLE,
+    YES,
+    feature_table,
+    only_fully_supporting_scheme,
+)
+from repro.routing.spain import _is_acyclic, _vlan_compatible, build_spain_layers
+from repro.topologies import complete_graph, fat_tree, slim_fly
+from repro.topologies.base import Topology
+
+
+def _assert_valid_paths(topology, paths, s, t):
+    adjacency = topology.adjacency()
+    for path in paths:
+        assert path[0] == s and path[-1] == t
+        for u, v in zip(path, path[1:]):
+            assert v in adjacency[u]
+
+
+class TestEcmp:
+    def test_minimal_paths_only(self, sf_tiny):
+        routing = EcmpRouting(sf_tiny, max_paths=4, seed=0)
+        dist = sf_tiny.bfs_distances(0)
+        for t in (7, 20, 45):
+            paths = routing.router_paths(0, t)
+            _assert_valid_paths(sf_tiny, paths, 0, t)
+            for p in paths:
+                assert len(p) - 1 == dist[t]
+
+    def test_single_minimal_path_on_slim_fly(self, sf_tiny):
+        """On SF most pairs have exactly one shortest path, so ECMP degenerates."""
+        routing = EcmpRouting(sf_tiny, max_paths=8, seed=0)
+        rng = np.random.default_rng(0)
+        singles = 0
+        total = 40
+        for _ in range(total):
+            s, t = rng.choice(sf_tiny.num_routers, size=2, replace=False)
+            if len(routing.router_paths(int(s), int(t))) == 1:
+                singles += 1
+        assert singles / total > 0.5
+
+    def test_fat_tree_has_multiple_minimal_paths(self, ft_tiny):
+        routing = EcmpRouting(ft_tiny, max_paths=8, seed=0)
+        edge_routers = ft_tiny.endpoint_routers
+        # two edge switches in different pods
+        s, t = edge_routers[0], edge_routers[-1]
+        assert len(routing.router_paths(s, t)) >= 3
+
+    def test_same_router(self, sf_tiny):
+        assert EcmpRouting(sf_tiny).router_paths(3, 3) == [[3]]
+
+    def test_cache(self, sf_tiny):
+        routing = EcmpRouting(sf_tiny, seed=0)
+        assert routing.router_paths(0, 10) is routing.router_paths(0, 10)
+
+    def test_max_paths_validation(self, sf_tiny):
+        with pytest.raises(ValueError):
+            EcmpRouting(sf_tiny, max_paths=0)
+
+
+class TestKsp:
+    def test_paths_sorted_by_length(self, sf_tiny):
+        routing = KShortestPathsRouting(sf_tiny, k=5)
+        paths = routing.router_paths(0, 37)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        assert len(paths) == 5
+        _assert_valid_paths(sf_tiny, paths, 0, 37)
+
+    def test_includes_nonminimal_paths(self, sf_tiny):
+        routing = KShortestPathsRouting(sf_tiny, k=4)
+        paths = routing.router_paths(0, 37)
+        dmin = len(paths[0])
+        assert any(len(p) > dmin for p in paths)
+
+    def test_k_validation(self, sf_tiny):
+        with pytest.raises(ValueError):
+            KShortestPathsRouting(sf_tiny, k=0)
+
+    def test_same_router(self, sf_tiny):
+        assert KShortestPathsRouting(sf_tiny).router_paths(2, 2) == [[2]]
+
+
+class TestValiant:
+    def test_paths_valid_and_nonminimal(self, sf_tiny):
+        routing = ValiantRouting(sf_tiny, num_paths=4, seed=0)
+        paths = routing.router_paths(0, 37)
+        _assert_valid_paths(sf_tiny, paths, 0, 37)
+        assert 1 <= len(paths) <= 4
+
+    def test_average_length_roughly_doubles(self, sf_tiny):
+        """VLB approximately doubles the average path length vs minimal routing."""
+        vlb = ValiantRouting(sf_tiny, num_paths=3, seed=0)
+        ecmp = EcmpRouting(sf_tiny, seed=0)
+        assert vlb.average_path_length(num_samples=60) > 1.4 * ecmp.average_path_length(num_samples=60)
+
+    def test_num_paths_validation(self, sf_tiny):
+        with pytest.raises(ValueError):
+            ValiantRouting(sf_tiny, num_paths=0)
+
+
+class TestSpain:
+    def test_vlan_compatibility(self):
+        assert _vlan_compatible([0, 1, 2, 9], [3, 1, 2, 9])
+        assert not _vlan_compatible([0, 1, 2, 9], [3, 1, 4, 9])
+
+    def test_acyclicity_check(self):
+        assert _is_acyclic(4, {(0, 1), (1, 2), (2, 3)})
+        assert not _is_acyclic(3, {(0, 1), (1, 2), (0, 2)})
+
+    def test_layers_are_forests(self, sf_tiny):
+        layer_set = build_spain_layers(sf_tiny, paths_per_pair=2,
+                                       destinations=list(range(0, 50, 10)), seed=0)
+        for layer in layer_set:
+            assert _is_acyclic(sf_tiny.num_routers, set(layer.edges))
+            assert len(layer) <= sf_tiny.num_routers - 1
+
+    def test_routing_returns_valid_paths(self, sf_tiny):
+        routing = SpainRouting(sf_tiny, paths_per_pair=2,
+                               destinations=list(range(0, 50, 10)), seed=0)
+        paths = routing.router_paths(3, 27)
+        assert len(paths) >= 1
+        _assert_valid_paths(sf_tiny, paths, 3, 27)
+
+    def test_max_layers_cap(self, sf_tiny):
+        layer_set = build_spain_layers(sf_tiny, paths_per_pair=2,
+                                       destinations=list(range(0, 50, 10)),
+                                       seed=0, max_layers=3)
+        assert len(layer_set) <= 3
+
+    def test_needs_more_layers_than_fatpaths(self, sf_tiny):
+        """SPAIN's forest layers force many more layers than FatPaths' O(1) (paper §VI-B)."""
+        layer_set = build_spain_layers(sf_tiny, paths_per_pair=3,
+                                       destinations=list(range(0, 50, 5)), seed=0)
+        assert len(layer_set) > 4
+
+
+class TestPast:
+    def test_single_path_per_pair(self, sf_tiny):
+        routing = PastRouting(sf_tiny, seed=0)
+        paths = routing.router_paths(0, 41)
+        assert len(paths) == 1
+        _assert_valid_paths(sf_tiny, paths, 0, 41)
+
+    def test_shortest_variant_is_minimal(self, sf_tiny):
+        routing = PastRouting(sf_tiny, variant="shortest", seed=0)
+        dist = sf_tiny.bfs_distances(17)
+        for s in (0, 5, 33):
+            path = routing.router_path(s, 17)
+            assert len(path) - 1 == dist[s]
+
+    def test_nonminimal_variant_valid(self, sf_tiny):
+        routing = PastRouting(sf_tiny, variant="nonminimal", seed=0)
+        for s, t in [(0, 17), (5, 40), (22, 3)]:
+            path = routing.router_path(s, t)
+            _assert_valid_paths(sf_tiny, [path], s, t)
+
+    def test_tree_count_is_linear_in_destinations(self, sf_tiny):
+        assert PastRouting(sf_tiny).tree_count() == sf_tiny.num_routers
+
+    def test_variant_validation(self, sf_tiny):
+        with pytest.raises(ValueError):
+            PastRouting(sf_tiny, variant="magic")
+
+    def test_identity_pair(self, sf_tiny):
+        assert PastRouting(sf_tiny).router_path(4, 4) == [4]
+
+
+class TestComparisonTable:
+    def test_fatpaths_is_unique_full_scheme(self):
+        assert only_fully_supporting_scheme() == "FatPaths"
+
+    def test_every_scheme_has_all_features(self):
+        for scheme in ROUTING_SCHEME_TABLE.values():
+            for f in FEATURES:
+                assert getattr(scheme, f) in ("yes", "limited", "no")
+
+    def test_known_rows(self):
+        assert ROUTING_SCHEME_TABLE["ECMP"].NP == "no"
+        assert ROUTING_SCHEME_TABLE["PAST"].MP == "no"
+        assert ROUTING_SCHEME_TABLE["SPAIN"].MP == YES
+
+    def test_feature_table_rows(self):
+        rows = feature_table(sort_by_score=True)
+        assert rows[0]["name"] == "FatPaths"
+        assert len(rows) == len(ROUTING_SCHEME_TABLE)

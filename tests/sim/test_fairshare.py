@@ -1,0 +1,92 @@
+"""Tests for max-min fair bandwidth allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fairshare import link_utilisation, max_min_fair_rates
+
+
+class TestMaxMinFair:
+    def test_single_flow_gets_full_capacity(self):
+        rates = max_min_fair_rates([[0]], np.array([10.0]))
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_two_flows_share_a_link(self):
+        rates = max_min_fair_rates([[0], [0]], np.array([10.0]))
+        assert np.allclose(rates, [5.0, 5.0])
+
+    def test_classic_three_flow_example(self):
+        # flows: A uses links 0 and 1, B uses link 0, C uses link 1; capacities 10 each
+        # max-min: A=5, B=5, C=5 (A limited by either link; B/C take the rest)
+        rates = max_min_fair_rates([[0, 1], [0], [1]], np.array([10.0, 10.0]))
+        assert np.allclose(rates, [5.0, 5.0, 5.0])
+
+    def test_bottleneck_hierarchy(self):
+        # link 0 cap 2 shared by flows A,B; link 1 cap 10 used by B and C.
+        # A=1, B=1 (bottleneck link 0), C = 9 (takes the rest of link 1)
+        rates = max_min_fair_rates([[0], [0, 1], [1]], np.array([2.0, 10.0]))
+        assert np.allclose(rates, [1.0, 1.0, 9.0])
+
+    def test_empty_path_gets_infinite_rate(self):
+        rates = max_min_fair_rates([[], [0]], np.array([4.0]))
+        assert np.isinf(rates[0])
+        assert rates[1] == pytest.approx(4.0)
+
+    def test_no_flows(self):
+        assert max_min_fair_rates([], np.array([1.0])).shape == (0,)
+
+    def test_weights_consume_more_capacity(self):
+        # a weight-2 flow on the same link as a weight-1 flow: both get the same rate r,
+        # with 2r + r = capacity
+        rates = max_min_fair_rates([[0], [0]], np.array([9.0]), weights=[2.0, 1.0])
+        assert np.allclose(rates, [3.0, 3.0])
+
+    def test_invalid_link_index(self):
+        with pytest.raises(ValueError):
+            max_min_fair_rates([[5]], np.array([1.0]))
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            max_min_fair_rates([[0]], np.array([1.0]), weights=[0.0])
+
+    def test_utilisation(self):
+        paths = [[0, 1], [0]]
+        rates = max_min_fair_rates(paths, np.array([10.0, 10.0]))
+        util = link_utilisation(paths, rates, np.array([10.0, 10.0]))
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] <= 1.0 + 1e-9
+
+    @given(num_flows=st.integers(1, 20), num_links=st.integers(1, 10),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_feasibility_and_nonnegativity(self, num_flows, num_links, seed):
+        """Allocations never exceed any link capacity and are non-negative; every flow
+        gets a strictly positive rate."""
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(1.0, 10.0, size=num_links)
+        paths = []
+        for _ in range(num_flows):
+            length = int(rng.integers(1, min(4, num_links) + 1))
+            paths.append(list(rng.choice(num_links, size=length, replace=False)))
+        rates = max_min_fair_rates(paths, caps)
+        assert (rates > 0).all()
+        util = link_utilisation(paths, rates, caps)
+        assert (util <= 1.0 + 1e-6).all()
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_maxmin_dominance(self, seed):
+        """No flow can be cheaply improved: every flow either saturates a link or runs
+        at the max observed rate (a necessary condition of max-min fairness)."""
+        rng = np.random.default_rng(seed)
+        num_links = 6
+        caps = rng.uniform(2.0, 8.0, size=num_links)
+        paths = [list(rng.choice(num_links, size=int(rng.integers(1, 4)), replace=False))
+                 for _ in range(8)]
+        rates = max_min_fair_rates(paths, caps)
+        util = link_utilisation(paths, rates, caps)
+        for f, links in enumerate(paths):
+            on_saturated = any(util[l] >= 1.0 - 1e-6 for l in links)
+            assert on_saturated or rates[f] >= rates.max() - 1e-6

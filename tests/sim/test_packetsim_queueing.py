@@ -1,0 +1,124 @@
+"""Tests for the packet-level simulator and the queueing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FatPathsConfig
+from repro.core.fatpaths import FatPathsRouting
+from repro.core.loadbalance import EcmpSelector, FlowletSelector
+from repro.core.transport import ndp_transport, tcp_transport
+from repro.routing import EcmpRouting
+from repro.sim.packetsim import PacketLevelSimulator, PacketSimConfig
+from repro.sim.queueing import mg1_ps_fct, offered_load, predict_fct_distribution
+from repro.topologies import slim_fly, star
+from repro.traffic.flows import Flow, Workload
+
+
+LINE_RATE = 10e9 / 8
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return slim_fly(5)
+
+
+@pytest.fixture(scope="module")
+def sf_fatpaths(sf):
+    return FatPathsRouting(sf, FatPathsConfig(num_layers=4, rho=0.7, seed=0))
+
+
+class TestPacketSim:
+    def test_single_flow_completes_with_sane_fct(self, sf, sf_fatpaths):
+        size = 256 * 1024
+        sim = PacketLevelSimulator(sf, sf_fatpaths, seed=0)
+        result = sim.run(Workload([Flow(0.0, 0, 50, size)]))
+        record = result.records[0]
+        assert record.completion_time is not None
+        ideal = size / LINE_RATE
+        assert ideal <= record.fct < 20 * ideal
+
+    def test_all_flows_complete(self, sf, sf_fatpaths):
+        flows = [Flow(0.0, e, 100 + e, 64 * 1024) for e in range(8)]
+        sim = PacketLevelSimulator(sf, sf_fatpaths, seed=0)
+        result = sim.run(Workload(flows))
+        assert len(result) == 8
+        assert all(r.fct > 0 for r in result.records)
+
+    def test_congestion_causes_trimming_with_ndp(self, sf):
+        """Many senders into one destination router overflow its queues: NDP trims."""
+        p = sf.concentration
+        routing = EcmpRouting(sf, seed=0)
+        flows = [Flow(0.0, e * p, 30 * p, 512 * 1024) for e in range(1, 8)]
+        sim = PacketLevelSimulator(sf, routing, selector=EcmpSelector(),
+                                   transport=ndp_transport(), seed=0)
+        result = sim.run(Workload(flows))
+        assert result.meta["total_trims"] > 0
+        assert result.meta["total_drops"] == 0
+
+    def test_congestion_causes_drops_with_tcp(self, sf):
+        p = sf.concentration
+        routing = EcmpRouting(sf, seed=0)
+        flows = [Flow(0.0, e * p, 30 * p, 512 * 1024) for e in range(1, 8)]
+        sim = PacketLevelSimulator(sf, routing, selector=EcmpSelector(),
+                                   transport=tcp_transport(), seed=0)
+        result = sim.run(Workload(flows))
+        assert result.meta["total_drops"] > 0
+        # flows still finish thanks to RTO-based retransmission
+        assert all(r.fct > 0 for r in result.records)
+
+    def test_flowlet_switching_uses_multiple_paths(self, sf, sf_fatpaths):
+        flows = [Flow(0.0, 0, 50, 1024 * 1024)]
+        sim = PacketLevelSimulator(sf, sf_fatpaths,
+                                   selector=FlowletSelector(seed=0, adaptive=False,
+                                                            length_bias=0.0),
+                                   config=PacketSimConfig(flowlet_packets=4), seed=0)
+        result = sim.run(Workload(flows))
+        assert result.records[0].num_path_switches > 0
+
+    def test_star_topology(self):
+        topo = star(4)
+        routing = EcmpRouting(topo)
+        sim = PacketLevelSimulator(topo, routing, seed=0)
+        result = sim.run(Workload([Flow(0.0, 0, 2, 64 * 1024)]))
+        assert result.records[0].fct > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PacketSimConfig(packet_bytes=32, header_bytes=64)
+        with pytest.raises(ValueError):
+            PacketSimConfig(queue_packets=0)
+
+
+class TestQueueingModel:
+    def test_offered_load(self):
+        load = offered_load(200, 1e6, 10e9)
+        assert load == pytest.approx(200 * 1e6 / 1.25e9)
+
+    def test_offered_load_validation(self):
+        with pytest.raises(ValueError):
+            offered_load(1, 0, 10e9)
+
+    def test_fct_grows_with_load(self):
+        low = mg1_ps_fct(1e6, 0.1, 10e9)
+        high = mg1_ps_fct(1e6, 0.8, 10e9)
+        assert high > low
+        assert low == pytest.approx(1e6 / 1.25e9 / 0.9)
+
+    def test_fct_validation(self):
+        with pytest.raises(ValueError):
+            mg1_ps_fct(1e6, 1.0, 10e9)
+        with pytest.raises(ValueError):
+            mg1_ps_fct(0, 0.5, 10e9)
+
+    def test_distribution_prediction(self):
+        sizes = np.full(1000, 1e6)
+        samples = predict_fct_distribution(sizes, 0.5, 10e9, jitter=0.3,
+                                           rng=np.random.default_rng(0))
+        assert samples.shape == (1000,)
+        # lognormal jitter with mean-one correction keeps the mean close to the model
+        assert samples.mean() == pytest.approx(mg1_ps_fct(1e6, 0.5, 10e9), rel=0.1)
+
+    def test_distribution_no_jitter(self):
+        sizes = [1e6, 2e6]
+        out = predict_fct_distribution(sizes, 0.2, 10e9, jitter=0.0)
+        assert out[1] == pytest.approx(2 * out[0])

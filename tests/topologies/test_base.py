@@ -1,0 +1,135 @@
+"""Unit and property tests for the Topology network model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topologies.base import Topology
+
+
+def make_path_topology(n=5, p=2):
+    """A simple path 0-1-2-...-(n-1)."""
+    return Topology("path", n, [(i, i + 1) for i in range(n - 1)], p)
+
+
+class TestConstruction:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            Topology("bad", 3, [(0, 0)], 1)
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology("bad", 3, [(0, 1), (1, 0)], 1)
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            Topology("bad", 3, [(0, 5)], 1)
+
+    def test_rejects_nonpositive_router_count(self):
+        with pytest.raises(ValueError):
+            Topology("bad", 0, [], 1)
+
+    def test_edges_normalized_and_sorted(self):
+        t = Topology("t", 4, [(3, 1), (2, 0)], 1)
+        assert t.edges == ((0, 2), (1, 3))
+
+    def test_endpoint_routers_default_all(self):
+        t = make_path_topology(4, 3)
+        assert t.endpoint_routers == (0, 1, 2, 3)
+        assert t.num_endpoints == 12
+
+    def test_endpoint_routers_subset(self):
+        t = Topology("t", 4, [(0, 1), (1, 2), (2, 3)], 2, endpoint_routers=[0, 3])
+        assert t.num_endpoints == 4
+        assert t.router_of_endpoint(0) == 0
+        assert t.router_of_endpoint(3) == 3
+        assert t.endpoints_of_router(1) == []
+        assert t.endpoints_of_router(3) == [2, 3]
+
+
+class TestMetrics:
+    def test_degrees_and_radix(self):
+        t = make_path_topology(4, 2)
+        assert list(t.degrees()) == [1, 2, 2, 1]
+        assert t.network_radix == 2
+        assert t.router_radix == 4
+
+    def test_path_graph_diameter(self):
+        t = make_path_topology(6)
+        assert t.diameter() == 5
+
+    def test_bfs_distances(self):
+        t = make_path_topology(5)
+        assert list(t.bfs_distances(0)) == [0, 1, 2, 3, 4]
+        assert list(t.bfs_distances(2)) == [2, 1, 0, 1, 2]
+
+    def test_average_path_length_path_graph(self):
+        t = make_path_topology(3)
+        # distances: (0,1)=1, (0,2)=2, (1,2)=1 -> mean 4/3
+        assert t.average_path_length() == pytest.approx(4 / 3)
+
+    def test_connectivity(self):
+        t = Topology("disc", 4, [(0, 1), (2, 3)], 1)
+        assert not t.is_connected()
+        assert make_path_topology().is_connected()
+
+    def test_diameter_raises_on_disconnected(self):
+        t = Topology("disc", 4, [(0, 1), (2, 3)], 1)
+        with pytest.raises(ValueError):
+            t.diameter()
+
+    def test_edge_density(self):
+        t = make_path_topology(4, 2)  # 3 links + 8 endpoint links, 8 endpoints
+        assert t.edge_density() == pytest.approx(11 / 8)
+
+    def test_endpoint_router_array(self):
+        t = make_path_topology(3, 2)
+        assert list(t.endpoint_router_array()) == [0, 0, 1, 1, 2, 2]
+
+
+class TestDerived:
+    def test_directed_edges_doubles_count(self):
+        t = make_path_topology(4)
+        assert len(t.directed_edges()) == 2 * t.num_edges
+
+    def test_subgraph_preserves_routers(self):
+        t = make_path_topology(5)
+        sub = t.subgraph([(0, 1), (3, 4)])
+        assert sub.num_routers == t.num_routers
+        assert sub.num_edges == 2
+        assert not sub.is_connected()
+
+    def test_to_networkx_roundtrip(self):
+        t = make_path_topology(6)
+        g = t.to_networkx()
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 5
+
+    def test_adjacency_symmetric(self):
+        t = make_path_topology(5)
+        adj = t.adjacency()
+        for u in range(5):
+            for v in adj[u]:
+                assert u in adj[v]
+
+
+@given(n=st.integers(min_value=2, max_value=30), p=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_random_graph_invariants(n, p, seed):
+    """Degree sum equals 2|E|, endpoints map back to their routers, adjacency symmetric."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for _ in range(2 * n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    t = Topology("rand", n, sorted(edges), p)
+    assert int(t.degrees().sum()) == 2 * t.num_edges
+    assert t.num_endpoints == n * p
+    for e in range(t.num_endpoints):
+        r = t.router_of_endpoint(e)
+        assert e in t.endpoints_of_router(r)
+    adj = t.adjacency()
+    assert sum(len(a) for a in adj) == 2 * t.num_edges

@@ -1,0 +1,65 @@
+"""Tests of the fair-cost configuration classes (paper §II-B / Table V)."""
+
+import pytest
+
+from repro.topologies import SizeClass, build, comparable_configurations, default_concentration
+from repro.topologies.configs import PAPER_TOPOLOGIES, available_names, summary_row
+
+
+class TestDefaultConcentration:
+    def test_rule(self):
+        assert default_concentration(29, 2) == 15
+        assert default_concentration(30, 3) == 10
+        assert default_concentration(1, 3) == 1
+
+    def test_rejects_bad_diameter(self):
+        with pytest.raises(ValueError):
+            default_concentration(8, 0)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", ["SF", "DF", "HX2", "HX3", "XP", "FT3", "CLIQUE"])
+    def test_builds_tiny(self, name):
+        t = build(name, SizeClass.TINY)
+        assert t.num_routers > 0
+        assert t.is_connected()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build("TORUS", SizeClass.TINY)
+
+    def test_accepts_string_class(self):
+        t = build("SF", "tiny")
+        assert t.meta["q"] == 5
+
+    def test_available_names(self):
+        names = available_names()
+        for expected in PAPER_TOPOLOGIES:
+            assert expected in names
+
+
+class TestComparableConfigurations:
+    def test_small_class_sizes_comparable(self):
+        cfgs = comparable_configurations(SizeClass.SMALL)
+        sizes = [t.num_endpoints for t in cfgs.values()]
+        assert max(sizes) / min(sizes) < 1.6  # within the class, N within ~60%
+
+    def test_medium_matches_paper_table4(self):
+        cfgs = comparable_configurations(SizeClass.MEDIUM, topologies=["SF", "XP", "HX3", "DF"])
+        assert cfgs["SF"].num_routers == 722 and cfgs["SF"].network_radix == 29
+        assert cfgs["XP"].num_routers == 1056 and cfgs["XP"].network_radix == 32
+        assert cfgs["HX3"].num_routers == 1331 and cfgs["HX3"].network_radix == 30
+        assert cfgs["DF"].num_routers == 2064 and cfgs["DF"].network_radix == 23
+
+    def test_include_jellyfish_adds_equivalents(self):
+        cfgs = comparable_configurations(SizeClass.TINY, topologies=["SF", "DF"],
+                                         include_jellyfish=True)
+        assert set(cfgs) == {"SF", "SF-JF", "DF", "DF-JF"}
+        assert cfgs["SF-JF"].num_routers == cfgs["SF"].num_routers
+
+    def test_summary_row_fields(self):
+        t = build("SF", SizeClass.TINY)
+        row = summary_row(t)
+        assert row["Nr"] == 50
+        assert row["k_prime"] == 7
+        assert set(row) >= {"name", "Nr", "N", "k_prime", "p", "k", "edges", "edge_density"}

@@ -1,0 +1,290 @@
+"""Tests of the individual topology generators against their published structural properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topologies import (
+    complete_graph,
+    dragonfly,
+    equivalent_jellyfish,
+    fat_tree,
+    flattened_butterfly,
+    hyperx,
+    jellyfish,
+    slim_fly,
+    star,
+    xpander,
+)
+from repro.topologies.dragonfly import dragonfly_group_of
+from repro.topologies.fattree import fat_tree_level
+from repro.topologies.galois import GaloisField, factor_prime_power, is_prime, is_prime_power
+from repro.topologies.slimfly import mms_delta
+
+
+class TestGalois:
+    def test_is_prime(self):
+        assert [n for n in range(20) if is_prime(n)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_factor_prime_power(self):
+        assert factor_prime_power(27) == (3, 3)
+        assert factor_prime_power(16) == (2, 4)
+        assert factor_prime_power(29) == (29, 1)
+        with pytest.raises(ValueError):
+            factor_prime_power(12)
+
+    def test_is_prime_power(self):
+        assert is_prime_power(25)
+        assert not is_prime_power(20)
+
+    @pytest.mark.parametrize("q", [5, 7, 8, 9, 16, 25, 27])
+    def test_field_axioms(self, q):
+        f = GaloisField(q)
+        f.build_mul_table()
+        # additive and multiplicative identities
+        for a in range(q):
+            assert f.add(a, 0) == a
+            assert f.mul(a, 1) == a
+            assert f.add(a, f.neg(a)) == 0
+        # commutativity and distributivity on a sample
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = (int(x) for x in rng.integers(0, q, size=3))
+            assert f.add(a, b) == f.add(b, a)
+            assert f.mul(a, b) == f.mul(b, a)
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    @pytest.mark.parametrize("q", [5, 7, 9, 11, 13])
+    def test_primitive_element_generates_group(self, q):
+        f = GaloisField(q)
+        xi = f.primitive_element()
+        values = set()
+        x = 1
+        for _ in range(q - 1):
+            x = f.mul(x, xi)
+            values.add(x)
+        assert values == set(range(1, q))
+
+
+class TestSlimFly:
+    @pytest.mark.parametrize("q,delta", [(5, 1), (7, -1), (8, 0), (9, 1), (11, -1), (13, 1)])
+    def test_mms_delta(self, q, delta):
+        assert mms_delta(q) == delta
+
+    @pytest.mark.parametrize("q", [5, 7, 8, 9, 11, 13])
+    def test_structure(self, q):
+        t = slim_fly(q)
+        delta = mms_delta(q)
+        k_expected = (3 * q - delta) // 2
+        assert t.num_routers == 2 * q * q
+        deg = t.degrees()
+        assert deg.min() == deg.max() == k_expected
+        assert t.concentration == math.ceil(k_expected / 2)
+
+    @pytest.mark.parametrize("q", [5, 7, 8, 9])
+    def test_diameter_two(self, q):
+        assert slim_fly(q).diameter() == 2
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            slim_fly(6)
+
+    def test_rejects_bad_form(self):
+        # q=2 is a prime power but not of the form 4w+delta with w>=1
+        with pytest.raises(ValueError):
+            slim_fly(2)
+
+
+class TestDragonfly:
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_structure(self, p):
+        t = dragonfly(p)
+        a, h, g = 2 * p, p, 2 * p * p + 1
+        assert t.num_routers == a * g == 4 * p**3 + 2 * p
+        deg = t.degrees()
+        assert deg.min() == deg.max() == 3 * p - 1
+        assert t.concentration == p
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_diameter_three(self, p):
+        assert dragonfly(p).diameter() <= 3
+
+    def test_exactly_one_global_link_per_group_pair(self):
+        p = 3
+        t = dragonfly(p)
+        a = 2 * p
+        pair_counts = {}
+        for u, v in t.edges:
+            gu, gv = u // a, v // a
+            if gu != gv:
+                key = (min(gu, gv), max(gu, gv))
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+        g = 2 * p * p + 1
+        assert len(pair_counts) == g * (g - 1) // 2
+        assert set(pair_counts.values()) == {1}
+
+    def test_group_of(self):
+        t = dragonfly(2)
+        assert dragonfly_group_of(t, 0) == 0
+        assert dragonfly_group_of(t, 5) == 1
+
+    def test_group_of_rejects_other_family(self):
+        with pytest.raises(ValueError):
+            dragonfly_group_of(complete_graph(4), 0)
+
+
+class TestJellyfish:
+    @pytest.mark.parametrize("nr,k", [(20, 5), (50, 7), (64, 10)])
+    def test_regular_and_connected(self, nr, k):
+        t = jellyfish(nr, k, 3, seed=0)
+        deg = t.degrees()
+        assert deg.min() == deg.max() == k
+        assert t.is_connected()
+
+    def test_deterministic_with_seed(self):
+        a = jellyfish(30, 6, 3, seed=42)
+        b = jellyfish(30, 6, 3, seed=42)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = jellyfish(30, 6, 3, seed=1)
+        b = jellyfish(30, 6, 3, seed=2)
+        assert a.edges != b.edges
+
+    def test_odd_degree_sum_rejected(self):
+        with pytest.raises(ValueError):
+            jellyfish(15, 5, 2, seed=0)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            jellyfish(5, 5, 2, seed=0)
+
+    def test_equivalent_jellyfish_matches_reference(self, sf_tiny):
+        jf = equivalent_jellyfish(sf_tiny, seed=1)
+        assert jf.num_routers == sf_tiny.num_routers
+        assert jf.network_radix == sf_tiny.network_radix
+        assert jf.concentration == sf_tiny.concentration
+        assert jf.num_endpoints == sf_tiny.num_endpoints
+
+    def test_equivalent_jellyfish_for_fat_tree(self, ft_tiny):
+        jf = equivalent_jellyfish(ft_tiny, seed=1)
+        assert jf.num_routers == ft_tiny.num_routers
+        # all routers host endpoints in the JF, so N should be close to the fat tree's N
+        assert abs(jf.num_endpoints - ft_tiny.num_endpoints) / ft_tiny.num_endpoints < 0.3
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_regularity(self, seed):
+        t = jellyfish(26, 5, 2, seed=seed)
+        deg = t.degrees()
+        assert deg.min() == deg.max() == 5
+        assert t.is_connected()
+
+
+class TestXpander:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_regular(self, k):
+        t = xpander(k, seed=0)
+        deg = t.degrees()
+        assert deg.min() == deg.max() == k
+        assert t.num_routers == k * (k + 1)
+        assert t.is_connected()
+
+    def test_custom_lift(self):
+        t = xpander(5, lift=3, seed=0)
+        assert t.num_routers == 3 * 6
+        deg = t.degrees()
+        assert deg.min() == deg.max() == 5
+
+    def test_low_diameter(self):
+        # Xpander targets diameter <= 3; tiny single-lift instances may have a few
+        # diameter-4 outlier pairs, so check the diameter is small and the average
+        # path length is well below it.
+        t = xpander(8, seed=0)
+        assert t.diameter() <= 4
+        assert t.average_path_length() < 3.0
+        assert xpander(14, seed=0).diameter() <= 3
+
+    def test_rejects_small_radix(self):
+        with pytest.raises(ValueError):
+            xpander(1)
+
+
+class TestHyperX:
+    @pytest.mark.parametrize("L,S", [(1, 5), (2, 4), (3, 3)])
+    def test_structure(self, L, S):
+        t = hyperx(L, S)
+        assert t.num_routers == S**L
+        deg = t.degrees()
+        assert deg.min() == deg.max() == L * (S - 1)
+        assert t.diameter() == L
+
+    def test_flattened_butterfly_is_2d(self):
+        t = flattened_butterfly(5)
+        assert t.meta["dimensions"] == 2
+        assert t.diameter() == 2
+
+    def test_l1_is_complete_graph(self):
+        t = hyperx(1, 6)
+        c = complete_graph(6)
+        assert t.num_edges == c.num_edges
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            hyperx(0, 4)
+        with pytest.raises(ValueError):
+            hyperx(2, 1)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_structure(self, k):
+        t = fat_tree(k)
+        half = k // 2
+        assert t.num_routers == 5 * k * k // 4
+        assert t.num_endpoints == k**3 // 4
+        assert len(t.endpoint_routers) == k * half  # only edge switches
+        assert t.diameter() == 4
+
+    def test_levels(self):
+        t = fat_tree(4)
+        levels = [fat_tree_level(t, r) for r in range(t.num_routers)]
+        assert levels.count("edge") == 8
+        assert levels.count("agg") == 8
+        assert levels.count("core") == 4
+
+    def test_switch_radix_not_exceeded(self):
+        k = 6
+        t = fat_tree(k)
+        # every switch uses at most k ports: degree + attached endpoints
+        deg = t.degrees()
+        for r in range(t.num_routers):
+            used = deg[r] + len(t.endpoints_of_router(r))
+            assert used <= k
+
+    def test_oversubscription_doubles_endpoints(self):
+        assert fat_tree(4, oversubscription=2).num_endpoints == 2 * fat_tree(4).num_endpoints
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(ValueError):
+            fat_tree(5)
+
+
+class TestCompleteAndStar:
+    def test_clique(self):
+        t = complete_graph(8)
+        assert t.num_edges == 28
+        assert t.diameter() == 1
+
+    def test_clique_needs_two(self):
+        with pytest.raises(ValueError):
+            complete_graph(1)
+
+    def test_star(self):
+        t = star(16)
+        assert t.num_routers == 1
+        assert t.num_endpoints == 16
+        assert t.num_edges == 0

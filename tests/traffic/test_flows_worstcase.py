@@ -1,0 +1,118 @@
+"""Tests for flow workload generation and the worst-case matching pattern."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.flows import (
+    Flow,
+    Workload,
+    pfabric_flow_sizes,
+    pfabric_mean_size,
+    poisson_workload,
+    uniform_size_workload,
+)
+from repro.traffic.patterns import off_diagonal, random_permutation
+from repro.traffic.worstcase import worst_case_pattern, worst_case_router_pairing
+
+
+class TestFlow:
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            Flow(0.0, 1, 1, 100)
+        with pytest.raises(ValueError):
+            Flow(0.0, 1, 2, 0)
+
+    def test_flows_order_by_start_time(self):
+        a = Flow(1.0, 0, 1, 10)
+        b = Flow(0.5, 2, 3, 10)
+        assert sorted([a, b])[0] is b
+
+
+class TestPfabricSizes:
+    def test_sizes_positive_and_mean_near_1mb(self):
+        sizes = pfabric_flow_sizes(20_000, np.random.default_rng(0))
+        assert (sizes > 0).all()
+        assert 0.5e6 < sizes.mean() < 2.5e6
+
+    def test_mean_target_rescaling(self):
+        sizes = pfabric_flow_sizes(20_000, np.random.default_rng(0), mean_target=1e6)
+        assert abs(sizes.mean() - 1e6) / 1e6 < 0.1
+
+    def test_mean_size_helper(self):
+        assert 0.5e6 < pfabric_mean_size() < 2.5e6
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            pfabric_flow_sizes(0)
+
+
+class TestWorkloads:
+    def test_poisson_workload_counts(self):
+        pattern = off_diagonal(50, 7)
+        wl = poisson_workload(pattern, arrival_rate=100.0, duration=1.0,
+                              rng=np.random.default_rng(0))
+        # expectation: 50 endpoints * 100 flows = 5000; allow generous tolerance
+        assert 3500 < len(wl) < 6500
+        assert wl.time_span() <= 1.0
+        assert all(f.flow_id == i for i, f in enumerate(wl.flows))
+
+    def test_poisson_fixed_size(self):
+        pattern = off_diagonal(10, 1)
+        wl = poisson_workload(pattern, 50.0, 0.5, rng=np.random.default_rng(1),
+                              fixed_size=4096)
+        assert all(f.size_bytes == 4096 for f in wl)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_workload(off_diagonal(10, 1), 0, 1.0)
+
+    def test_uniform_size_workload(self):
+        pattern = off_diagonal(20, 3)
+        wl = uniform_size_workload(pattern, 1e6)
+        assert len(wl) == 20
+        assert wl.total_bytes() == pytest.approx(20e6)
+        assert wl.time_span() == 0.0
+
+    def test_uniform_size_validation(self):
+        with pytest.raises(ValueError):
+            uniform_size_workload(off_diagonal(10, 1), 0)
+
+    def test_sorted_by_start(self):
+        pattern = off_diagonal(10, 1)
+        wl = poisson_workload(pattern, 20.0, 1.0, rng=np.random.default_rng(2))
+        starts = [f.start_time for f in wl.sorted_by_start()]
+        assert starts == sorted(starts)
+
+
+class TestWorstCase:
+    def test_pairing_is_a_matching(self, sf_tiny):
+        pairs = worst_case_router_pairing(sf_tiny, rng=np.random.default_rng(0))
+        used = [r for pair in pairs for r in pair]
+        assert len(used) == len(set(used))
+        assert len(pairs) == sf_tiny.num_routers // 2
+
+    def test_pairing_prefers_distant_routers(self, sf_tiny):
+        """The matching's average distance must exceed the topology average."""
+        pairs = worst_case_router_pairing(sf_tiny, rng=np.random.default_rng(0))
+        dist = {r: sf_tiny.bfs_distances(r) for r, _ in pairs}
+        avg_matched = np.mean([dist[u][v] for u, v in pairs])
+        assert avg_matched >= sf_tiny.average_path_length()
+
+    def test_pattern_endpoints_belong_to_matched_routers(self, sf_tiny):
+        pattern = worst_case_pattern(sf_tiny, intensity=1.0, rng=np.random.default_rng(0))
+        for s, t in pattern.pairs:
+            assert sf_tiny.router_of_endpoint(s) != sf_tiny.router_of_endpoint(t)
+
+    def test_intensity_scales_pairs(self, sf_tiny):
+        full = worst_case_pattern(sf_tiny, intensity=1.0, rng=np.random.default_rng(0))
+        half = worst_case_pattern(sf_tiny, intensity=0.5, rng=np.random.default_rng(0))
+        assert len(half) < len(full)
+
+    def test_max_routers_restriction(self, df_tiny):
+        pattern = worst_case_pattern(df_tiny, intensity=1.0, max_routers=20,
+                                     rng=np.random.default_rng(0))
+        assert pattern.meta["num_matched_routers"] <= 20
+
+    def test_intensity_validation(self, sf_tiny):
+        with pytest.raises(ValueError):
+            worst_case_pattern(sf_tiny, intensity=0)

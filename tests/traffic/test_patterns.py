@@ -1,0 +1,123 @@
+"""Tests for traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.patterns import (
+    TrafficPattern,
+    adversarial_offdiagonal,
+    all_patterns,
+    multiple_permutations,
+    off_diagonal,
+    random_permutation,
+    random_uniform,
+    shuffle_pattern,
+    stencil_pattern,
+)
+
+
+class TestBasicPatterns:
+    def test_random_uniform_no_self_traffic(self):
+        p = random_uniform(100, np.random.default_rng(0))
+        assert len(p) == 100
+        assert all(s != t for s, t in p)
+
+    def test_random_permutation_is_permutation(self):
+        p = random_permutation(64, np.random.default_rng(1))
+        assert sorted(p.destinations()) == list(range(64))
+        assert p.sources() == list(range(64))
+
+    def test_multiple_permutations_oversubscription(self):
+        p = multiple_permutations(32, count=4, rng=np.random.default_rng(0))
+        assert len(p) == 4 * 32
+        assert p.oversubscription == 4
+
+    def test_off_diagonal(self):
+        p = off_diagonal(10, 3)
+        assert (0, 3) in p.pairs
+        assert (8, 1) in p.pairs
+        assert len(p) == 10
+
+    def test_off_diagonal_rejects_zero_offset(self):
+        with pytest.raises(ValueError):
+            off_diagonal(10, 10)
+
+    def test_shuffle_is_rotation(self):
+        p = shuffle_pattern(16)
+        # rotl on 4 bits: 0b0001 -> 0b0010, 0b1000 -> 0b0001
+        pairs = dict(p.pairs)
+        assert pairs[1] == 2
+        assert pairs[8] == 1
+
+    def test_stencil_has_four_offsets(self):
+        p = stencil_pattern(100)
+        assert p.oversubscription == 4
+        assert len(p) == 400
+        destinations_of_0 = {t for s, t in p.pairs if s == 0}
+        assert destinations_of_0 == {1, 99, 42, 58}
+
+    def test_adversarial_offsets_align_with_routers(self):
+        p = adversarial_offdiagonal(120, concentration=4)
+        offset = p.meta["base_offset"]
+        assert offset % 4 == 0
+        assert len(p) == 120
+
+    def test_adversarial_repeats(self):
+        p = adversarial_offdiagonal(60, concentration=3, repeats=4)
+        assert len(p) == 240
+        assert p.oversubscription == 4
+
+    def test_all_patterns_keys(self):
+        patterns = all_patterns(64, concentration=4)
+        assert set(patterns) == {"random_permutation", "off_diagonal", "shuffle",
+                                 "four_permutations", "stencil"}
+
+    def test_too_few_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            random_uniform(1)
+
+
+class TestPatternOperations:
+    def test_remap(self):
+        p = off_diagonal(6, 1)
+        mapping = [5, 4, 3, 2, 1, 0]
+        q = p.remap(mapping)
+        assert q.pairs[0] == (5, 4)
+
+    def test_subsample(self):
+        p = off_diagonal(100, 7)
+        q = p.subsample(0.25, np.random.default_rng(0))
+        assert len(q) == 25
+        assert set(q.pairs) <= set(p.pairs)
+
+    def test_subsample_full_is_identity(self):
+        p = off_diagonal(10, 1)
+        assert p.subsample(1.0) is p
+
+    def test_subsample_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            off_diagonal(10, 1).subsample(0)
+
+    def test_pattern_normalises_pairs_to_ints(self):
+        p = TrafficPattern("x", [(np.int64(1), np.int64(2))])
+        assert p.pairs == ((1, 2),)
+
+
+@given(n=st.integers(min_value=8, max_value=200), offset=st.integers(min_value=1, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_off_diagonal_property(n, offset):
+    """Off-diagonals are permutations: every endpoint appears once as source and destination."""
+    if offset % n == 0:
+        offset += 1
+    p = off_diagonal(n, offset)
+    assert sorted(p.sources()) == list(range(n))
+    assert sorted(p.destinations()) == list(range(n))
+
+
+@given(n=st.integers(min_value=4, max_value=128), seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=30, deadline=None)
+def test_random_permutation_property(n, seed):
+    p = random_permutation(n, np.random.default_rng(seed))
+    assert sorted(p.destinations()) == list(range(n))
