@@ -1,0 +1,74 @@
+"""Cache and parallelism comparison benchmarks.
+
+Two explicit before/after pairs:
+
+* cached vs uncached all-pairs shortest paths — the value of the shared
+  :class:`~repro.kernels.cache.PathCache` when several consumers (figures, routing
+  schemes, forwarding builds) touch the same topology, and
+* serial vs process-pool experiment grids — the wall-clock win of fanning
+  independent (experiment, seed) cells across cores.
+"""
+
+import pytest
+
+from repro.core.config import FatPathsConfig
+from repro.core.layers import build_layers
+from repro.core.forwarding import build_forwarding_tables
+from repro.experiments.grid import make_grid, run_experiment_grid
+from repro.kernels import global_cache, kernels_for
+from repro.topologies import slim_fly
+
+_SCALE_Q = {"tiny": 5, "small": 9, "medium": 17}
+
+
+@pytest.fixture(scope="module")
+def kgraph(scale):
+    return slim_fly(_SCALE_Q[scale.value])
+
+
+def test_bench_apsp_uncached(benchmark, kgraph):
+    """Cold APSP: every round recomputes the distance matrix from scratch."""
+    def run():
+        global_cache().clear()
+        return kernels_for(kgraph).distance_matrix()
+
+    result = benchmark(run)
+    assert result.shape[0] == kgraph.num_routers
+
+
+def test_bench_apsp_cached(benchmark, kgraph):
+    """Warm APSP: rounds after the first hit the shared path cache."""
+    kernels_for(kgraph).distance_matrix()  # warm
+
+    result = benchmark(lambda: kernels_for(kgraph).distance_matrix())
+    assert result.shape[0] == kgraph.num_routers
+
+
+def test_bench_forwarding_tables_warm_cache(benchmark, kgraph):
+    """Rebuilding forwarding tables over identical layers reuses cached layer APSP."""
+    layers = build_layers(kgraph, FatPathsConfig(num_layers=4, rho=0.7, seed=0))
+    build_forwarding_tables(layers, seed=0)  # warm the per-layer entries
+
+    tables = benchmark(build_forwarding_tables, layers, seed=0)
+    assert tables.num_layers == 4
+
+
+def _grid_cells(scale):
+    return make_grid(["fig06", "tab05"], scales=[scale.value], seeds=[0, 1])
+
+
+def test_bench_grid_serial(benchmark, scale):
+    def run():
+        global_cache().clear()  # cold start, like a fresh worker process
+        return run_experiment_grid(_grid_cells(scale), jobs=None)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)
+
+
+def test_bench_grid_process_pool(benchmark, scale):
+    def run():
+        return run_experiment_grid(_grid_cells(scale), jobs=4)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)

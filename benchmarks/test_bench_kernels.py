@@ -14,6 +14,9 @@ from repro.core.fatpaths import FatPathsRouting
 from repro.core.forwarding import build_forwarding_tables
 from repro.core.layers import build_layers, random_edge_sampling_layers
 from repro.diversity.disjoint_paths import disjoint_path_distribution
+from repro.kernels import global_cache, kernels_for
+from repro.kernels import reference as legacy
+from repro.kernels.paths import shortest_path_counts
 from repro.routing import EcmpRouting
 from repro.sim.fairshare import max_min_fair_rates
 from repro.sim.flowsim import simulate_workload
@@ -21,10 +24,20 @@ from repro.topologies import slim_fly
 from repro.traffic.flows import uniform_size_workload
 from repro.traffic.patterns import random_permutation
 
+#: Slim Fly size per FATPATHS_BENCH_SCALE for the legacy-vs-kernel comparisons
+#: (tiny: 50 routers, small: 162, medium: 578).
+_SCALE_Q = {"tiny": 5, "small": 9, "medium": 17}
+
 
 @pytest.fixture(scope="module")
 def sf():
     return slim_fly(9)   # 162 routers, k' = 13
+
+
+@pytest.fixture(scope="module")
+def kgraph(scale):
+    """Scale-dependent Slim Fly instance for the legacy-vs-kernel benchmark pairs."""
+    return slim_fly(_SCALE_Q[scale.value])
 
 
 def test_bench_layer_construction(benchmark, sf):
@@ -78,3 +91,61 @@ def test_bench_ecmp_path_computation(benchmark, sf):
 
     paths = benchmark(run)
     assert len(paths) == 100
+
+
+# --------------------------------------------------------------------------------------
+# Legacy-vs-kernel pairs: the *same* computation on the *same* inputs via the seed
+# repository's pure-Python implementations (repro.kernels.reference) and via the
+# vectorized CSR engine.  Kernel variants run cold — the shared cache is cleared (or
+# the computation includes its own APSP) inside the timed region — so the pairs are
+# directly comparable.
+
+def test_bench_apsp_legacy_python(benchmark, kgraph):
+    result = benchmark(legacy.distance_matrix_python, kgraph.num_routers, kgraph.edges)
+    assert result.shape == (kgraph.num_routers, kgraph.num_routers)
+
+
+def test_bench_apsp_csr_kernels(benchmark, kgraph):
+    def run():
+        global_cache().clear()
+        return kernels_for(kgraph).distance_matrix()
+
+    result = benchmark(run)
+    assert result.shape == (kgraph.num_routers, kgraph.num_routers)
+
+
+def test_bench_path_counts_legacy_python(benchmark, kgraph):
+    result = benchmark(legacy.count_shortest_paths_python, kgraph.num_routers, kgraph.edges)
+    assert result.shape == (kgraph.num_routers, kgraph.num_routers)
+
+
+def test_bench_path_counts_csr_kernels(benchmark, kgraph):
+    # cold: the kernel computes its own distance matrix inside the timed region,
+    # matching the legacy variant's from-scratch reachability bookkeeping
+    csr = kernels_for(kgraph).csr
+
+    result = benchmark(shortest_path_counts, csr)
+    assert result.shape == (kgraph.num_routers, kgraph.num_routers)
+
+
+#: Sources per BFS benchmark round — identical for the legacy and batched variants.
+_BFS_BENCH_SOURCES = 64
+
+
+def test_bench_multi_source_bfs_legacy_python(benchmark, kgraph):
+    adj = legacy.adjacency_lists(kgraph.num_routers, kgraph.edges)
+    sources = list(range(min(_BFS_BENCH_SOURCES, kgraph.num_routers)))
+
+    def run():
+        return [legacy.bfs_distances_python(kgraph.num_routers, adj, s) for s in sources]
+
+    result = benchmark(run)
+    assert len(result) == len(sources)
+
+
+def test_bench_multi_source_bfs_csr_kernels(benchmark, kgraph):
+    csr = kernels_for(kgraph).csr
+    sources = list(range(min(_BFS_BENCH_SOURCES, kgraph.num_routers)))
+
+    result = benchmark(csr.bfs_distances_batch, sources)
+    assert result.shape == (len(sources), kgraph.num_routers)

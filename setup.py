@@ -1,9 +1,17 @@
 """Setuptools shim.
 
-The execution environment has no `wheel` package and no network access, so PEP 517
-editable installs (which require bdist_wheel) fail.  This shim lets
-``pip install -e . --no-build-isolation`` fall back to the legacy setup.py develop path.
-All project metadata lives in pyproject.toml.
+All project metadata lives in pyproject.toml (PEP 621, read by setuptools >= 61).
+
+This shim exists for offline environments without the `wheel` package, where
+PEP 517/660 editable installs (which must build a wheel) cannot run.  There, use the
+legacy develop path directly::
+
+    python setup.py develop --no-deps
+
+With network access (CI, normal dev machines), plain ``pip install -e .[test]``
+works: pip's build isolation fetches a modern setuptools + wheel and performs a
+standard PEP 660 editable install.  Running from a checkout without installing also
+works: ``PYTHONPATH=src python -m pytest``.
 """
 
 from setuptools import setup

@@ -10,7 +10,7 @@ encodes those defaults per topology family.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.topologies.base import Topology

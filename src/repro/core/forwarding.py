@@ -6,39 +6,30 @@ from ``s`` towards ``t``.  This module computes those functions as dense next-ho
 tables (one ``Nr x Nr`` int array per layer) plus the per-layer distance matrices, and
 provides path extraction by iterating the forwarding function.
 
-Distances are computed with ``scipy.sparse.csgraph`` (C-speed BFS over all sources);
-next hops are chosen uniformly at random among the neighbours that make progress
-(Listing 3: "choose a random first step port, if there are multiple options").
+Distances come from the vectorized CSR kernels through the process-wide path cache,
+keyed by (topology fingerprint, layer index) — repeated forwarding-table builds over
+identical layers (common across figures of one experiment sweep) reuse one APSP
+computation.  Next hops are chosen uniformly at random among the neighbours that make
+progress (Listing 3: "choose a random first step port, if there are multiple options").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
-from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import shortest_path
 
 from repro.core.layers import Layer, LayerSet
+from repro.kernels.cache import layer_kernels
 from repro.topologies.base import Topology
 
 UNREACHABLE = -1
 
 
 def _layer_distance_matrix(topology: Topology, layer: Layer) -> np.ndarray:
-    """All-pairs hop distances within one layer (inf for unreachable)."""
-    n = topology.num_routers
-    edges = list(layer.edges)
-    if not edges:
-        mat = np.full((n, n), np.inf)
-        np.fill_diagonal(mat, 0.0)
-        return mat
-    rows = [u for u, v in edges] + [v for u, v in edges]
-    cols = [v for u, v in edges] + [u for u, v in edges]
-    data = np.ones(2 * len(edges))
-    graph = csr_matrix((data, (rows, cols)), shape=(n, n))
-    return shortest_path(graph, method="D", unweighted=True, directed=False)
+    """All-pairs hop distances within one layer (inf for unreachable), shared-cached."""
+    return layer_kernels(topology, layer).distance_matrix_float()
 
 
 def _next_hop_table(topology: Topology, layer: Layer, distances: np.ndarray,

@@ -26,6 +26,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.config import FatPathsConfig
+from repro.kernels.cache import kernels_for
+from repro.kernels.csr import edges_connected
 from repro.topologies.base import Topology
 
 Edge = Tuple[int, int]
@@ -79,24 +81,8 @@ def _normalize(u: int, v: int) -> Edge:
 
 
 def _is_connected(num_routers: int, edges: Sequence[Edge]) -> bool:
-    if num_routers <= 1:
-        return True
-    adj: List[List[int]] = [[] for _ in range(num_routers)]
-    for u, v in edges:
-        adj[u].append(v)
-        adj[v].append(u)
-    seen = [False] * num_routers
-    stack = [0]
-    seen[0] = True
-    count = 1
-    while stack:
-        x = stack.pop()
-        for y in adj[x]:
-            if not seen[y]:
-                seen[y] = True
-                count += 1
-                stack.append(y)
-    return count == num_routers
+    """Vectorized CSR connectivity check on a candidate layer's edge subset."""
+    return edges_connected(num_routers, edges)
 
 
 # --------------------------------------------------------------------------- Listing 1
@@ -215,13 +201,12 @@ def interference_minimizing_layers(topology: Topology, config: FatPathsConfig,
     endpoint_routers = list(topology.endpoint_routers)
     pair_path_count: Dict[Tuple[int, int], int] = {}
 
-    # distances for the minimal length of each pair (computed lazily per source)
-    dist_cache: Dict[int, np.ndarray] = {}
+    # minimal pair lengths served by the shared path cache (one CSR BFS per source
+    # across all layer builds on this topology)
+    kernels = kernels_for(topology)
 
     def lmin(s: int, t: int) -> int:
-        if s not in dist_cache:
-            dist_cache[s] = topology.bfs_distances(s)
-        return int(dist_cache[s][t])
+        return int(kernels.distances_from(s)[t])
 
     if candidate_pairs is not None:
         candidate_pool = [(int(s), int(t)) for s, t in candidate_pairs if s != t]

@@ -18,7 +18,7 @@ reproduction, and that shape is driven by the ratios encoded here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.topologies.base import Topology
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.topologies.base import Topology
 

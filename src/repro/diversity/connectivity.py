@@ -26,6 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.kernels.cache import kernels_for
 from repro.topologies.base import Topology
 
 
@@ -46,6 +47,12 @@ def algebraic_edge_connectivity(topology: Topology, source: int, target: int,
     if max_len < 1:
         raise ValueError("max_len must be >= 1")
     rng = rng or np.random.default_rng(0)
+
+    # Pairs farther apart than max_len admit no bounded path system at all; the
+    # propagated state would be all-zero in the target's columns, so rank 0 is exact.
+    hop = int(kernels_for(topology).distances_from(source)[target])
+    if hop < 0 or hop > max_len:
+        return 0
 
     directed = topology.directed_edges()
     edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(directed)}
@@ -103,6 +110,12 @@ def algebraic_vertex_connectivity(topology: Topology, source: int, target: int,
         raise ValueError("vertex connectivity is undefined for adjacent routers")
     rng = rng or np.random.default_rng(0)
     n = topology.num_routers
+
+    # Any internally-disjoint path is at least as long as the unconstrained shortest
+    # path, so distance > max_len (or disconnection) forces a zero count.
+    hop = int(kernels_for(topology).distances_from(source)[target])
+    if hop < 0 or hop > max_len:
+        return 0
 
     connection = np.zeros((n, n))
     for u, v in topology.edges:

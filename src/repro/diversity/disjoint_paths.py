@@ -16,17 +16,25 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.kernels.cache import kernels_for
 from repro.topologies.base import Topology
 
 Edge = Tuple[int, int]
 
 
 def _bfs_path_within(adj: List[Set[int]], sources: Set[int], targets: Set[int],
-                     max_len: int) -> Optional[List[int]]:
+                     max_len: int,
+                     target_distance: Optional[np.ndarray] = None) -> Optional[List[int]]:
     """Shortest path (as a vertex list) of length <= max_len from ``sources`` to ``targets``.
 
     Returns None if no such path exists.  Paths of length 0 (a source that is also a
     target) are reported as single-vertex paths.
+
+    ``target_distance`` optionally carries per-vertex lower bounds on the remaining
+    distance to ``targets`` (distances in the *unmutated* topology, computed once by
+    the CSR kernels).  Vertices with ``depth + bound > max_len`` can never lie on a
+    qualifying path — nor can anything discovered through them — so pruning them
+    provably returns the same path the unpruned search would.
     """
     for s in sources:
         if s in targets:
@@ -45,6 +53,10 @@ def _bfs_path_within(adj: List[Set[int]], sources: Set[int], targets: Set[int],
             for v in adj[u]:
                 if v in depth:
                     continue
+                if target_distance is not None:
+                    bound = target_distance[v]
+                    if bound < 0 or d + 1 + bound > max_len:
+                        continue
                 depth[v] = d + 1
                 parent[v] = u
                 if v in targets:
@@ -85,8 +97,6 @@ def count_disjoint_paths_sets(topology: Topology, sources: Iterable[int],
         raise ValueError("source and target sets must be non-empty")
     if max_len < 1:
         raise ValueError("max_len must be >= 1")
-    # mutable adjacency (sets for O(1) removal)
-    adj: List[Set[int]] = [set(neigh) for neigh in topology.adjacency()]
     count = 0
     paths: List[List[int]] = []
     overlap = src & dst
@@ -94,8 +104,24 @@ def count_disjoint_paths_sets(topology: Topology, sources: Iterable[int],
     # definition only considers designated distinct routers, so we simply skip them.
     effective_src = src - overlap if src - overlap else src
     effective_dst = dst - overlap if dst - overlap else dst
+    # Lower bounds on the hop distance to the target set, from the shared CSR cache.
+    # Removing edges only increases distances, so these bounds stay admissible across
+    # the greedy iterations; pairs farther apart than max_len terminate immediately.
+    kernels = kernels_for(topology)
+    if len(effective_dst) == 1:
+        target_distance = kernels.distances_from(next(iter(effective_dst)))
+    else:
+        target_distance = kernels.multi_source_distances(sorted(effective_dst))
+    if not (effective_src & effective_dst):
+        best = min((int(target_distance[s]) for s in effective_src
+                    if target_distance[s] >= 0), default=-1)
+        if best < 0 or best > max_len:
+            return (0, []) if return_paths else 0
+    # mutable adjacency (sets for O(1) removal)
+    adj: List[Set[int]] = [set(neigh) for neigh in topology.adjacency()]
     while True:
-        path = _bfs_path_within(adj, effective_src, effective_dst, max_len)
+        path = _bfs_path_within(adj, effective_src, effective_dst, max_len,
+                                target_distance=target_distance)
         if path is None or len(path) < 2:
             break
         count += 1

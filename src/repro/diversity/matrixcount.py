@@ -7,6 +7,14 @@ to cross-validate the BFS-based code:
 * A "set semiring" product propagates *next-hop sets*: after ``l`` iterations, entry
   ``(s, t)`` holds the out-neighbours of ``s`` that start a walk of length <= ``l`` to
   ``t`` — exactly the information a forwarding table needs.
+
+Both are served by the vectorized kernels in :mod:`repro.kernels.paths`: walk counts
+run as sparse-by-dense matrix powers, shortest-path counts as one masked accumulation
+sweep per distance level against the cached distance matrix, and the next-hop sets are
+read directly off that matrix (a neighbour starts a qualifying walk iff its cached
+distance to the target fits the remaining budget).  The legacy scalar constructions
+live on in :mod:`repro.kernels.reference` and the equivalence tests pin these kernels
+to them.
 """
 
 from __future__ import annotations
@@ -15,17 +23,15 @@ from typing import List, Set
 
 import numpy as np
 
+from repro.kernels.cache import kernels_for
+from repro.kernels.paths import next_hop_sets_from_distances, walk_count_matrix
 from repro.topologies.base import Topology
 
 
 def adjacency_matrix(topology: Topology) -> np.ndarray:
     """Dense symmetric 0/1 adjacency matrix of the router graph."""
-    n = topology.num_routers
-    mat = np.zeros((n, n), dtype=np.int64)
-    for u, v in topology.edges:
-        mat[u, v] = 1
-        mat[v, u] = 1
-    return mat
+    adj = kernels_for(topology).csr.scipy_adjacency(dtype=np.int64)
+    return np.asarray(adj.todense(), dtype=np.int64)
 
 
 def count_paths_matrix(topology: Topology, length: int) -> np.ndarray:
@@ -36,67 +42,25 @@ def count_paths_matrix(topology: Topology, length: int) -> np.ndarray:
     """
     if length < 1:
         raise ValueError("length must be >= 1")
-    adj = adjacency_matrix(topology)
-    result = adj.copy()
-    for _ in range(length - 1):
-        result = result @ adj
-    return result
+    return walk_count_matrix(kernels_for(topology).csr, length)
 
 
 def count_shortest_paths(topology: Topology) -> np.ndarray:
     """Matrix of counts of *shortest* paths between all router pairs.
 
-    Computed by accumulating ``A**l`` and recording the count the first time a pair
-    becomes reachable.  The diagonal is zero.
+    Served from the shared path cache: the cached all-pairs distance matrix masks one
+    matrix-power accumulation per distance level.  The diagonal is zero.
     """
-    n = topology.num_routers
-    adj = adjacency_matrix(topology)
-    reached = np.eye(n, dtype=bool)
-    counts = np.zeros((n, n), dtype=np.int64)
-    power = np.eye(n, dtype=np.int64)
-    for _ in range(n):
-        power = power @ adj
-        newly = (~reached) & (power > 0)
-        counts[newly] = power[newly]
-        reached |= newly
-        if reached.all():
-            break
-    return counts
+    return kernels_for(topology).shortest_path_counts().copy()
 
 
 def next_hop_sets(topology: Topology, max_len: int) -> List[List[Set[int]]]:
     """Next-hop sets for every (source, destination) pair considering paths <= ``max_len``.
 
     ``result[s][t]`` is the set of neighbours ``v`` of ``s`` such that some walk
-    ``s -> v -> ... -> t`` of total length at most ``max_len`` exists.  This is the
-    "matrix multiplication for routing tables" scheme of Appendix B.A.1: sets are
-    propagated with union as addition and "keep the set if an edge continues the walk"
-    as multiplication, always multiplying by the original adjacency matrix on the right.
+    ``s -> v -> ... -> t`` of total length at most ``max_len`` exists.  Computed from
+    the cached distance matrix (see :func:`repro.kernels.paths.next_hop_sets_from_distances`);
+    result identical to the appendix's set-semiring propagation.
     """
-    if max_len < 1:
-        raise ValueError("max_len must be >= 1")
-    n = topology.num_routers
-    adj_lists = topology.adjacency()
-    # current[s][t] = set of first hops of walks s->t with length <= iteration count
-    current: List[List[Set[int]]] = [[set() for _ in range(n)] for _ in range(n)]
-    for s in range(n):
-        for v in adj_lists[s]:
-            current[s][v].add(v)
-    accumulated: List[List[Set[int]]] = [[set(current[s][t]) for t in range(n)] for s in range(n)]
-    for _ in range(max_len - 1):
-        nxt: List[List[Set[int]]] = [[set() for _ in range(n)] for _ in range(n)]
-        for s in range(n):
-            row = current[s]
-            for mid in range(n):
-                hops = row[mid]
-                if not hops:
-                    continue
-                for t in adj_lists[mid]:
-                    nxt[s][t] |= hops
-        current = nxt
-        for s in range(n):
-            for t in range(n):
-                accumulated[s][t] |= current[s][t]
-    for s in range(n):
-        accumulated[s][s] = set()
-    return accumulated
+    kernels = kernels_for(topology)
+    return next_hop_sets_from_distances(kernels.csr, kernels.distance_matrix(), max_len)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.diversity.disjoint_paths import count_disjoint_paths
+from repro.kernels.cache import kernels_for
 from repro.topologies.base import Topology
 
 
@@ -21,23 +22,23 @@ def minimal_path_lengths(topology: Topology, sources: Optional[Sequence[int]] = 
     """Matrix of shortest-path lengths ``l_min`` from ``sources`` (default: all routers).
 
     Returns an array of shape ``(len(sources), Nr)``; unreachable pairs get -1.
+    Served by the vectorized CSR kernels — the full-source case reuses the cached
+    all-pairs distance matrix.
     """
+    kernels = kernels_for(topology)
     if sources is None:
-        sources = range(topology.num_routers)
-    rows = [topology.bfs_distances(int(s)) for s in sources]
-    return np.vstack(rows)
+        return kernels.distance_matrix().copy()
+    return kernels.csr.bfs_distances_batch([int(s) for s in sources])
 
 
 def minimal_path_counts(topology: Topology, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
     """``c_min(s, t)`` for the given router pairs: edge-disjoint shortest-path counts."""
+    kernels = kernels_for(topology)
     out = np.zeros(len(pairs), dtype=np.int64)
-    dist_cache: Dict[int, np.ndarray] = {}
     for i, (s, t) in enumerate(pairs):
         if s == t:
             raise ValueError("pairs must consist of distinct routers")
-        if s not in dist_cache:
-            dist_cache[s] = topology.bfs_distances(s)
-        lmin = int(dist_cache[s][t])
+        lmin = int(kernels.distances_from(s)[t])
         if lmin < 0:
             out[i] = 0
             continue
@@ -96,12 +97,8 @@ def minimal_path_statistics(topology: Topology, num_samples: int = 500,
             seen.add((s, t))
             pairs.append((s, t))
 
-    lengths: List[int] = []
-    dist_cache: Dict[int, np.ndarray] = {}
-    for s, t in pairs:
-        if s not in dist_cache:
-            dist_cache[s] = topology.bfs_distances(s)
-        lengths.append(int(dist_cache[s][t]))
+    kernels = kernels_for(topology)
+    lengths: List[int] = [int(kernels.distances_from(s)[t]) for s, t in pairs]
     counts = minimal_path_counts(topology, pairs)
 
     length_counter = Counter(lengths)

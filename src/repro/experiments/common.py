@@ -11,7 +11,7 @@ from __future__ import annotations
 import importlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.topologies.configs import SizeClass
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Scale
 from repro.topologies import SizeClass, build
-from repro.topologies.configs import PAPER_TOPOLOGIES
 
 
 def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:

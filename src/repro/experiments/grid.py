@@ -1,0 +1,114 @@
+"""Parallel experiment grids: fan independent experiment cells across cores.
+
+An experiment *grid* is the cross product of experiment names, scales and seeds (plus
+optional per-cell keyword arguments) — exactly the sweeps the paper's figures are
+built from.  Cells are independent (each builds its own topologies, layers and
+routing state), so they parallelise embarrassingly over a ``ProcessPoolExecutor``;
+each worker process grows its own :mod:`repro.kernels` path cache, which repeated
+cells on the same topology then share.
+
+Serial execution (``jobs=None`` or ``jobs<=1``) runs in-process, reusing the parent's
+cache — useful for debugging and as the baseline in the cached-vs-parallel benchmark.
+Cell failures are captured per cell (``GridCellResult.error``) instead of aborting the
+whole sweep.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentResult, Scale, run_experiment
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (experiment, scale, seed) cell of a sweep."""
+
+    name: str
+    scale: str = "tiny"
+    seed: int = 0
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def label(self) -> str:
+        return f"{self.name}[scale={self.scale},seed={self.seed}]"
+
+
+@dataclass
+class GridCellResult:
+    """Outcome of one cell: the experiment result or the captured error."""
+
+    cell: GridCell
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def make_grid(names: Sequence[str], scales: Sequence[str] = ("tiny",),
+              seeds: Sequence[int] = (0,),
+              kwargs: Optional[Dict[str, object]] = None) -> List[GridCell]:
+    """The cross product of names x scales x seeds as grid cells."""
+    fixed = tuple(sorted((kwargs or {}).items()))
+    return [GridCell(name=n, scale=str(Scale(s).value), seed=int(seed), kwargs=fixed)
+            for n in names for s in scales for seed in seeds]
+
+
+def _run_cell(cell: GridCell) -> GridCellResult:
+    """Execute one cell (module-level so worker processes can import it)."""
+    import time
+
+    start = time.perf_counter()
+    try:
+        result = run_experiment(cell.name, scale=cell.scale, seed=cell.seed,
+                                **dict(cell.kwargs))
+        return GridCellResult(cell=cell, result=result,
+                              elapsed_seconds=time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+        return GridCellResult(cell=cell, error=f"{type(exc).__name__}: {exc}",
+                              elapsed_seconds=time.perf_counter() - start)
+
+
+def run_experiment_grid(cells: Iterable[GridCell],
+                        jobs: Optional[int] = None) -> List[GridCellResult]:
+    """Run all cells, serially or across ``jobs`` worker processes.
+
+    Results come back in cell order regardless of completion order.  ``jobs=None``,
+    ``0`` or ``1`` runs serially in-process; higher values fan cells out over a
+    process pool (one path cache per worker).
+    """
+    cell_list = list(cells)
+    if jobs is None or jobs <= 1 or len(cell_list) <= 1:
+        return [_run_cell(cell) for cell in cell_list]
+    workers = min(jobs, len(cell_list))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cell_list))
+
+
+@dataclass
+class GridSummary:
+    """Aggregate view of a finished grid (what the CLI prints)."""
+
+    results: List[GridCellResult] = field(default_factory=list)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.results) - self.num_ok
+
+    def report(self) -> str:
+        lines = []
+        for r in self.results:
+            status = "ok" if r.ok else f"FAILED ({r.error})"
+            rows = len(r.result.rows) if r.result is not None else 0
+            lines.append(f"{r.cell.label():40s} {status:>10s}  "
+                         f"rows={rows:<5d} {r.elapsed_seconds:.1f}s")
+        lines.append(f"-- {self.num_ok}/{len(self.results)} cells ok")
+        return "\n".join(lines)

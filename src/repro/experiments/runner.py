@@ -14,6 +14,11 @@ Run one experiment at a given scale::
 Run everything (tiny scale, for a quick end-to-end check)::
 
     fatpaths-experiment all --scale tiny
+
+Fan an experiment grid across cores — the cross product of experiments, scales and
+seeds runs as independent cells on a process pool::
+
+    fatpaths-experiment fig06,tab05 --scales tiny,small --seeds 0,1,2 --jobs 8
 """
 
 from __future__ import annotations
@@ -24,6 +29,15 @@ import time
 from typing import List, Optional
 
 from repro.experiments.common import Scale, registry, run_experiment
+from repro.experiments.grid import GridSummary, make_grid, run_experiment_grid
+
+
+def _parse_seeds(spec: str) -> List[int]:
+    """Seed list from a comma list ("0,1,2") or an inclusive range ("0:4")."""
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(s) for s in spec.split(",") if s != ""]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -31,13 +45,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="fatpaths-experiment",
         description="Regenerate the tables and figures of the FatPaths paper.")
     parser.add_argument("experiment", nargs="?", default=None,
-                        help="experiment name (e.g. fig09, tab04) or 'all'")
+                        help="experiment name(s), comma separated (e.g. fig09,tab04), or 'all'")
     parser.add_argument("--scale", default="tiny", choices=[s.value for s in Scale],
                         help="instance scale (default: tiny)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument("--max-rows", type=int, default=None,
                         help="limit the number of printed rows")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan grid cells across N worker processes (default: serial)")
+    parser.add_argument("--scales", default=None, metavar="S1,S2",
+                        help="grid mode: comma-separated scales (overrides --scale)")
+    parser.add_argument("--seeds", default=None, metavar="SPEC",
+                        help="grid mode: comma list ('0,1,2') or inclusive range ('0:4') "
+                             "of seeds (overrides --seed)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -46,7 +67,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:8s} {module}")
         return 0
 
-    names = sorted(registry()) if args.experiment == "all" else [args.experiment]
+    names = (sorted(registry()) if args.experiment == "all"
+             else [n for n in args.experiment.split(",") if n])
+    unknown = [n for n in names if n not in registry()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    # Grid mode (per-cell summary instead of full reports) only when a sweep/parallel
+    # flag is given; plain "all" or comma lists still print every experiment's tables.
+    grid_mode = (args.jobs is not None or args.scales is not None
+                 or args.seeds is not None)
+    if grid_mode:
+        scales = ([s for s in args.scales.split(",") if s] if args.scales
+                  else [args.scale])
+        valid_scales = {s.value for s in Scale}
+        bad_scales = [s for s in scales if s not in valid_scales]
+        if bad_scales:
+            print(f"invalid --scales value(s): {', '.join(bad_scales)} "
+                  f"(choose from {', '.join(sorted(valid_scales))})", file=sys.stderr)
+            return 2
+        try:
+            seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
+        except ValueError:
+            print(f"invalid --seeds spec: {args.seeds!r} "
+                  "(use a comma list '0,1,2' or an inclusive range '0:4')", file=sys.stderr)
+            return 2
+        cells = make_grid(names, scales=scales, seeds=seeds)
+        if not cells:
+            print("grid is empty (no seeds selected)", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        results = run_experiment_grid(cells, jobs=args.jobs)
+        elapsed = time.perf_counter() - start
+        summary = GridSummary(results=results)
+        print(summary.report())
+        mode = f"{args.jobs} workers" if args.jobs and args.jobs > 1 else "serial"
+        print(f"\n[{len(results)} cells completed in {elapsed:.1f}s ({mode})]")
+        return 0 if summary.num_failed == 0 else 1
+
     for name in names:
         start = time.perf_counter()
         result = run_experiment(name, scale=args.scale, seed=args.seed)

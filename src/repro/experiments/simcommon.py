@@ -18,11 +18,10 @@ Stack names
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import FatPathsConfig
 from repro.core.fatpaths import FatPathsRouting
 from repro.core.loadbalance import EcmpSelector, FlowletSelector, PacketSpraySelector, PathSelector
 from repro.core.transport import TransportModel, dctcp_transport, ndp_transport, tcp_transport

@@ -1,0 +1,125 @@
+"""Legacy scalar reference implementations, preserved for equivalence testing.
+
+These are the pure-Python per-source kernels the repository shipped with before the
+vectorized CSR engine in :mod:`repro.kernels.csr` replaced them on the hot paths.
+They are kept verbatim (modulo operating on raw adjacency data instead of a
+``Topology``) so that
+
+* the equivalence test suite can assert, on every topology generator, that the
+  vectorized kernels reproduce the legacy results bit-for-bit, and
+* the benchmark suite can report the legacy-vs-kernel speedup on identical inputs.
+
+Do not "optimise" this module — its value is being the trusted slow baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+def adjacency_lists(num_nodes: int, edges: Sequence[Edge]) -> List[List[int]]:
+    """Sorted adjacency lists, exactly as ``Topology.adjacency`` built them."""
+    adj: List[List[int]] = [[] for _ in range(num_nodes)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    for lst in adj:
+        lst.sort()
+    return adj
+
+
+def bfs_distances_python(num_nodes: int, adj: List[List[int]], source: int) -> np.ndarray:
+    """The seed repository's per-source Python BFS (hop distances, -1 unreachable)."""
+    dist = np.full(num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    d = 0
+    while frontier:
+        d += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def distance_matrix_python(num_nodes: int, edges: Sequence[Edge]) -> np.ndarray:
+    """All-pairs distances via one Python BFS per source (the legacy APSP path)."""
+    adj = adjacency_lists(num_nodes, edges)
+    return np.vstack([bfs_distances_python(num_nodes, adj, s) for s in range(num_nodes)])
+
+
+def is_connected_python(num_nodes: int, edges: Sequence[Edge]) -> bool:
+    """The seed repository's stack-based connectivity check."""
+    if num_nodes <= 1:
+        return True
+    adj = adjacency_lists(num_nodes, edges)
+    seen = [False] * num_nodes
+    stack = [0]
+    seen[0] = True
+    count = 1
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                stack.append(v)
+    return count == num_nodes
+
+
+def count_shortest_paths_python(num_nodes: int, edges: Sequence[Edge]) -> np.ndarray:
+    """Legacy dense matrix-power shortest-path counting (first-reach bookkeeping)."""
+    adj = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    for u, v in edges:
+        adj[u, v] = 1
+        adj[v, u] = 1
+    reached = np.eye(num_nodes, dtype=bool)
+    counts = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    power = np.eye(num_nodes, dtype=np.int64)
+    for _ in range(num_nodes):
+        power = power @ adj
+        newly = (~reached) & (power > 0)
+        counts[newly] = power[newly]
+        reached |= newly
+        if reached.all():
+            break
+    return counts
+
+
+def next_hop_sets_python(num_nodes: int, edges: Sequence[Edge],
+                         max_len: int) -> List[List[Set[int]]]:
+    """Legacy set-semiring next-hop propagation (Appendix B.A.1), kept verbatim."""
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    adj_lists = adjacency_lists(num_nodes, edges)
+    current: List[List[Set[int]]] = [[set() for _ in range(num_nodes)] for _ in range(num_nodes)]
+    for s in range(num_nodes):
+        for v in adj_lists[s]:
+            current[s][v].add(v)
+    accumulated: List[List[Set[int]]] = [[set(current[s][t]) for t in range(num_nodes)]
+                                         for s in range(num_nodes)]
+    for _ in range(max_len - 1):
+        nxt: List[List[Set[int]]] = [[set() for _ in range(num_nodes)] for _ in range(num_nodes)]
+        for s in range(num_nodes):
+            row = current[s]
+            for mid in range(num_nodes):
+                hops = row[mid]
+                if not hops:
+                    continue
+                for t in adj_lists[mid]:
+                    nxt[s][t] |= hops
+        current = nxt
+        for s in range(num_nodes):
+            for t in range(num_nodes):
+                accumulated[s][t] |= current[s][t]
+    for s in range(num_nodes):
+        accumulated[s][s] = set()
+    return accumulated

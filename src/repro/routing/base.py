@@ -9,7 +9,7 @@ LPs (which solve for the optimal split) consume this interface.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

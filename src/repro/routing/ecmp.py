@@ -10,10 +10,11 @@ capped at ``max_paths`` (hardware ECMP groups are similarly capped).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.kernels.cache import kernels_for
 from repro.routing.base import MultiPathRouting
 from repro.topologies.base import Topology
 
@@ -29,13 +30,13 @@ class EcmpRouting(MultiPathRouting):
             raise ValueError("max_paths must be >= 1")
         self.max_paths = max_paths
         self._rng = np.random.default_rng(seed)
-        self._dist_cache: Dict[int, np.ndarray] = {}
+        self._kernels = kernels_for(topology)
         self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
 
     def _distances_from(self, target: int) -> np.ndarray:
-        if target not in self._dist_cache:
-            self._dist_cache[target] = self.topology.bfs_distances(target)
-        return self._dist_cache[target]
+        # Read-only row served by the shared path cache (one CSR BFS per distinct
+        # target across *all* consumers of this topology, not per routing instance).
+        return self._kernels.distances_from(target)
 
     def router_paths(self, source_router: int, target_router: int) -> List[List[int]]:
         if source_router == target_router:

@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 
 import networkx as nx
 
+from repro.kernels.cache import kernels_for
 from repro.routing.base import MultiPathRouting
 from repro.topologies.base import Topology
 
@@ -27,6 +28,7 @@ class KShortestPathsRouting(MultiPathRouting):
             raise ValueError("k must be >= 1")
         self.k = k
         self._graph = topology.to_networkx()
+        self._kernels = kernels_for(topology)
         self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
 
     def router_paths(self, source_router: int, target_router: int) -> List[List[int]]:
@@ -35,10 +37,12 @@ class KShortestPathsRouting(MultiPathRouting):
         key = (source_router, target_router)
         if key in self._cache:
             return self._cache[key]
-        try:
+        # Unreachable pairs are answered by the cached distance row instead of paying
+        # for Yen's generator setup and its NetworkXNoPath unwind.
+        if self._kernels.distances_from(source_router)[target_router] < 0:
+            paths: List[List[int]] = []
+        else:
             generator = nx.shortest_simple_paths(self._graph, source_router, target_router)
             paths = [list(p) for p in islice(generator, self.k)]
-        except nx.NetworkXNoPath:
-            paths = []
         self._cache[key] = paths
         return paths

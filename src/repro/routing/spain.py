@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.config import FatPathsConfig
 from repro.core.layers import Layer, LayerSet
+from repro.kernels.cache import kernels_for
 from repro.routing.base import LayerSetRouting
 from repro.topologies.base import Topology
 
@@ -155,12 +156,16 @@ def build_spain_layers(topology: Topology, paths_per_pair: int = 3,
     sources = list(topology.endpoint_routers)
 
     # Phase 1+2: per-destination path computation and VLAN colouring.
+    kernels = kernels_for(topology)
     per_destination_vlans: List[Set[Edge]] = []
     pair_paths: Dict[Tuple[int, int], List[List[int]]] = {}
     for dest in destinations:
+        # Cached distance row: sources disconnected from this destination are skipped
+        # up front instead of each running a full (futile) weighted Dijkstra.
+        dist_to_dest = kernels.distances_from(dest)
         paths: List[List[int]] = []
         for src in sources:
-            if src == dest:
+            if src == dest or dist_to_dest[src] < 0:
                 continue
             weights: Dict[Edge, float] = {}
             for _ in range(paths_per_pair):

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.kernels.cache import kernels_for
 from repro.routing.base import MultiPathRouting
 from repro.topologies.base import Topology
 
@@ -27,14 +28,14 @@ class ValiantRouting(MultiPathRouting):
             raise ValueError("num_paths must be >= 1")
         self.num_paths = num_paths
         self._rng = np.random.default_rng(seed)
-        self._dist: Dict[int, np.ndarray] = {}
+        self._kernels = kernels_for(topology)
         self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
         self._adj = topology.adjacency()
 
     def _distances_from(self, router: int) -> np.ndarray:
-        if router not in self._dist:
-            self._dist[router] = self.topology.bfs_distances(router)
-        return self._dist[router]
+        # Shared-cache distance row (VLB queries distances from every intermediate,
+        # which the batched CSR kernels serve without per-instance recomputation).
+        return self._kernels.distances_from(router)
 
     def _minimal_path(self, source: int, target: int) -> Optional[List[int]]:
         dist = self._distances_from(target)

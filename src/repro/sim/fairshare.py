@@ -13,7 +13,7 @@ milliseconds (see the HPC guides: vectorise the hot loop).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix

@@ -19,8 +19,7 @@ and transport differences — at a scale a pure-Python reproduction can run.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

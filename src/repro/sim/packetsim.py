@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -284,7 +284,6 @@ class PacketLevelSimulator:
         push(arrival, "hop", packet)
 
     def _handle_delivery(self, now: float, packet: _Packet, flows: Dict[int, _FlowState], push) -> None:
-        state = flows[packet.flow_id]
         rtt_back = (len(packet.path_links) * self.config.per_hop_latency
                     + self.config.host_latency)
         if packet.trimmed:

@@ -4,6 +4,10 @@ The paper (§II-A) models the interconnect as an undirected graph ``G = (V, E)``
 routers only; endpoints are attached implicitly, ``p`` per router (the *concentration*).
 ``k'`` is the network radix (router-to-router channels) and ``k = k' + p`` the full
 router radix.  This module provides that model as :class:`Topology`.
+
+Graph metrics (BFS distances, connectivity, diameter, average path length) are
+computed by the vectorized CSR engine in :mod:`repro.kernels` and shared across all
+consumers through the process-wide path cache, keyed by :meth:`Topology.fingerprint`.
 """
 
 from __future__ import annotations
@@ -80,6 +84,7 @@ class Topology:
             self.endpoint_routers = eps
         self._adjacency: Optional[List[List[int]]] = None
         self._degree: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ basic
     @property
@@ -176,42 +181,35 @@ class Topology:
             meta=dict(self.meta),
         )
 
+    # --------------------------------------------------------------- kernels
+    def fingerprint(self) -> str:
+        """Stable digest of ``(num_routers, edges)`` — the shared-cache key."""
+        if self._fingerprint is None:
+            from repro.kernels.cache import fingerprint_edges
+            self._fingerprint = fingerprint_edges(self.num_routers, self.edges)
+        return self._fingerprint
+
+    def kernels(self):
+        """This topology's :class:`~repro.kernels.cache.GraphKernels` (shared cache)."""
+        from repro.kernels.cache import kernels_for
+        return kernels_for(self)
+
     # --------------------------------------------------------------- metrics
     def is_connected(self) -> bool:
-        """True if the router graph is connected (BFS from router 0)."""
-        if self.num_routers == 1:
-            return True
-        adj = self.adjacency()
-        seen = np.zeros(self.num_routers, dtype=bool)
-        stack = [0]
-        seen[0] = True
-        count = 1
-        while stack:
-            u = stack.pop()
-            for v in adj[u]:
-                if not seen[v]:
-                    seen[v] = True
-                    count += 1
-                    stack.append(v)
-        return count == self.num_routers
+        """True if the router graph is connected (handles empty edge lists)."""
+        return self.kernels().is_connected()
 
     def bfs_distances(self, source: int) -> np.ndarray:
-        """Hop distances from ``source`` to all routers (-1 if unreachable)."""
-        adj = self.adjacency()
-        dist = np.full(self.num_routers, -1, dtype=np.int64)
-        dist[source] = 0
-        frontier = [source]
-        d = 0
-        while frontier:
-            d += 1
-            nxt: List[int] = []
-            for u in frontier:
-                for v in adj[u]:
-                    if dist[v] < 0:
-                        dist[v] = d
-                        nxt.append(v)
-            frontier = nxt
-        return dist
+        """Hop distances from ``source`` to all routers (-1 if unreachable).
+
+        Served from the shared path cache (the first query per source runs the
+        vectorized CSR BFS); a fresh writable array is returned each call, matching
+        the legacy per-call BFS contract.  Isolated sources and empty edge lists are
+        handled gracefully (all entries -1 except the source itself).
+        """
+        if not 0 <= source < self.num_routers:
+            raise ValueError(f"source router {source} out of range")
+        return self.kernels().distances_from(int(source)).copy()
 
     def diameter(self, sample: Optional[int] = None, rng: Optional[np.random.Generator] = None) -> int:
         """Diameter of the router graph.
@@ -220,42 +218,32 @@ class Topology:
         adequate for vertex-transitive topologies and for sanity checks on large
         instances).
         """
-        sources: Iterable[int]
+        kernels = self.kernels()
         if sample is not None and sample < self.num_routers:
             rng = rng or np.random.default_rng(0)
             sources = rng.choice(self.num_routers, size=sample, replace=False)
+            rows = kernels.csr.bfs_distances_batch([int(s) for s in sources])
         else:
-            sources = range(self.num_routers)
-        best = 0
-        for s in sources:
-            dist = self.bfs_distances(int(s))
-            if (dist < 0).any():
-                raise ValueError("graph is disconnected; diameter undefined")
-            best = max(best, int(dist.max()))
-        return best
+            rows = kernels.distance_matrix()
+        if rows.size and (rows < 0).any():
+            raise ValueError("graph is disconnected; diameter undefined")
+        return int(rows.max()) if rows.size else 0
 
     def average_path_length(self, sample: Optional[int] = None,
                             rng: Optional[np.random.Generator] = None) -> float:
         """Average shortest-path length ``d`` over (sampled) router pairs."""
-        sources: Iterable[int]
+        kernels = self.kernels()
         if sample is not None and sample < self.num_routers:
             rng = rng or np.random.default_rng(0)
             sources = rng.choice(self.num_routers, size=sample, replace=False)
-            n_sources = sample
+            rows = kernels.csr.bfs_distances_batch([int(s) for s in sources])
         else:
-            sources = range(self.num_routers)
-            n_sources = self.num_routers
-        total = 0.0
-        pairs = 0
-        for s in sources:
-            dist = self.bfs_distances(int(s))
-            mask = dist > 0
-            total += float(dist[mask].sum())
-            pairs += int(mask.sum())
+            rows = kernels.distance_matrix()
+        mask = rows > 0
+        pairs = int(mask.sum())
         if pairs == 0:
             return 0.0
-        del n_sources
-        return total / pairs
+        return float(rows[mask].sum()) / pairs
 
     def edge_density(self) -> float:
         """(links incl. endpoint links) / endpoints — the paper's Fig 19 metric."""

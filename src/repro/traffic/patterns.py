@@ -19,7 +19,7 @@ Patterns are represented as a :class:`TrafficPattern`, a thin wrapper over a lis
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from repro.core.layers import (
     interference_minimizing_layers,
     random_edge_sampling_layers,
 )
-from repro.topologies import complete_graph, fat_tree, slim_fly
+from repro.topologies import complete_graph
 
 
 class TestConfig:

@@ -23,7 +23,7 @@ from repro.diversity.matrixcount import (
     count_shortest_paths,
     next_hop_sets,
 )
-from repro.topologies import complete_graph, jellyfish, slim_fly
+from repro.topologies import complete_graph, jellyfish
 from repro.topologies.base import Topology
 
 

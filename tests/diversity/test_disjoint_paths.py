@@ -11,7 +11,7 @@ from repro.diversity.disjoint_paths import (
     count_disjoint_paths_sets,
     disjoint_path_distribution,
 )
-from repro.topologies import complete_graph, jellyfish, slim_fly
+from repro.topologies import complete_graph, jellyfish
 from repro.topologies.base import Topology
 
 

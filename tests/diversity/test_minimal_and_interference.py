@@ -15,7 +15,7 @@ from repro.diversity.minimal_paths import (
     minimal_path_lengths,
     minimal_path_statistics,
 )
-from repro.topologies import complete_graph, fat_tree, hyperx, slim_fly
+from repro.topologies import complete_graph
 from repro.topologies.base import Topology
 
 

@@ -1,0 +1,72 @@
+"""Tests for the parallel experiment grid runner."""
+
+import pytest
+
+from repro.experiments.grid import (
+    GridCell,
+    GridSummary,
+    make_grid,
+    run_experiment_grid,
+)
+from repro.experiments.runner import main as runner_main
+
+
+class TestMakeGrid:
+    def test_cross_product(self):
+        cells = make_grid(["fig06", "tab05"], scales=["tiny"], seeds=[0, 1])
+        assert len(cells) == 4
+        assert {(c.name, c.seed) for c in cells} == {
+            ("fig06", 0), ("fig06", 1), ("tab05", 0), ("tab05", 1)}
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_grid(["fig06"], scales=["huge"])
+
+    def test_kwargs_frozen_into_cells(self):
+        cells = make_grid(["fig06"], kwargs={"num_samples": 10})
+        assert cells[0].kwargs == (("num_samples", 10),)
+
+
+class TestRunGrid:
+    def test_serial_grid_runs(self):
+        results = run_experiment_grid(make_grid(["tab05"], seeds=[0]))
+        assert len(results) == 1
+        assert results[0].ok
+        assert results[0].result.rows
+
+    def test_parallel_matches_serial(self):
+        cells = make_grid(["tab05", "fig06"], seeds=[0])
+        serial = run_experiment_grid(cells, jobs=None)
+        parallel = run_experiment_grid(cells, jobs=2)
+        assert [r.cell for r in serial] == [r.cell for r in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.result.rows == p.result.rows
+
+    def test_failures_are_captured_per_cell(self):
+        cells = [GridCell(name="nope"), GridCell(name="tab05")]
+        results = run_experiment_grid(cells)
+        assert not results[0].ok and "KeyError" in results[0].error
+        assert results[1].ok
+        summary = GridSummary(results=results)
+        assert summary.num_ok == 1 and summary.num_failed == 1
+        assert "FAILED" in summary.report()
+
+
+class TestRunnerCLI:
+    def test_grid_mode_via_cli(self, capsys):
+        assert runner_main(["tab05", "--seeds", "0,1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells ok" in out
+        assert "2 workers" in out
+
+    def test_seed_range_spec(self, capsys):
+        assert runner_main(["tab05", "--seeds", "0:2"]) == 0
+        assert "3/3 cells ok" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert runner_main(["fig99"]) == 2
+
+    def test_single_experiment_still_prints_report(self, capsys):
+        assert runner_main(["tab05", "--scale", "tiny"]) == 0
+        assert "reproduces" in capsys.readouterr().out

@@ -1,0 +1,179 @@
+"""Unit tests for the CSR graph representation, batched BFS and the path cache."""
+
+import pytest
+
+from repro.kernels import (
+    CSRGraph,
+    PathCache,
+    edges_connected,
+    fingerprint_edges,
+    global_cache,
+    kernels_for,
+    layer_kernels,
+    reachable_within,
+    shortest_path_counts,
+    shortest_path_dag_children,
+    walk_count_matrix,
+)
+from repro.topologies.base import Topology
+
+
+def path_graph(n):
+    return CSRGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestCSRGraph:
+    def test_from_edges_builds_sorted_neighbours(self):
+        csr = CSRGraph.from_edges(4, [(2, 0), (0, 1), (1, 3)])
+        assert csr.num_edges == 3
+        assert list(csr.indices[csr.indptr[0]:csr.indptr[1]]) == [1, 2]
+        assert list(csr.degrees()) == [2, 2, 1, 1]
+
+    def test_empty_edge_list(self):
+        csr = CSRGraph.from_edges(3, [])
+        assert csr.num_edges == 0
+        assert not csr.is_connected()
+        dist = csr.bfs_distances_batch([0])[0]
+        assert list(dist) == [0, -1, -1]
+
+    def test_single_vertex_graph_is_connected(self):
+        csr = CSRGraph.from_edges(1, [])
+        assert csr.is_connected()
+        assert list(csr.distance_matrix().ravel()) == [0]
+
+    def test_isolated_vertex(self):
+        csr = CSRGraph.from_edges(4, [(0, 1), (1, 2)])
+        assert not csr.is_connected()
+        dist = csr.bfs_distances_batch([3])[0]
+        assert list(dist) == [-1, -1, -1, 0]
+
+    def test_batched_bfs_matches_per_source(self):
+        csr = path_graph(6)
+        batch = csr.bfs_distances_batch([0, 3, 5])
+        for row, src in zip(batch, [0, 3, 5]):
+            single = csr.bfs_distances_batch([src])[0]
+            assert (row == single).all()
+
+    def test_duplicate_sources_allowed(self):
+        csr = path_graph(4)
+        batch = csr.bfs_distances_batch([2, 2])
+        assert (batch[0] == batch[1]).all()
+
+    def test_source_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            path_graph(3).bfs_distances_batch([3])
+        with pytest.raises(ValueError):
+            path_graph(3).bfs_distances_batch([-1])
+
+    def test_distance_matrix_symmetric(self):
+        csr = path_graph(5)
+        mat = csr.distance_matrix()
+        assert (mat == mat.T).all()
+        assert mat[0, 4] == 4
+
+    def test_multi_source_distances(self):
+        csr = path_graph(7)
+        dist = csr.multi_source_distances([0, 6])
+        assert list(dist) == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_multi_source_empty_sources(self):
+        dist = path_graph(3).multi_source_distances([])
+        assert list(dist) == [-1, -1, -1]
+
+    def test_edges_connected_helper(self):
+        assert edges_connected(3, [(0, 1), (1, 2)])
+        assert not edges_connected(3, [(0, 1)])
+        assert edges_connected(1, [])
+
+
+class TestPathKernels:
+    def test_walk_count_matrix_is_power(self):
+        csr = path_graph(4)
+        a1 = walk_count_matrix(csr, 1)
+        a2 = walk_count_matrix(csr, 2)
+        assert (a2 == a1 @ a1).all()
+
+    def test_walk_count_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            walk_count_matrix(path_graph(3), 0)
+
+    def test_shortest_path_counts_cycle(self):
+        # a 4-cycle: opposite corners have 2 shortest paths, neighbours 1
+        csr = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        counts = shortest_path_counts(csr)
+        assert counts[0, 2] == 2
+        assert counts[0, 1] == 1
+        assert counts[0, 0] == 0
+
+    def test_shortest_path_counts_disconnected(self):
+        csr = CSRGraph.from_edges(4, [(0, 1)])
+        counts = shortest_path_counts(csr)
+        assert counts[0, 2] == 0 and counts[2, 3] == 0
+
+    def test_dag_children(self):
+        csr = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        dist_to_3 = csr.bfs_distances_batch([3])[0]
+        children = shortest_path_dag_children(dist_to_3, csr, 1)
+        assert set(int(c) for c in children) == {2, 0}
+
+    def test_reachable_within(self):
+        csr = path_graph(5)
+        row = csr.bfs_distances_batch([0])[0]
+        assert reachable_within(row, 4, 4)
+        assert not reachable_within(row, 4, 3)
+
+
+class TestPathCache:
+    def test_fingerprint_distinguishes_graphs(self):
+        a = fingerprint_edges(4, [(0, 1)])
+        b = fingerprint_edges(4, [(0, 2)])
+        c = fingerprint_edges(5, [(0, 1)])
+        assert len({a, b, c}) == 3
+
+    def test_same_graph_same_kernels_object(self):
+        cache = PathCache()
+        k1 = cache.kernels(4, [(0, 1), (1, 2)])
+        k2 = cache.kernels(4, [(0, 1), (1, 2)])
+        assert k1 is k2
+        assert cache.stats()["hits"] == 1
+
+    def test_lru_eviction(self):
+        cache = PathCache(maxsize=2)
+        cache.kernels(3, [(0, 1)])
+        cache.kernels(3, [(1, 2)])
+        cache.kernels(3, [(0, 2)])
+        assert len(cache) == 2
+
+    def test_rows_are_read_only_but_topology_returns_writable(self):
+        topo = Topology("t", 4, [(0, 1), (1, 2), (2, 3)], 1)
+        row = kernels_for(topo).distances_from(0)
+        with pytest.raises(ValueError):
+            row[0] = 99
+        writable = topo.bfs_distances(0)
+        writable[0] = 99  # legacy contract: callers own the returned array
+        assert kernels_for(topo).distances_from(0)[0] == 0
+
+    def test_topology_fingerprint_shared_across_instances(self):
+        t1 = Topology("a", 4, [(0, 1), (1, 2)], 1)
+        t2 = Topology("b", 4, [(1, 2), (0, 1)], 2)  # same graph, different metadata
+        assert t1.fingerprint() == t2.fingerprint()
+        assert kernels_for(t1) is kernels_for(t2)
+
+    def test_layer_kernels_keyed_by_index_and_edges(self):
+        from repro.core.layers import Layer
+
+        topo = Topology("t", 4, [(0, 1), (1, 2), (2, 3), (0, 3)], 1)
+        full = Layer(index=0, edges=frozenset(topo.edges), is_full=True)
+        sparse = Layer(index=1, edges=frozenset([(0, 1), (2, 3)]))
+        k_full = layer_kernels(topo, full)
+        k_sparse = layer_kernels(topo, sparse)
+        assert k_full is not k_sparse
+        assert layer_kernels(topo, sparse) is k_sparse
+        assert k_sparse.distance_matrix()[0, 2] == -1
+
+    def test_global_cache_hits_accumulate(self):
+        topo = Topology("t", 3, [(0, 1), (1, 2)], 1)
+        before = global_cache().stats()["hits"]
+        topo.bfs_distances(0)
+        topo.bfs_distances(1)
+        assert global_cache().stats()["hits"] >= before + 1

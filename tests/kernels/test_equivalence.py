@@ -1,0 +1,159 @@
+"""Kernel/legacy equivalence: the vectorized CSR engine must reproduce the seed
+repository's pure-Python BFS results *exactly* — distances, connectivity, diameters,
+shortest-path counts and next-hop sets — on every topology generator and on random
+degenerate graphs (isolated routers, empty edge lists, disconnected layers)."""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diversity.matrixcount import count_paths_matrix, count_shortest_paths, next_hop_sets
+from repro.kernels import CSRGraph, kernels_for
+from repro.kernels import reference as legacy
+from repro.topologies import (
+    complete_graph,
+    dragonfly,
+    fat_tree,
+    flattened_butterfly,
+    hyperx,
+    jellyfish,
+    slim_fly,
+    star,
+    xpander,
+)
+from repro.topologies.base import Topology
+
+
+@functools.lru_cache(maxsize=None)
+def generator_instances():
+    """One small instance per topology generator (all families of the paper)."""
+    return [
+        slim_fly(5),
+        dragonfly(2),
+        hyperx(2, 3),
+        flattened_butterfly(3),
+        xpander(4, seed=0),
+        fat_tree(4),
+        jellyfish(20, 4, 2, seed=0),
+        complete_graph(6),
+        star(8),
+    ]
+
+
+@pytest.fixture(scope="module", params=range(9))
+def topo(request):
+    return generator_instances()[request.param]
+
+
+class TestGeneratorEquivalence:
+    def test_bfs_distances_match_legacy(self, topo):
+        adj = legacy.adjacency_lists(topo.num_routers, topo.edges)
+        for source in range(topo.num_routers):
+            expected = legacy.bfs_distances_python(topo.num_routers, adj, source)
+            got = topo.bfs_distances(source)
+            assert got.dtype == expected.dtype
+            assert (got == expected).all()
+
+    def test_distance_matrix_matches_legacy(self, topo):
+        expected = legacy.distance_matrix_python(topo.num_routers, topo.edges)
+        got = kernels_for(topo).distance_matrix()
+        assert (got == expected).all()
+
+    def test_connectivity_matches_legacy(self, topo):
+        assert topo.is_connected() == legacy.is_connected_python(topo.num_routers, topo.edges)
+
+    def test_diameter_matches_legacy_eccentricities(self, topo):
+        expected = int(legacy.distance_matrix_python(topo.num_routers, topo.edges).max())
+        assert topo.diameter() == expected
+
+    def test_average_path_length_matches_legacy(self, topo):
+        mat = legacy.distance_matrix_python(topo.num_routers, topo.edges)
+        mask = mat > 0
+        pairs = int(mask.sum())
+        expected = float(mat[mask].sum()) / pairs if pairs else 0.0
+        assert topo.average_path_length() == pytest.approx(expected)
+
+    def test_shortest_path_counts_match_legacy(self, topo):
+        expected = legacy.count_shortest_paths_python(topo.num_routers, topo.edges)
+        assert (count_shortest_paths(topo) == expected).all()
+
+    def test_next_hop_sets_match_legacy(self, topo):
+        if topo.num_routers > 40:  # the legacy propagation is O(n^3 deg); keep CI fast
+            pytest.skip("legacy next-hop propagation too slow at this size")
+        expected = legacy.next_hop_sets_python(topo.num_routers, topo.edges, 3)
+        assert next_hop_sets(topo, 3) == expected
+
+    def test_walk_counts_match_dense_power(self, topo):
+        adj = np.zeros((topo.num_routers, topo.num_routers), dtype=np.int64)
+        for u, v in topo.edges:
+            adj[u, v] = 1
+            adj[v, u] = 1
+        assert (count_paths_matrix(topo, 3) == adj @ adj @ adj).all()
+
+
+def random_edges(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for _ in range(m):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return sorted(edges)
+
+
+@given(n=st.integers(min_value=1, max_value=40),
+       density=st.integers(min_value=0, max_value=3),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_random_graph_distances_match_legacy(n, density, seed):
+    """Property test over random (often disconnected/degenerate) graphs."""
+    edges = random_edges(n, density * n, seed)
+    csr = CSRGraph.from_edges(n, edges)
+    expected = legacy.distance_matrix_python(n, edges)
+    assert (csr.distance_matrix() == expected).all()
+    assert csr.is_connected() == legacy.is_connected_python(n, edges)
+
+
+@given(n=st.integers(min_value=2, max_value=25),
+       density=st.integers(min_value=0, max_value=3),
+       seed=st.integers(min_value=0, max_value=10_000),
+       max_len=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_random_graph_path_kernels_match_legacy(n, density, seed, max_len):
+    edges = random_edges(n, density * n, seed)
+    csr = CSRGraph.from_edges(n, edges)
+    from repro.kernels.paths import next_hop_sets_from_distances, shortest_path_counts
+
+    dist = csr.distance_matrix()
+    assert (shortest_path_counts(csr, dist)
+            == legacy.count_shortest_paths_python(n, edges)).all()
+    assert (next_hop_sets_from_distances(csr, dist, max_len)
+            == legacy.next_hop_sets_python(n, edges, max_len))
+
+
+@given(n=st.integers(min_value=2, max_value=20),
+       density=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=10_000),
+       max_len=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_disjoint_path_pruning_matches_unpruned_search(n, density, seed, max_len):
+    """The distance-bound pruning in the greedy CDP search must never change results:
+    it only skips vertices that provably cannot sit on any qualifying path."""
+    from repro.diversity.disjoint_paths import _bfs_path_within
+
+    edges = random_edges(n, density * n, seed)
+    topo = Topology("rand", n, edges, 1)
+    csr = CSRGraph.from_edges(n, edges)
+    rng = np.random.default_rng(seed)
+    adj = [set(neigh) for neigh in topo.adjacency()]
+    for _ in range(5):
+        s, t = rng.integers(0, n, size=2)
+        if s == t:
+            continue
+        bound = csr.multi_source_distances([int(t)])
+        pruned = _bfs_path_within(adj, {int(s)}, {int(t)}, max_len, target_distance=bound)
+        unpruned = _bfs_path_within(adj, {int(s)}, {int(t)}, max_len)
+        assert pruned == unpruned

@@ -9,7 +9,6 @@ from repro.mcf.general import Commodity, general_max_throughput
 from repro.mcf.layered import path_restricted_max_throughput
 from repro.mcf.throughput import commodities_from_pattern, compare_schemes, scheme_max_throughput
 from repro.routing import EcmpRouting, KShortestPathsRouting, PastRouting
-from repro.topologies import complete_graph, slim_fly
 from repro.topologies.base import Topology
 from repro.traffic.patterns import off_diagonal, random_permutation
 

@@ -18,8 +18,6 @@ from repro.routing.comparison import (
     only_fully_supporting_scheme,
 )
 from repro.routing.spain import _is_acyclic, _vlan_compatible, build_spain_layers
-from repro.topologies import complete_graph, fat_tree, slim_fly
-from repro.topologies.base import Topology
 
 
 def _assert_valid_paths(topology, paths, s, t):

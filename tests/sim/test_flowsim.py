@@ -6,13 +6,11 @@ import pytest
 from repro.core.config import FatPathsConfig
 from repro.core.fatpaths import FatPathsRouting
 from repro.core.loadbalance import EcmpSelector, FlowletSelector
-from repro.core.mapping import random_mapping
 from repro.core.transport import ndp_transport, tcp_transport
 from repro.routing import EcmpRouting
-from repro.sim.flowsim import FlowLevelSimulator, FlowSimConfig, simulate_workload
-from repro.sim.metrics import SimulationResult, speedup_over_baseline, summarize_flows
+from repro.sim.flowsim import FlowSimConfig, simulate_workload
+from repro.sim.metrics import speedup_over_baseline, summarize_flows
 from repro.topologies import slim_fly, star
-from repro.topologies.base import Topology
 from repro.traffic.flows import Flow, Workload, uniform_size_workload
 from repro.traffic.patterns import off_diagonal, random_permutation
 
@@ -55,7 +53,6 @@ class TestBasicBehaviour:
         assert small.fct < big.fct
 
     def test_same_router_flow_bottlenecked_by_nic(self, sf, sf_fatpaths):
-        p = sf.concentration
         wl = Workload([Flow(0.0, 0, 1, 1e6)])  # endpoints 0 and 1 share router 0
         result = simulate_workload(sf, sf_fatpaths, wl, seed=0)
         assert result.records[0].fct == pytest.approx(1e6 / LINE_RATE, rel=0.1)

@@ -1,0 +1,105 @@
+"""Regression tests for degenerate graphs: isolated routers, empty edge lists and the
+disconnected layers that low-``rho`` sampling produces.  None of the metric entry
+points may raise on these inputs (``diameter`` still raises ``ValueError`` on
+disconnection, by contract — but cleanly, not via an internal error)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FatPathsConfig
+from repro.core.forwarding import build_forwarding_tables
+from repro.core.layers import random_edge_sampling_layers
+from repro.topologies import slim_fly
+from repro.topologies.base import Topology
+
+
+class TestEmptyEdgeLists:
+    def test_no_edges_multi_router(self):
+        t = Topology("empty", 5, [], 1)
+        assert not t.is_connected()
+        assert t.network_radix == 0
+        assert t.average_path_length() == 0.0
+        dist = t.bfs_distances(2)
+        assert list(dist) == [-1, -1, 0, -1, -1]
+
+    def test_no_edges_single_router(self):
+        t = Topology("lonely", 1, [], 4)
+        assert t.is_connected()
+        assert t.diameter() == 0
+        assert t.average_path_length() == 0.0
+        assert list(t.bfs_distances(0)) == [0]
+
+    def test_diameter_raises_cleanly_without_edges(self):
+        t = Topology("empty", 3, [], 1)
+        with pytest.raises(ValueError, match="disconnected"):
+            t.diameter()
+
+
+class TestIsolatedRouters:
+    def test_isolated_router_distances(self):
+        t = Topology("iso", 5, [(0, 1), (1, 2), (0, 2)], 1)
+        assert not t.is_connected()
+        from_isolated = t.bfs_distances(4)
+        assert list(from_isolated) == [-1, -1, -1, -1, 0]
+        to_isolated = t.bfs_distances(0)
+        assert to_isolated[4] == -1 and to_isolated[2] == 1
+
+    def test_bfs_source_out_of_range(self):
+        t = Topology("iso", 3, [(0, 1)], 1)
+        with pytest.raises(ValueError):
+            t.bfs_distances(3)
+        with pytest.raises(ValueError):
+            t.bfs_distances(-1)
+
+    def test_average_path_length_ignores_unreachable_pairs(self):
+        t = Topology("iso", 4, [(0, 1)], 1)
+        # only (0,1) and (1,0) are reachable, both at distance 1
+        assert t.average_path_length() == pytest.approx(1.0)
+
+
+class TestDegenerateLayers:
+    """Layers sampled with very low rho disconnect; every consumer must cope."""
+
+    @pytest.fixture(scope="class")
+    def sparse_layers(self):
+        topo = slim_fly(5)
+        config = FatPathsConfig(num_layers=4, rho=0.02, seed=7)
+        return topo, random_edge_sampling_layers(topo, config)
+
+    def test_sparse_layer_subtopology_metrics_do_not_raise(self, sparse_layers):
+        topo, layers = sparse_layers
+        for layer in layers:
+            sub = layer.subtopology(topo)
+            connected = sub.is_connected()
+            dist = sub.bfs_distances(0)
+            assert dist.shape == (topo.num_routers,)
+            if not connected:
+                assert (dist == -1).any()
+                with pytest.raises(ValueError, match="disconnected"):
+                    sub.diameter()
+
+    def test_sparse_layer_has_disconnected_member(self, sparse_layers):
+        topo, layers = sparse_layers
+        # rho=0.02 keeps ~3 of 175 links: the sampled layers must be disconnected,
+        # which is exactly the regime the fallback-to-full forwarding handles.
+        assert any(not layer.subtopology(topo).is_connected()
+                   for layer in layers if not layer.is_full)
+
+    def test_forwarding_tables_fall_back_on_sparse_layers(self, sparse_layers):
+        topo, layers = sparse_layers
+        tables = build_forwarding_tables(layers, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s, t = rng.choice(topo.num_routers, size=2, replace=False)
+            for layer_idx in range(tables.num_layers):
+                path = tables.path(layer_idx, int(s), int(t))
+                assert path is not None, "full-layer fallback must route every pair"
+                assert path[0] == s and path[-1] == t
+
+    def test_single_edge_subgraph(self):
+        topo = slim_fly(5)
+        sub = topo.subgraph([(0, 1)])
+        assert not sub.is_connected()
+        assert sub.num_edges == 1
+        assert sub.bfs_distances(0)[1] == 1
+        assert sub.average_path_length() == pytest.approx(1.0)

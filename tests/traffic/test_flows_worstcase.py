@@ -11,7 +11,7 @@ from repro.traffic.flows import (
     poisson_workload,
     uniform_size_workload,
 )
-from repro.traffic.patterns import off_diagonal, random_permutation
+from repro.traffic.patterns import off_diagonal
 from repro.traffic.worstcase import worst_case_pattern, worst_case_router_pairing
 
 
