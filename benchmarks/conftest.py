@@ -14,6 +14,12 @@ import os
 import pytest
 
 from repro.experiments.common import Scale, run_experiment
+from repro.topologies import slim_fly
+
+#: Slim Fly size per FATPATHS_BENCH_SCALE for the legacy-vs-kernel and
+#: cached-vs-uncached comparisons (tiny: 50 routers, small: 162, medium: 578).
+#: Shared here so both suites always benchmark the same graphs.
+SCALE_Q = {"tiny": 5, "small": 9, "medium": 17}
 
 
 def bench_scale() -> Scale:
@@ -23,6 +29,12 @@ def bench_scale() -> Scale:
 @pytest.fixture(scope="session")
 def scale() -> Scale:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def kgraph(scale):
+    """Scale-dependent Slim Fly instance for the before/after benchmark pairs."""
+    return slim_fly(SCALE_Q[scale.value])
 
 
 def run_experiment_once(benchmark, name: str, scale: Scale, **kwargs):

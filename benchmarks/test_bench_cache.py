@@ -9,21 +9,13 @@ Two explicit before/after pairs:
   independent (experiment, seed) cells across cores.
 """
 
-import pytest
-
 from repro.core.config import FatPathsConfig
 from repro.core.layers import build_layers
 from repro.core.forwarding import build_forwarding_tables
 from repro.experiments.grid import make_grid, run_experiment_grid
 from repro.kernels import global_cache, kernels_for
-from repro.topologies import slim_fly
 
-_SCALE_Q = {"tiny": 5, "small": 9, "medium": 17}
-
-
-@pytest.fixture(scope="module")
-def kgraph(scale):
-    return slim_fly(_SCALE_Q[scale.value])
+# the scale-dependent `kgraph` Slim Fly instance is shared via conftest.py
 
 
 def test_bench_apsp_uncached(benchmark, kgraph):

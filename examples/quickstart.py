@@ -9,8 +9,10 @@ This walks through the library's core workflow in a few minutes of runtime:
 3. build FatPaths layered routing and inspect the multi-path candidates it exposes;
 4. simulate a permutation workload and compare FatPaths against single-path ECMP.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--q 7] [--samples 200]
 """
+
+import argparse
 
 import numpy as np
 
@@ -25,26 +27,35 @@ from repro.traffic.patterns import random_permutation
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--q", type=int, default=7,
+                        help="Slim Fly parameter q (q=7: 98 routers; q=5: 50)")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="sampled router pairs for the diversity statistics")
+    args = parser.parse_args()
+    if args.samples < 1:
+        parser.error("--samples must be >= 1")
     rng = np.random.default_rng(0)
 
     # 1. A Slim Fly with q = 7: 98 routers, diameter 2, ~588 endpoints.
-    topology = slim_fly(7)
+    topology = slim_fly(args.q)
     print(f"topology: {topology}")
     print(f"  diameter = {topology.diameter()}, average path length = "
           f"{topology.average_path_length():.2f}")
 
     # 2. Path diversity: shortest paths are scarce, almost-minimal paths are not.
-    stats = minimal_path_statistics(topology, num_samples=300, rng=rng)
+    stats = minimal_path_statistics(topology, num_samples=args.samples, rng=rng)
     print(f"\npath diversity (sampled router pairs):")
     print(f"  fraction of pairs with a single shortest path: "
           f"{stats.fraction_single_shortest_path:.0%}")
-    almost_minimal = disjoint_path_distribution(topology, max_len=3, num_samples=200, rng=rng)
+    almost_minimal = disjoint_path_distribution(topology, max_len=3,
+                                                num_samples=args.samples, rng=rng)
     print(f"  median disjoint paths of <= 3 hops: {np.median(almost_minimal):.0f} "
           f"(>= 3 for {np.mean(almost_minimal >= 3):.0%} of pairs)")
 
     # 3. FatPaths layered routing: one (possibly non-minimal) path per layer.
     routing = FatPathsRouting(topology, FatPathsConfig(num_layers=9, rho=0.75, seed=0))
-    s, t = 0, 60
+    s, t = 0, min(60, topology.num_routers - 1)
     print(f"\nFatPaths candidate paths from router {s} to router {t}:")
     for path in routing.router_paths(s, t):
         print(f"  {path}  ({len(path) - 1} hops)")

@@ -6,11 +6,16 @@ from ``s`` towards ``t``.  This module computes those functions as dense next-ho
 tables (one ``Nr x Nr`` int array per layer) plus the per-layer distance matrices, and
 provides path extraction by iterating the forwarding function.
 
-Distances come from the vectorized CSR kernels through the process-wide path cache,
-keyed by (topology fingerprint, layer index) — repeated forwarding-table builds over
-identical layers (common across figures of one experiment sweep) reuse one APSP
-computation.  Next hops are chosen uniformly at random among the neighbours that make
-progress (Listing 3: "choose a random first step port, if there are multiple options").
+Both distances and next-hop tables come from the vectorized CSR kernels through the
+process-wide path cache, keyed by (topology fingerprint, layer index, edge digest):
+the tables are built by :mod:`repro.kernels.nexthop` — a fully vectorized permuted
+-neighbour scan over the cached distance matrix, no per-source Python loop — and
+cached per ``(layer, seed)``, so repeated forwarding builds over identical layers
+(common across figures of one experiment sweep) reuse one APSP *and* one table
+construction.  Next hops are chosen uniformly at random among the neighbours that
+make progress (Listing 3: "choose a random first step port, if there are multiple
+options"); each layer draws its randomness from the deterministic per-layer seed
+``(base_seed, layer_index)``.
 """
 
 from __future__ import annotations
@@ -32,35 +37,14 @@ def _layer_distance_matrix(topology: Topology, layer: Layer) -> np.ndarray:
     return layer_kernels(topology, layer).distance_matrix_float()
 
 
-def _next_hop_table(topology: Topology, layer: Layer, distances: np.ndarray,
-                    rng: np.random.Generator) -> np.ndarray:
+def _next_hop_table(topology: Topology, layer: Layer, seed) -> np.ndarray:
     """Dense next-hop table for one layer: ``table[s, t]`` = next router from s towards t.
 
-    For each router ``s`` and each neighbour ``v`` (within the layer), ``v`` is a valid
-    next hop towards all destinations ``t`` with ``dist(v, t) == dist(s, t) - 1``.
-    Neighbours are visited in random order and fill unassigned entries, which picks a
-    uniformly random valid port per (s, t) without materialising all candidate sets.
+    Served read-only from the layer's cached kernels (built vectorized by
+    :func:`repro.kernels.nexthop.next_hop_table`); equal ``(layer, seed)`` pairs
+    share one table.
     """
-    n = topology.num_routers
-    table = np.full((n, n), UNREACHABLE, dtype=np.int32)
-    np.fill_diagonal(table, np.arange(n))
-    neighbours: List[List[int]] = [[] for _ in range(n)]
-    for u, v in layer.edges:
-        neighbours[u].append(v)
-        neighbours[v].append(u)
-    for s in range(n):
-        neigh = neighbours[s]
-        if not neigh:
-            continue
-        order = rng.permutation(len(neigh))
-        dist_s = distances[s]
-        for idx in order:
-            v = neigh[int(idx)]
-            progress = distances[v] == dist_s - 1
-            assignable = progress & (table[s] == UNREACHABLE)
-            table[s, assignable] = v
-        table[s, s] = s
-    return table
+    return layer_kernels(topology, layer).next_hop_table(seed)
 
 
 @dataclass
@@ -151,16 +135,21 @@ class ForwardingTables:
 
 
 def build_forwarding_tables(layer_set: LayerSet, seed: Optional[int] = None) -> ForwardingTables:
-    """Populate per-layer forwarding tables for ``layer_set`` (Listing 3)."""
+    """Populate per-layer forwarding tables for ``layer_set`` (Listing 3).
+
+    Each layer's table is built by the vectorized kernel from the layer's cached
+    distance matrix under the deterministic seed ``(base_seed, layer_index)`` (where
+    ``base_seed`` is ``seed`` or the layer-set config seed), and is itself cached —
+    rebuilding over identical layers with the same seed returns the cached tables.
+    The returned next-hop arrays are read-only views of the cache.
+    """
     topology = layer_set.topology
-    rng = np.random.default_rng(layer_set.config.seed if seed is None else seed)
+    base_seed = layer_set.config.seed if seed is None else seed
     next_hops: List[np.ndarray] = []
     distances: List[np.ndarray] = []
     for layer in layer_set:
-        dist = _layer_distance_matrix(topology, layer)
-        table = _next_hop_table(topology, layer, dist, rng)
-        next_hops.append(table)
-        distances.append(dist)
+        distances.append(_layer_distance_matrix(topology, layer))
+        next_hops.append(_next_hop_table(topology, layer, (base_seed, layer.index)))
     return ForwardingTables(topology=topology, layer_set=layer_set,
                             next_hops=next_hops, distances=distances,
                             meta={"algorithm": layer_set.meta.get("algorithm", "random")})

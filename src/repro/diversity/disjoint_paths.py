@@ -1,74 +1,36 @@
 """Length-limited counts of edge-disjoint paths (the paper's CDP measure, §IV-B1).
 
-``c_l(A, B)`` is defined as the smallest number of edges whose removal disconnects every
-path of length at most ``l`` from the router set ``A`` to the router set ``B``.  Exact
-computation of maximum length-bounded disjoint path sets is NP-hard for ``l >= 4``, so —
-exactly like the paper — we use a Ford–Fulkerson-flavoured greedy heuristic: repeatedly
-find a path of length at most ``l`` (shortest first, via BFS), remove its edges, and
-count how many paths were removed before ``h_l(A) ∩ B`` becomes empty.  The result is a
-lower bound that is tight for the regimes of interest (it equals the true value whenever
-shortest augmenting paths do not interfere, which holds for small ``l``).
+``c_l(A, B)`` is defined as the smallest number of edges whose removal disconnects
+every path of length at most ``l`` from the router set ``A`` to the router set ``B``.
+Exact computation of maximum length-bounded disjoint path sets is NP-hard for
+``l >= 4``, so — exactly like the paper — we use a Ford–Fulkerson-flavoured greedy
+heuristic: repeatedly find a path of length at most ``l`` (shortest first, via BFS),
+remove its edges, and count how many paths were removed before ``h_l(A) ∩ B`` becomes
+empty.  The result is a lower bound that is tight for the regimes of interest (it
+equals the true value whenever shortest augmenting paths do not interfere, which holds
+for small ``l``).
+
+This module is a thin topology-level wrapper over the *batched* greedy kernel in
+:mod:`repro.kernels.disjoint`: the Figure 7 distribution runs all sampled pairs
+through one vectorized call, and the per-pair/per-set entry points run as
+single-item batches.  The scalar search the repository previously used lives on as
+:func:`repro.kernels.reference.greedy_disjoint_paths_python`, and the equivalence
+suite pins the kernel against it pair-for-pair.  Pruning bounds (distances to the
+target set in the unmutated topology, served by the shared path cache) are handed to
+the kernel; they provably never change results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.kernels.cache import kernels_for
+from repro.kernels.disjoint import batch_disjoint_paths
 from repro.topologies.base import Topology
 
 Edge = Tuple[int, int]
-
-
-def _bfs_path_within(adj: List[Set[int]], sources: Set[int], targets: Set[int],
-                     max_len: int,
-                     target_distance: Optional[np.ndarray] = None) -> Optional[List[int]]:
-    """Shortest path (as a vertex list) of length <= max_len from ``sources`` to ``targets``.
-
-    Returns None if no such path exists.  Paths of length 0 (a source that is also a
-    target) are reported as single-vertex paths.
-
-    ``target_distance`` optionally carries per-vertex lower bounds on the remaining
-    distance to ``targets`` (distances in the *unmutated* topology, computed once by
-    the CSR kernels).  Vertices with ``depth + bound > max_len`` can never lie on a
-    qualifying path — nor can anything discovered through them — so pruning them
-    provably returns the same path the unpruned search would.
-    """
-    for s in sources:
-        if s in targets:
-            return [s]
-    parent: Dict[int, int] = {}
-    depth: Dict[int, int] = {}
-    frontier = list(sources)
-    for s in sources:
-        depth[s] = 0
-    while frontier:
-        next_frontier: List[int] = []
-        for u in frontier:
-            d = depth[u]
-            if d >= max_len:
-                continue
-            for v in adj[u]:
-                if v in depth:
-                    continue
-                if target_distance is not None:
-                    bound = target_distance[v]
-                    if bound < 0 or d + 1 + bound > max_len:
-                        continue
-                depth[v] = d + 1
-                parent[v] = u
-                if v in targets:
-                    # reconstruct
-                    path = [v]
-                    while path[-1] not in sources:
-                        path.append(parent[path[-1]])
-                    path.reverse()
-                    return path
-                next_frontier.append(v)
-        frontier = next_frontier
-    return None
 
 
 def count_disjoint_paths_sets(topology: Topology, sources: Iterable[int],
@@ -97,13 +59,13 @@ def count_disjoint_paths_sets(topology: Topology, sources: Iterable[int],
         raise ValueError("source and target sets must be non-empty")
     if max_len < 1:
         raise ValueError("max_len must be >= 1")
-    count = 0
-    paths: List[List[int]] = []
     overlap = src & dst
     # A router in both sets constitutes an unremovable 0-length connection; the paper's
     # definition only considers designated distinct routers, so we simply skip them.
     effective_src = src - overlap if src - overlap else src
     effective_dst = dst - overlap if dst - overlap else dst
+    if effective_src & effective_dst:
+        return (0, []) if return_paths else 0
     # Lower bounds on the hop distance to the target set, from the shared CSR cache.
     # Removing edges only increases distances, so these bounds stay admissible across
     # the greedy iterations; pairs farther apart than max_len terminate immediately.
@@ -112,26 +74,18 @@ def count_disjoint_paths_sets(topology: Topology, sources: Iterable[int],
         target_distance = kernels.distances_from(next(iter(effective_dst)))
     else:
         target_distance = kernels.multi_source_distances(sorted(effective_dst))
-    if not (effective_src & effective_dst):
-        best = min((int(target_distance[s]) for s in effective_src
-                    if target_distance[s] >= 0), default=-1)
-        if best < 0 or best > max_len:
-            return (0, []) if return_paths else 0
-    # mutable adjacency (sets for O(1) removal)
-    adj: List[Set[int]] = [set(neigh) for neigh in topology.adjacency()]
-    while True:
-        path = _bfs_path_within(adj, effective_src, effective_dst, max_len,
-                                target_distance=target_distance)
-        if path is None or len(path) < 2:
-            break
-        count += 1
-        paths.append(path)
-        for u, v in zip(path, path[1:]):
-            adj[u].discard(v)
-            adj[v].discard(u)
+    best = min((int(target_distance[s]) for s in effective_src
+                if target_distance[s] >= 0), default=-1)
+    if best < 0 or best > max_len:
+        return (0, []) if return_paths else 0
+    item = [(sorted(effective_src), sorted(effective_dst))]
+    bounds = np.asarray(target_distance)[None, :]
     if return_paths:
-        return count, paths
-    return count
+        counts, paths = batch_disjoint_paths(kernels.csr, item, max_len,
+                                             bounds=bounds, return_paths=True)
+        return int(counts[0]), paths[0]
+    counts = batch_disjoint_paths(kernels.csr, item, max_len, bounds=bounds)
+    return int(counts[0])
 
 
 def count_disjoint_paths(topology: Topology, source: int, target: int, max_len: int,
@@ -143,6 +97,28 @@ def count_disjoint_paths(topology: Topology, source: int, target: int, max_len: 
                                      return_paths=return_paths)
 
 
+def count_disjoint_paths_pairs(topology: Topology,
+                               pairs: Sequence[Tuple[int, int]],
+                               max_len: int) -> np.ndarray:
+    """``c_l(s, t)`` for many router pairs in one batched kernel call.
+
+    All pairs advance through the greedy search simultaneously (one vectorized BFS
+    sweep per level across the whole batch); returns one count per pair, identical
+    to calling :func:`count_disjoint_paths` pair by pair.
+    """
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    pair_arr = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    if pair_arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if (pair_arr[:, 0] == pair_arr[:, 1]).any():
+        raise ValueError("source and target must differ")
+    kernels = kernels_for(topology)
+    source_rows, target_rows = kernels.pair_distance_rows(pair_arr)
+    return batch_disjoint_paths(kernels.csr, pair_arr, max_len,
+                                bounds=target_rows, source_bounds=source_rows)
+
+
 def disjoint_path_distribution(topology: Topology, max_len: int, num_samples: int = 200,
                                rng: Optional[np.random.Generator] = None,
                                pairs: Optional[Sequence[Tuple[int, int]]] = None) -> np.ndarray:
@@ -151,12 +127,12 @@ def disjoint_path_distribution(topology: Topology, max_len: int, num_samples: in
     Returns an array of counts, one per sampled pair.  Pairs are sampled uniformly at
     random from the endpoint-hosting routers (all routers except for fat trees, where
     only edge switches exchange traffic), unless an explicit ``pairs`` sequence is given.
+    The whole sample runs as one batched kernel call.
     """
     rng = rng or np.random.default_rng(0)
     candidates = list(topology.endpoint_routers)
     if len(candidates) < 2:
         raise ValueError("need at least two endpoint-hosting routers")
-    results = []
     if pairs is None:
         sampled: List[Tuple[int, int]] = []
         while len(sampled) < num_samples:
@@ -164,6 +140,4 @@ def disjoint_path_distribution(topology: Topology, max_len: int, num_samples: in
             if s != t:
                 sampled.append((candidates[int(s)], candidates[int(t)]))
         pairs = sampled
-    for s, t in pairs:
-        results.append(count_disjoint_paths(topology, s, t, max_len))
-    return np.asarray(results, dtype=np.int64)
+    return count_disjoint_paths_pairs(topology, pairs, max_len)

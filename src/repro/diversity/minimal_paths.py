@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diversity.disjoint_paths import count_disjoint_paths
 from repro.kernels.cache import kernels_for
+from repro.kernels.disjoint import batch_disjoint_paths
 from repro.topologies.base import Topology
 
 
@@ -32,17 +32,27 @@ def minimal_path_lengths(topology: Topology, sources: Optional[Sequence[int]] = 
 
 
 def minimal_path_counts(topology: Topology, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
-    """``c_min(s, t)`` for the given router pairs: edge-disjoint shortest-path counts."""
+    """``c_min(s, t)`` for the given router pairs: edge-disjoint shortest-path counts.
+
+    Pairs sharing an ``l_min`` run through one call of the batched greedy kernel
+    (``c_l`` at ``l = l_min``); unreachable pairs count zero.
+    """
     kernels = kernels_for(topology)
-    out = np.zeros(len(pairs), dtype=np.int64)
-    for i, (s, t) in enumerate(pairs):
-        if s == t:
-            raise ValueError("pairs must consist of distinct routers")
-        lmin = int(kernels.distances_from(s)[t])
+    pair_arr = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    out = np.zeros(pair_arr.shape[0], dtype=np.int64)
+    if pair_arr.size == 0:
+        return out
+    if (pair_arr[:, 0] == pair_arr[:, 1]).any():
+        raise ValueError("pairs must consist of distinct routers")
+    source_rows, target_rows = kernels.pair_distance_rows(pair_arr)
+    lmins = source_rows[np.arange(pair_arr.shape[0]), pair_arr[:, 1]]
+    for lmin in np.unique(lmins):
         if lmin < 0:
-            out[i] = 0
-            continue
-        out[i] = count_disjoint_paths(topology, s, t, lmin)
+            continue  # unreachable pairs keep count 0
+        idx = np.flatnonzero(lmins == lmin)
+        out[idx] = batch_disjoint_paths(
+            kernels.csr, pair_arr[idx], int(lmin),
+            bounds=target_rows[idx], source_bounds=source_rows[idx])
     return out
 
 

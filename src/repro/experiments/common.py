@@ -9,9 +9,12 @@
 from __future__ import annotations
 
 import importlib
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.topologies.configs import SizeClass
 
@@ -80,6 +83,35 @@ class ExperimentResult:
             if all(row.get(k) == v for k, v in criteria.items()):
                 out.append(row)
         return out
+
+
+def topology_rng(seed: int, name: str) -> np.random.Generator:
+    """A deterministic per-(seed, topology-name) random generator.
+
+    Experiments that iterate several topology families draw each family's samples
+    from its own generator instead of one shared stream, so running a filtered
+    subset of families (see ``topologies=`` below and the per-topology grid cells in
+    :mod:`repro.experiments.grid`) produces rows identical to the full run.  The
+    name is folded in via CRC32 — stable across processes, unlike ``hash()``.
+    """
+    return np.random.default_rng((int(seed), zlib.crc32(name.encode("utf-8"))))
+
+
+def select_topologies(available: Iterable[str],
+                      topologies: Optional[Sequence[str]]) -> List[str]:
+    """The subset of ``available`` names selected by a ``topologies=`` filter.
+
+    ``None`` selects everything (the default full run); unknown names raise so a
+    mistyped grid cell fails loudly instead of silently producing no rows.
+    """
+    names = list(available)
+    if topologies is None:
+        return names
+    wanted = [str(t) for t in topologies]
+    unknown = [t for t in wanted if t not in names]
+    if unknown:
+        raise ValueError(f"unknown topology selection {unknown}; available: {names}")
+    return [n for n in names if n in wanted]
 
 
 def _fmt(value: object) -> str:

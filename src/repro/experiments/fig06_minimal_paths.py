@@ -9,23 +9,29 @@ trees and HyperX retain high minimal diversity.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.diversity.minimal_paths import minimal_path_statistics
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
 from repro.topologies import comparable_configurations
 
+#: Base topology families this experiment iterates (each brings its Jellyfish
+#: equivalent along; grid cells may select a subset).
+TOPOLOGY_NAMES = ("SF", "DF", "HX3", "XP", "FT3")
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+
+def run(scale: Scale = Scale.TINY, seed: int = 0,
+        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
     scale = Scale(scale)
     size_class = scale.size_class()
     num_samples = scale.pick(150, 400, 800)
+    selected = select_topologies(TOPOLOGY_NAMES, topologies)
     configs = comparable_configurations(size_class, include_jellyfish=True,
-                                        topologies=["SF", "DF", "HX3", "XP", "FT3"],
-                                        seed=seed)
+                                        topologies=list(selected), seed=seed)
     rows = []
-    rng = np.random.default_rng(seed)
     for name, topo in configs.items():
+        # per-topology generator: a filtered run yields the same rows as a full one
+        rng = topology_rng(seed, name)
         stats = minimal_path_statistics(topo, num_samples=num_samples, rng=rng)
         row = {
             "topology": name,
@@ -50,5 +56,6 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         paper_reference="Figure 6",
         rows=rows,
         notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples},
+        meta={"scale": str(scale), "num_samples": num_samples,
+              "topologies": list(selected)},
     )

@@ -8,27 +8,42 @@ three disjoint paths for virtually all pairs, saturating towards the router radi
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.diversity.disjoint_paths import disjoint_path_distribution
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
 from repro.topologies import build, equivalent_jellyfish
 
+#: Topology families this experiment iterates (grid cells may select a subset).
+TOPOLOGY_NAMES = ("SF", "SF-JF", "DF", "HX3")
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+
+def run(scale: Scale = Scale.TINY, seed: int = 0,
+        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
     scale = Scale(scale)
     size_class = scale.size_class()
     num_samples = scale.pick(60, 150, 250)
-    rng = np.random.default_rng(seed)
-    sf = build("SF", size_class)
-    topologies = {
-        "SF": sf,
-        "SF-JF": equivalent_jellyfish(sf, seed=seed + 1),
-        "DF": build("DF", size_class),
-        "HX3": build("HX3", size_class),
+    selected = select_topologies(TOPOLOGY_NAMES, topologies)
+    built = {}
+
+    def base(name):
+        if name not in built:  # memo: "SF" and "SF-JF" share one SlimFly build
+            built[name] = build(name, size_class)
+        return built[name]
+
+    builders = {
+        "SF": lambda: base("SF"),
+        "SF-JF": lambda: equivalent_jellyfish(base("SF"), seed=seed + 1),
+        "DF": lambda: base("DF"),
+        "HX3": lambda: base("HX3"),
     }
     rows = []
-    for name, topo in topologies.items():
+    for name in selected:
+        topo = builders[name]()
+        # per-topology generator: a filtered run yields the same rows as a full one
+        rng = topology_rng(seed, name)
         for length in (2, 3, 4):
             values = disjoint_path_distribution(topo, length, num_samples=num_samples, rng=rng)
             rows.append({
@@ -51,5 +66,6 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         paper_reference="Figure 7",
         rows=rows,
         notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples},
+        meta={"scale": str(scale), "num_samples": num_samples,
+              "topologies": list(selected)},
     )

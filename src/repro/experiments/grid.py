@@ -7,6 +7,13 @@ routing state), so they parallelise embarrassingly over a ``ProcessPoolExecutor`
 each worker process grows its own :mod:`repro.kernels` path cache, which repeated
 cells on the same topology then share.
 
+Heavy diversity experiments (Figures 6/7, Table IV) iterate several topology
+families inside one ``run()`` call, which used to make them the slowest cells and
+bound the pool's wall clock.  :func:`split_heavy_cells` fans those experiments into
+*per-topology* cells via their ``topologies=`` filter; the per-topology random
+streams in :mod:`repro.experiments.common` guarantee the split cells' rows equal the
+unsplit run's, so splitting only changes scheduling granularity.
+
 Serial execution (``jobs=None`` or ``jobs<=1``) runs in-process, reusing the parent's
 cache — useful for debugging and as the baseline in the cached-vs-parallel benchmark.
 Cell failures are captured per cell (``GridCellResult.error``) instead of aborting the
@@ -15,16 +22,33 @@ whole sweep.
 
 from __future__ import annotations
 
+import importlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentResult, Scale, run_experiment
+from repro.experiments.common import ExperimentResult, Scale, registry, run_experiment
+
+
+def splittable_families(experiment: str) -> Optional[Tuple[str, ...]]:
+    """Topology families of a splittable experiment, or ``None``.
+
+    An experiment is splittable iff its module exposes a ``TOPOLOGY_NAMES``
+    tuple — the contract (see ``docs/experiments.md``) that its ``run()`` also
+    accepts a matching ``topologies=`` filter with per-family random streams.
+    Derived from the module itself so the splitter can never drift from the
+    experiment's own family list.
+    """
+    module_path = registry().get(experiment)
+    if module_path is None:
+        return None
+    families = getattr(importlib.import_module(module_path), "TOPOLOGY_NAMES", None)
+    return tuple(families) if families else None
 
 
 @dataclass(frozen=True)
 class GridCell:
-    """One (experiment, scale, seed) cell of a sweep."""
+    """One (experiment, scale, seed[, kwargs]) cell of a sweep."""
 
     name: str
     scale: str = "tiny"
@@ -32,7 +56,11 @@ class GridCell:
     kwargs: Tuple[Tuple[str, object], ...] = ()
 
     def label(self) -> str:
-        return f"{self.name}[scale={self.scale},seed={self.seed}]"
+        """Human-readable cell identifier used by the grid summary report."""
+        extras = dict(self.kwargs)
+        topo = extras.get("topologies")
+        suffix = f",topo={'+'.join(topo)}" if topo else ""
+        return f"{self.name}[scale={self.scale},seed={self.seed}{suffix}]"
 
 
 @dataclass
@@ -46,6 +74,7 @@ class GridCellResult:
 
     @property
     def ok(self) -> bool:
+        """True iff the cell completed without raising."""
         return self.error is None
 
 
@@ -56,6 +85,26 @@ def make_grid(names: Sequence[str], scales: Sequence[str] = ("tiny",),
     fixed = tuple(sorted((kwargs or {}).items()))
     return [GridCell(name=n, scale=str(Scale(s).value), seed=int(seed), kwargs=fixed)
             for n in names for s in scales for seed in seeds]
+
+
+def split_heavy_cells(cells: Iterable[GridCell]) -> List[GridCell]:
+    """Fan each splittable experiment cell into one cell per topology family.
+
+    Cells of experiments without :func:`splittable_families`, and cells that
+    already carry an explicit ``topologies`` selection, pass through unchanged.
+    The finer cells keep the original order (grouped per parent cell), so summary
+    reports stay readable and result concatenation is deterministic.
+    """
+    out: List[GridCell] = []
+    for cell in cells:
+        families = splittable_families(cell.name)
+        if families is None or any(key == "topologies" for key, _ in cell.kwargs):
+            out.append(cell)
+            continue
+        for family in families:
+            out.append(GridCell(name=cell.name, scale=cell.scale, seed=cell.seed,
+                                kwargs=cell.kwargs + (("topologies", (family,)),)))
+    return out
 
 
 def _run_cell(cell: GridCell) -> GridCellResult:
@@ -97,13 +146,16 @@ class GridSummary:
 
     @property
     def num_ok(self) -> int:
+        """Number of cells that completed successfully."""
         return sum(1 for r in self.results if r.ok)
 
     @property
     def num_failed(self) -> int:
+        """Number of cells whose error was captured."""
         return len(self.results) - self.num_ok
 
     def report(self) -> str:
+        """One status line per cell plus an ok/total footer (the CLI output)."""
         lines = []
         for r in self.results:
             status = "ok" if r.ok else f"FAILED ({r.error})"

@@ -16,7 +16,9 @@ Run everything (tiny scale, for a quick end-to-end check)::
     fatpaths-experiment all --scale tiny
 
 Fan an experiment grid across cores — the cross product of experiments, scales and
-seeds runs as independent cells on a process pool::
+seeds runs as independent cells on a process pool.  With ``--jobs``, heavy
+diversity experiments are additionally split into per-topology cells (disable with
+``--no-split``) so the pool is not bounded by one slow cell::
 
     fatpaths-experiment fig06,tab05 --scales tiny,small --seeds 0,1,2 --jobs 8
 """
@@ -29,7 +31,12 @@ import time
 from typing import List, Optional
 
 from repro.experiments.common import Scale, registry, run_experiment
-from repro.experiments.grid import GridSummary, make_grid, run_experiment_grid
+from repro.experiments.grid import (
+    GridSummary,
+    make_grid,
+    run_experiment_grid,
+    split_heavy_cells,
+)
 
 
 def _parse_seeds(spec: str) -> List[int]:
@@ -41,6 +48,22 @@ def _parse_seeds(spec: str) -> List[int]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``fatpaths-experiment``); returns the process exit code.
+
+    Two modes share one invocation syntax:
+
+    * **Report mode** (default): run each named experiment at ``--scale`` /
+      ``--seed`` and print its full table.
+    * **Grid mode** (any of ``--jobs`` / ``--scales`` / ``--seeds`` given): build
+      the cross product of experiments x scales x seeds as independent cells and
+      print a per-cell summary.  ``--seeds`` accepts a comma list (``0,1,2``) or an
+      inclusive range (``0:4``); ``--scales`` sweeps scales.  ``--jobs N`` fans the
+      cells over ``N`` worker processes (each with its own path cache), and by
+      default also splits heavy diversity experiments into per-topology cells —
+      identical rows, finer scheduling; ``--no-split`` keeps whole-experiment
+      cells.  Cell failures are captured per cell and reported in the summary
+      (exit code 1) instead of aborting the sweep.
+    """
     parser = argparse.ArgumentParser(
         prog="fatpaths-experiment",
         description="Regenerate the tables and figures of the FatPaths paper.")
@@ -59,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seeds", default=None, metavar="SPEC",
                         help="grid mode: comma list ('0,1,2') or inclusive range ('0:4') "
                              "of seeds (overrides --seed)")
+    parser.add_argument("--split", action=argparse.BooleanOptionalAction, default=None,
+                        help="grid mode: split heavy diversity experiments into "
+                             "per-topology cells (default: on when --jobs is given)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -74,10 +100,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    # Grid mode (per-cell summary instead of full reports) only when a sweep/parallel
-    # flag is given; plain "all" or comma lists still print every experiment's tables.
+    # Grid mode (per-cell summary instead of full reports) when a sweep/parallel
+    # flag is given, or when splitting is explicitly requested (per-topology cells
+    # only exist in grid mode).  A lone --no-split is a no-op and keeps the full
+    # report output; plain "all" or comma lists also print every table.
     grid_mode = (args.jobs is not None or args.scales is not None
-                 or args.seeds is not None)
+                 or args.seeds is not None or args.split is True)
     if grid_mode:
         scales = ([s for s in args.scales.split(",") if s] if args.scales
                   else [args.scale])
@@ -94,6 +122,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "(use a comma list '0,1,2' or an inclusive range '0:4')", file=sys.stderr)
             return 2
         cells = make_grid(names, scales=scales, seeds=seeds)
+        split = args.split if args.split is not None else args.jobs is not None
+        if split:
+            cells = split_heavy_cells(cells)
         if not cells:
             print("grid is empty (no seeds selected)", file=sys.stderr)
             return 2

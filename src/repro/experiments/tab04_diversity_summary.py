@@ -14,29 +14,36 @@ have worse tails.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.diversity.metrics import cdp_summary, pi_summary
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
 from repro.topologies import build, equivalent_jellyfish
 
 #: The evaluation distances d' used in the paper's Table IV.
 PAPER_DISTANCES = {"CLIQUE": 2, "SF": 3, "XP": 3, "HX3": 3, "DF": 4, "FT3": 4}
 
+#: Base topology families this experiment iterates (each non-clique family brings
+#: its Jellyfish equivalent along; grid cells may select a subset).
+TOPOLOGY_NAMES = tuple(PAPER_DISTANCES)
 
-def run(scale: Scale = Scale.TINY, seed: int = 0,
-        include_jellyfish: bool = True) -> ExperimentResult:
+
+def run(scale: Scale = Scale.TINY, seed: int = 0, include_jellyfish: bool = True,
+        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
     scale = Scale(scale)
     size_class = scale.size_class()
     num_samples = scale.pick(60, 150, 300)
-    rng = np.random.default_rng(seed)
+    selected = select_topologies(TOPOLOGY_NAMES, topologies)
     rows = []
-    for short_name, distance in PAPER_DISTANCES.items():
+    for short_name in selected:
+        distance = PAPER_DISTANCES[short_name]
         topo = build(short_name, size_class, seed=seed)
         variants = {short_name: topo}
         if include_jellyfish and short_name not in ("CLIQUE",):
             variants[f"{short_name}-JF"] = equivalent_jellyfish(topo, seed=seed + 1)
         for name, variant in variants.items():
+            # per-topology generator: filtered runs yield the same rows as full ones
+            rng = topology_rng(seed, name)
             cdp = cdp_summary(variant, distance, num_samples=num_samples, rng=rng)
             pi = pi_summary(variant, distance, num_samples=max(20, num_samples // 2), rng=rng)
             rows.append({
@@ -59,5 +66,6 @@ def run(scale: Scale = Scale.TINY, seed: int = 0,
         paper_reference="Table IV",
         rows=rows,
         notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples},
+        meta={"scale": str(scale), "num_samples": num_samples,
+              "topologies": list(selected)},
     )

@@ -42,6 +42,12 @@ def _readonly(arr: np.ndarray) -> np.ndarray:
     return arr
 
 
+#: Per-graph bound on retained next-hop tables (one per distinct seed).  Real
+#: workloads use one or two seeds per layer; the cap keeps a multi-seed sweep over
+#: a single cached graph from growing one (N, N) table per seed without limit.
+_MAX_NEXT_HOP_TABLES = 8
+
+
 class GraphKernels:
     """Lazily computed, cached kernel results for one fingerprinted graph.
 
@@ -51,6 +57,7 @@ class GraphKernels:
     """
 
     def __init__(self, csr: CSRGraph, fingerprint: str) -> None:
+        """Wrap ``csr`` (fingerprinted as ``fingerprint``) with empty lazy caches."""
         self.csr = csr
         self.fingerprint = fingerprint
         self._rows: Dict[int, np.ndarray] = {}
@@ -58,6 +65,7 @@ class GraphKernels:
         self._matrix_float: Optional[np.ndarray] = None
         self._counts: Optional[np.ndarray] = None
         self._connected: Optional[bool] = None
+        self._next_hops: Dict[tuple, np.ndarray] = {}
 
     # -------------------------------------------------------------- distances
     def distances_from(self, source: int) -> np.ndarray:
@@ -77,6 +85,29 @@ class GraphKernels:
             self._matrix = _readonly(self.csr.distance_matrix())
             self._rows.clear()
         return self._matrix
+
+    def pair_distance_rows(self, pairs) -> tuple:
+        """``(source_rows, target_rows)`` BFS distance rows for router pairs.
+
+        Reuses the cached APSP when it is warm — or computes it when the batch
+        touches a comparable number of rows anyway — and otherwise runs two
+        batched BFS sweeps over just the unique endpoints, so a small pair batch
+        on a large topology never forces the full ``O(N^2)`` matrix.  The rows
+        serve as admissible pruning bounds for
+        :func:`repro.kernels.disjoint.batch_disjoint_paths` (removal only
+        increases distances); ``source_rows[i, t]`` also reads off each pair's
+        hop distance.
+        """
+        pair_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        matrix = self._matrix
+        if matrix is None and 2 * pair_arr.shape[0] >= self.csr.num_nodes:
+            matrix = self.distance_matrix()
+        if matrix is not None:
+            return matrix[pair_arr[:, 0]], matrix[pair_arr[:, 1]]
+        unique_src, inv_src = np.unique(pair_arr[:, 0], return_inverse=True)
+        unique_dst, inv_dst = np.unique(pair_arr[:, 1], return_inverse=True)
+        return (self.csr.bfs_distances_batch(unique_src)[inv_src],
+                self.csr.bfs_distances_batch(unique_dst)[inv_dst])
 
     def distance_matrix_float(self) -> np.ndarray:
         """The distance matrix as float64 with ``inf`` for unreachable pairs."""
@@ -99,7 +130,31 @@ class GraphKernels:
             self._counts = _readonly(shortest_path_counts(self.csr, self.distance_matrix()))
         return self._counts
 
+    def next_hop_table(self, seed) -> np.ndarray:
+        """The random-minimal next-hop table for ``seed`` (read-only, cached per seed).
+
+        Built by the vectorized :func:`repro.kernels.nexthop.next_hop_table` from
+        this graph's cached distance matrix.  Equal int/int-tuple seeds return the
+        same cached array, so repeated forwarding builds over identical layers cost
+        one kernel invocation (per seed) instead of one per build.  Seeds without a
+        faithful value key (``None``, ``SeedSequence`` objects) are never cached —
+        each call builds a fresh table, preserving their randomness semantics.
+        """
+        from repro.kernels.nexthop import next_hop_table, normalize_seed_key
+
+        key = normalize_seed_key(seed)
+        if key is None:
+            return _readonly(next_hop_table(self.csr, self.distance_matrix(), seed))
+        table = self._next_hops.get(key)
+        if table is None:
+            while len(self._next_hops) >= _MAX_NEXT_HOP_TABLES:
+                self._next_hops.pop(next(iter(self._next_hops)))  # oldest seed
+            table = _readonly(next_hop_table(self.csr, self.distance_matrix(), seed))
+            self._next_hops[key] = table
+        return table
+
     def is_connected(self) -> bool:
+        """Connectivity of the graph (computed once)."""
         if self._connected is None:
             self._connected = self.csr.is_connected()
         return self._connected
@@ -107,7 +162,11 @@ class GraphKernels:
     def retained_nbytes(self) -> int:
         """Bytes pinned by this entry's cached results (grows as results are computed)."""
         total = self.csr.indptr.nbytes + self.csr.indices.nbytes
+        dense = self.csr.__dict__.get("dense_adjacency")  # memoised lazily
+        if dense is not None:
+            total += dense.nbytes
         total += sum(row.nbytes for row in self._rows.values())
+        total += sum(table.nbytes for table in self._next_hops.values())
         for arr in (self._matrix, self._matrix_float, self._counts):
             if arr is not None:
                 total += arr.nbytes
@@ -119,11 +178,13 @@ class PathCache:
 
     Eviction is bounded both by entry count (``maxsize``) and by retained bytes
     (``max_bytes``).  Entries grow *after* insertion as distance matrices and path
-    counts are lazily computed, so the byte budget is re-checked on every access;
-    the most recently used entry is never evicted (its caller holds a reference).
+    counts are lazily computed, so the byte budget is re-checked on every insertion
+    and periodically on hits (every 64th, keeping hot lookups O(1)); the most
+    recently used entry is never evicted (its caller holds a reference).
     """
 
     def __init__(self, maxsize: int = 128, max_bytes: int = 512 << 20) -> None:
+        """Create an empty cache bounded by ``maxsize`` entries / ``max_bytes`` bytes."""
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         if max_bytes < 1:
@@ -166,11 +227,13 @@ class PathCache:
         return entry
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters (cold-start state)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
 
     def stats(self) -> Dict[str, int]:
+        """Counters snapshot: graphs held, hits, misses and retained bytes."""
         return {"graphs": len(self._entries), "hits": self.hits, "misses": self.misses,
                 "retained_bytes": sum(e.retained_nbytes() for e in self._entries.values())}
 

@@ -73,6 +73,7 @@ class CSRGraph:
         return self.indices.size // 2
 
     def degrees(self) -> np.ndarray:
+        """Per-vertex degree (number of incident undirected links)."""
         return (self.indptr[1:] - self.indptr[:-1]).astype(np.int64)
 
     def scipy_adjacency(self, dtype=np.int64) -> csr_matrix:
@@ -85,6 +86,21 @@ class CSRGraph:
     def _adjacency_int32(self) -> csr_matrix:
         """Memoised int32 adjacency for the batched-BFS inner loop."""
         return self.scipy_adjacency(dtype=np.int32)
+
+    @cached_property
+    def dense_adjacency(self) -> np.ndarray:
+        """Memoised dense symmetric boolean adjacency (read-only).
+
+        Built once per graph for consumers that slice dense per-item blocks
+        (the batched disjoint-path kernel); callers must not mutate it.
+        """
+        dense = np.zeros((self.num_nodes, self.num_nodes), dtype=bool)
+        if self.indices.size:
+            heads = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
+                              np.diff(self.indptr).astype(np.int64))
+            dense[heads, self.indices] = True
+        dense.setflags(write=False)
+        return dense
 
     def neighbours(self, node: int) -> np.ndarray:
         """The (sorted) neighbour slice of ``node`` — a view into the CSR arrays."""

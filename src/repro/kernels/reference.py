@@ -1,20 +1,26 @@
 """Legacy scalar reference implementations, preserved for equivalence testing.
 
-These are the pure-Python per-source kernels the repository shipped with before the
-vectorized CSR engine in :mod:`repro.kernels.csr` replaced them on the hot paths.
-They are kept verbatim (modulo operating on raw adjacency data instead of a
+These are the pure-Python per-source/per-pair kernels the repository shipped with
+before the vectorized CSR engine in :mod:`repro.kernels` replaced them on the hot
+paths.  They are kept (modulo operating on raw adjacency data instead of a
 ``Topology``) so that
 
 * the equivalence test suite can assert, on every topology generator, that the
-  vectorized kernels reproduce the legacy results bit-for-bit, and
+  vectorized kernels reproduce the scalar results bit-for-bit, and
 * the benchmark suite can report the legacy-vs-kernel speedup on identical inputs.
+
+Two entries are *specifications* rather than seed code:
+:func:`greedy_disjoint_paths_python` and :func:`next_hop_table_python` define the
+deterministic tie-breaking semantics (documented per function) that the batched
+kernels in :mod:`repro.kernels.disjoint` and :mod:`repro.kernels.nexthop` must
+reproduce exactly.
 
 Do not "optimise" this module — its value is being the trusted slow baseline.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -92,6 +98,117 @@ def count_shortest_paths_python(num_nodes: int, edges: Sequence[Edge]) -> np.nda
         if reached.all():
             break
     return counts
+
+
+def _shortest_qualifying_path_python(adj: List[Set[int]], sources: Set[int],
+                                     targets: Set[int],
+                                     max_len: int) -> Optional[List[int]]:
+    """Deterministic level-synchronous bounded BFS (the greedy CDP tie-break spec).
+
+    Discovery is level-synchronous; a newly discovered vertex's parent is its
+    *minimum-index* neighbour on the previous frontier; the search stops at the
+    first level that reaches any target and returns the path to the
+    *minimum-index* target discovered at that level (``None`` if no target is
+    reachable within ``max_len`` hops).
+    """
+    parent: Dict[int, int] = {}
+    seen: Set[int] = set(sources)
+    frontier = sorted(sources)
+    for _ in range(max_len):
+        newly: Dict[int, int] = {}
+        for u in frontier:  # ascending u: first discovery assigns the min parent
+            for v in sorted(adj[u]):
+                if v not in seen and v not in newly:
+                    newly[v] = u
+        if not newly:
+            return None
+        parent.update(newly)
+        hits = sorted(v for v in newly if v in targets)
+        if hits:
+            path = [hits[0]]
+            while path[-1] not in sources:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        seen.update(newly)
+        frontier = sorted(newly)
+    return None
+
+
+def greedy_disjoint_paths_python(num_nodes: int, edges: Sequence[Edge],
+                                 sources: Sequence[int], targets: Sequence[int],
+                                 max_len: int, mode: str = "edge",
+                                 return_paths: bool = False):
+    """Scalar greedy disjoint-path counting — the trusted baseline for
+    :func:`repro.kernels.disjoint.batch_disjoint_paths` (one item per call).
+
+    Repeatedly finds a shortest qualifying path with
+    :func:`_shortest_qualifying_path_python` and saturates it: the path's edges are
+    removed in both modes, and ``mode="vertex"`` additionally deletes the path's
+    interior vertices (implicit node splitting).  Items whose source and target
+    sets intersect count zero.
+    """
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    src = set(int(s) for s in sources)
+    dst = set(int(t) for t in targets)
+    if not src or not dst:
+        raise ValueError("source and target sets must be non-empty")
+    adj = [set() for _ in range(num_nodes)]
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    count = 0
+    paths: List[List[int]] = []
+    if not (src & dst):
+        while True:
+            path = _shortest_qualifying_path_python(adj, src, dst, max_len)
+            if path is None:
+                break
+            count += 1
+            paths.append(path)
+            for u, v in zip(path, path[1:]):
+                adj[u].discard(v)
+                adj[v].discard(u)
+            if mode == "vertex":
+                for w in path[1:-1]:
+                    for x in adj[w]:
+                        adj[x].discard(w)
+                    adj[w].clear()
+    if return_paths:
+        return count, paths
+    return count
+
+
+def next_hop_table_python(num_nodes: int, edges: Sequence[Edge],
+                          distances: np.ndarray, seed) -> np.ndarray:
+    """Scalar random-minimal next-hop table — the trusted baseline for
+    :func:`repro.kernels.nexthop.next_hop_table`.
+
+    One random key per directed slot of the sorted adjacency (a single
+    ``rng.random`` call, CSR slot order); each source visits its neighbours in
+    key-ascending order and every neighbour claims the still-unassigned
+    destinations it makes minimal progress towards (``dist(v, t) == dist(s, t) -
+    1`` with ``dist(s, t)`` finite and positive).  Unreachable pairs stay ``-1``;
+    the diagonal maps to itself.
+    """
+    adj = adjacency_lists(num_nodes, edges)
+    table = np.full((num_nodes, num_nodes), -1, dtype=np.int32)
+    dist = np.asarray(distances, dtype=np.float64)
+    keys = np.random.default_rng(seed).random(sum(len(a) for a in adj))
+    starts = np.cumsum([0] + [len(a) for a in adj])
+    for s in range(num_nodes):
+        slots = list(range(starts[s], starts[s + 1]))
+        slots.sort(key=lambda slot: keys[slot])
+        for slot in slots:
+            v = adj[s][slot - starts[s]]
+            for t in range(num_nodes):
+                want = dist[s, t] - 1.0
+                if (want >= 0 and np.isfinite(want) and table[s, t] < 0
+                        and dist[v, t] == want):
+                    table[s, t] = v
+        table[s, s] = s
+    return table
 
 
 def next_hop_sets_python(num_nodes: int, edges: Sequence[Edge],

@@ -1,0 +1,51 @@
+"""Documentation health: internal markdown links must resolve.
+
+Runs the same checker as the CI docs job (``tools/check_links.py``) over README.md
+and ``docs/``, plus unit tests of the slug/link parsing it relies on.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "check_links", REPO_ROOT / "tools" / "check_links.py")
+check_links = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_links", check_links)
+spec.loader.exec_module(check_links)
+
+
+def test_readme_and_docs_links_resolve():
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    assert len(files) >= 3, "expected README.md plus docs/ pages"
+    problems = []
+    for path in files:
+        problems.extend(check_links.check_file(path))
+    assert not problems, "\n".join(f"{p}: {t} ({r})" for p, t, r in problems)
+
+
+def test_github_slugs():
+    assert check_links.github_slug("How the cache is keyed") == "how-the-cache-is-keyed"
+    assert check_links.github_slug("Name → paper mapping") == "name--paper-mapping"
+    assert check_links.github_slug("`repro.kernels` engine") == "reprokernels-engine"
+
+
+def test_heading_slugs_skip_code_fences():
+    md = "# Top\n```\n# not a heading\n```\n## Sub\n## Sub\n"
+    assert check_links.heading_slugs(md) == ["top", "sub", "sub-1"]
+
+
+def test_check_file_reports_missing_targets(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# Here\n[ok](page.md)\n[bad](nope.md)\n[badanchor](#nope)\n")
+    problems = check_links.check_file(page)
+    assert [(t, r) for _, t, r in problems] == [
+        ("nope.md", "missing file"), ("#nope", "missing anchor")]
+
+
+def test_external_links_ignored(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("[x](https://example.com/zzz) [y](mailto:a@b.c)\n")
+    assert check_links.check_file(page) == []

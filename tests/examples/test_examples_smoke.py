@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run cleanly at tiny scale.
+
+Each example is executed as a real subprocess (``python examples/<name>.py``) with
+arguments that shrink its instances to test size, exactly as a user would run it.
+This pins the examples against API drift in the library — historically the first
+thing to silently break during refactors.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> (tiny-scale argv, snippets expected in stdout)
+EXAMPLES = {
+    "quickstart.py": (
+        ["--q", "5", "--samples", "60"],
+        ["topology:", "FatPaths candidate paths", "tail speedup"],
+    ),
+    "path_diversity_report.py": (
+        ["--size-class", "tiny", "--samples", "40"],
+        ["topology", "Reading the table"],
+    ),
+    "datacenter_tcp_cloud.py": (
+        ["--q", "5", "--duration", "0.005", "--arrival-rate", "100"],
+        ["fabric:", "workload:"],
+    ),
+    "hpc_stencil_ethernet.py": (
+        ["--dragonfly-p", "2", "--message-size", "50000"],
+        ["cluster:", "stencil step"],
+    ),
+}
+
+
+def run_example(name, argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *argv],
+        capture_output=True, text=True, timeout=300, env=env, cwd=REPO_ROOT)
+
+
+def test_every_example_is_covered():
+    """A new example script must get a smoke entry here."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs_clean(name):
+    argv, expected_snippets = EXAMPLES[name]
+    proc = run_example(name, argv)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    for snippet in expected_snippets:
+        assert snippet in proc.stdout, f"{name}: missing {snippet!r} in output"
+    assert "Traceback" not in proc.stderr

@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.experiments.common import run_experiment
 from repro.experiments.grid import (
     GridCell,
     GridSummary,
     make_grid,
     run_experiment_grid,
+    split_heavy_cells,
+    splittable_families,
 )
 from repro.experiments.runner import main as runner_main
 
@@ -25,6 +28,45 @@ class TestMakeGrid:
     def test_kwargs_frozen_into_cells(self):
         cells = make_grid(["fig06"], kwargs={"num_samples": 10})
         assert cells[0].kwargs == (("num_samples", 10),)
+
+
+class TestSplitHeavyCells:
+    def test_heavy_cells_fan_out_per_topology(self):
+        cells = split_heavy_cells(make_grid(["fig07", "tab05"], seeds=[0]))
+        families = splittable_families("fig07")
+        assert families == ("SF", "SF-JF", "DF", "HX3")
+        fig07_cells = [c for c in cells if c.name == "fig07"]
+        topos = [dict(c.kwargs)["topologies"] for c in fig07_cells]
+        assert topos == [(t,) for t in families]
+        # non-splittable experiments pass through unchanged
+        assert [c for c in cells if c.name == "tab05"] == [GridCell(name="tab05")]
+
+    def test_explicit_topology_selection_not_resplit(self):
+        cell = GridCell(name="fig07", kwargs=(("topologies", ("SF",)),))
+        assert split_heavy_cells([cell]) == [cell]
+
+    def test_splittable_families_derived_from_modules(self):
+        """Families come from each module's TOPOLOGY_NAMES (no drift possible)."""
+        assert splittable_families("fig06") == ("SF", "DF", "HX3", "XP", "FT3")
+        assert splittable_families("tab04") == ("CLIQUE", "SF", "XP", "HX3", "DF", "FT3")
+        assert splittable_families("tab05") is None   # no TOPOLOGY_NAMES attr
+        assert splittable_families("nope") is None    # unknown experiment
+
+    def test_label_shows_topology(self):
+        cell = split_heavy_cells([GridCell(name="fig07")])[0]
+        assert "topo=SF" in cell.label()
+
+    def test_split_rows_equal_unsplit_rows(self):
+        """Per-topology cells must reproduce the full run's rows exactly."""
+        full = run_experiment("fig07", scale="tiny", seed=3)
+        cells = split_heavy_cells([GridCell(name="fig07", scale="tiny", seed=3)])
+        results = run_experiment_grid(cells)
+        combined = [row for r in results for row in r.result.rows]
+        assert combined == full.rows
+
+    def test_unknown_topology_selection_fails_loudly(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig07", scale="tiny", seed=0, topologies=["NOPE"])
 
 
 class TestRunGrid:

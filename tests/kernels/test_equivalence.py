@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.diversity.matrixcount import count_paths_matrix, count_shortest_paths, next_hop_sets
-from repro.kernels import CSRGraph, kernels_for
+from repro.kernels import CSRGraph, batch_disjoint_paths, kernels_for, next_hop_table
 from repro.kernels import reference as legacy
 from repro.topologies import (
     complete_graph,
@@ -24,7 +24,6 @@ from repro.topologies import (
     star,
     xpander,
 )
-from repro.topologies.base import Topology
 
 
 @functools.lru_cache(maxsize=None)
@@ -86,6 +85,37 @@ class TestGeneratorEquivalence:
         expected = legacy.next_hop_sets_python(topo.num_routers, topo.edges, 3)
         assert next_hop_sets(topo, 3) == expected
 
+    @pytest.mark.parametrize("mode", ["edge", "vertex"])
+    def test_disjoint_paths_match_scalar_reference(self, topo, mode):
+        """Batched greedy CDP == scalar reference, pair for pair, counts and paths."""
+        n = topo.num_routers
+        if n < 2:
+            pytest.skip("needs at least two routers to form a pair")
+        rng = np.random.default_rng(7)
+        pairs = []
+        while len(pairs) < 12:
+            s, t = rng.integers(0, n, size=2)
+            if s != t:
+                pairs.append((int(s), int(t)))
+        max_len = (topo.diameter_hint or 2) + 1
+        counts, paths = batch_disjoint_paths(
+            kernels_for(topo).csr, np.asarray(pairs), max_len, mode=mode,
+            return_paths=True)
+        for (s, t), got, got_paths in zip(pairs, counts, paths):
+            exp, exp_paths = legacy.greedy_disjoint_paths_python(
+                n, topo.edges, [s], [t], max_len, mode=mode, return_paths=True)
+            assert got == exp
+            assert got_paths == exp_paths
+
+    def test_next_hop_table_matches_scalar_reference(self, topo):
+        """Vectorized next-hop tables == scalar reference, bit for bit, per seed."""
+        kern = kernels_for(topo)
+        dist = kern.distance_matrix()
+        for seed in (0, 1, (3, 2)):
+            expected = legacy.next_hop_table_python(
+                topo.num_routers, topo.edges, kern.distance_matrix_float(), seed)
+            assert (next_hop_table(kern.csr, dist, seed) == expected).all()
+
     def test_walk_counts_match_dense_power(self, topo):
         adj = np.zeros((topo.num_routers, topo.num_routers), dtype=np.int64)
         for u, v in topo.edges:
@@ -135,25 +165,71 @@ def test_random_graph_path_kernels_match_legacy(n, density, seed, max_len):
 
 
 @given(n=st.integers(min_value=2, max_value=20),
-       density=st.integers(min_value=1, max_value=3),
+       density=st.integers(min_value=0, max_value=3),
        seed=st.integers(min_value=0, max_value=10_000),
-       max_len=st.integers(min_value=1, max_value=5))
+       max_len=st.integers(min_value=1, max_value=5),
+       mode=st.sampled_from(["edge", "vertex"]))
 @settings(max_examples=40, deadline=None)
-def test_disjoint_path_pruning_matches_unpruned_search(n, density, seed, max_len):
-    """The distance-bound pruning in the greedy CDP search must never change results:
-    it only skips vertices that provably cannot sit on any qualifying path."""
-    from repro.diversity.disjoint_paths import _bfs_path_within
-
+def test_random_graph_disjoint_paths_match_reference(n, density, seed, max_len, mode):
+    """Batched greedy CDP on random (often degenerate) graphs: counts and concrete
+    paths must match the scalar reference, with and without pruning (the distance
+    -bound pruning and relevant-set restriction only skip vertices that provably
+    cannot sit on any qualifying path)."""
     edges = random_edges(n, density * n, seed)
-    topo = Topology("rand", n, edges, 1)
     csr = CSRGraph.from_edges(n, edges)
     rng = np.random.default_rng(seed)
-    adj = [set(neigh) for neigh in topo.adjacency()]
-    for _ in range(5):
-        s, t = rng.integers(0, n, size=2)
-        if s == t:
-            continue
-        bound = csr.multi_source_distances([int(t)])
-        pruned = _bfs_path_within(adj, {int(s)}, {int(t)}, max_len, target_distance=bound)
-        unpruned = _bfs_path_within(adj, {int(s)}, {int(t)}, max_len)
-        assert pruned == unpruned
+    items = []
+    for _ in range(4):
+        sources = sorted(set(int(x) for x in rng.integers(0, n, size=rng.integers(1, 3))))
+        targets = sorted(set(int(x) for x in rng.integers(0, n, size=rng.integers(1, 3))))
+        items.append((sources, targets))
+    pruned, pruned_paths = batch_disjoint_paths(csr, items, max_len, mode=mode,
+                                                return_paths=True)
+    unpruned = batch_disjoint_paths(csr, items, max_len, mode=mode, prune=False)
+    for (sources, targets), got, got_paths, got_unpruned in zip(
+            items, pruned, pruned_paths, unpruned):
+        if set(sources) & set(targets):
+            expected, expected_paths = 0, []
+        else:
+            expected, expected_paths = legacy.greedy_disjoint_paths_python(
+                n, edges, sources, targets, max_len, mode=mode, return_paths=True)
+        assert got == expected
+        assert got_unpruned == expected
+        assert got_paths == expected_paths
+
+
+def test_chunked_kernels_match_unchunked(monkeypatch):
+    """Shrinking the chunk budgets to one entry (every item/row in its own chunk)
+    must not change any result — chunking is purely a memory bound."""
+    from repro.kernels import disjoint as disjoint_mod
+    from repro.kernels import nexthop as nexthop_mod
+
+    edges = random_edges(24, 60, seed=3)
+    csr = CSRGraph.from_edges(24, edges)
+    rng = np.random.default_rng(3)
+    pairs = np.asarray([[int(s), int(t)] for s, t in
+                        [rng.choice(24, size=2, replace=False) for _ in range(15)]])
+    full_counts = batch_disjoint_paths(csr, pairs, 4)
+    table = next_hop_table(csr, csr.distance_matrix(), 9)
+    monkeypatch.setattr(disjoint_mod, "_CHUNK_ENTRY_BUDGET", 1)
+    monkeypatch.setattr(nexthop_mod, "_CHUNK_ENTRY_BUDGET", 1)
+    assert (batch_disjoint_paths(csr, pairs, 4) == full_counts).all()
+    assert (next_hop_table(csr, csr.distance_matrix(), 9) == table).all()
+
+
+@given(n=st.integers(min_value=1, max_value=30),
+       density=st.integers(min_value=0, max_value=3),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_random_graph_next_hop_tables_match_reference(n, density, seed):
+    """Vectorized next-hop tables on random degenerate graphs (isolated routers,
+    disconnected components): bit-identical to the scalar reference, for both the
+    int (-1) and float (inf) distance-matrix forms."""
+    edges = random_edges(n, density * n, seed)
+    csr = CSRGraph.from_edges(n, edges)
+    dist = csr.distance_matrix()
+    dist_float = dist.astype(float)
+    dist_float[dist < 0] = np.inf
+    expected = legacy.next_hop_table_python(n, edges, dist_float, seed)
+    assert (next_hop_table(csr, dist, seed) == expected).all()
+    assert (next_hop_table(csr, dist_float, seed) == expected).all()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check internal links in the repository's markdown documentation.
+
+Scans the given markdown files (default: README.md and docs/*.md) for inline
+``[text](target)`` links and validates every *internal* target:
+
+* relative file targets must exist on disk (relative to the linking file);
+* ``#anchor`` fragments — own-file or on a linked markdown file — must match a
+  heading's GitHub-style slug in the target file.
+
+External targets (``http://``, ``https://``, ``mailto:``) are ignored: the checker
+must stay offline-friendly and deterministic.  Exit code 0 when everything
+resolves, 1 otherwise (one diagnostic line per broken link).
+
+Used by the CI docs job and by ``tests/docs/test_markdown_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: inline markdown links: [text](target) — images share the syntax via ![...]
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug of a heading line (lowercase, punctuation stripped)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)            # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)   # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    """All heading anchor slugs of a markdown document (fenced code excluded)."""
+    slugs: List[str] = []
+    in_fence = False
+    counts: dict = {}
+    for line in markdown.splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(markdown: str) -> Iterable[str]:
+    """Every inline link target in a markdown document (fenced code excluded)."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> List[Tuple[Path, str, str]]:
+    """Broken internal links of one markdown file as (file, target, reason)."""
+    problems: List[Tuple[Path, str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    own_slugs = None
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append((path, target, "missing file"))
+                continue
+        else:
+            dest = path
+        if anchor:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if dest == path:
+                slugs = own_slugs = (own_slugs if own_slugs is not None
+                                     else heading_slugs(text))
+            else:
+                slugs = heading_slugs(dest.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                problems.append((path, target, "missing anchor"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: check the given files (default README.md + docs/*.md)."""
+    root = Path(__file__).resolve().parents[1]
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append((path, "", "file not found"))
+            continue
+        problems.extend(check_file(path))
+    for path, target, reason in problems:
+        print(f"{path}: broken link {target!r} ({reason})", file=sys.stderr)
+    checked = ", ".join(str(f) for f in files)
+    if not problems:
+        print(f"ok: internal links resolve in {checked}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
