@@ -1,0 +1,109 @@
+"""Flow-simulation engine benchmarks: scalar reference vs vectorized engine.
+
+The pair mirrors the other legacy-vs-kernel benchmarks: the *same* fig02-style
+workload (randomly mapped permutation traffic, uniform flow sizes, FatPaths stack) on
+the *same* scale-dependent Slim Fly, once through the preserved scalar simulator
+(``repro.sim.reference``) and once through ``repro.sim.engine``; results are pinned
+identical inside the speedup test.  A third benchmark sweeps a multi-cell
+(stack, workload) grid through ``simulate_many`` — the batched entry point the
+simulation experiments run on.
+
+Run ``pytest benchmarks/test_bench_flowsim.py --benchmark-only -s``; set
+``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import random_mapping
+from repro.experiments.simcommon import StackCell, build_stack, simulate_stack_many
+from repro.sim.flowsim import simulate_workload
+from repro.traffic.flows import uniform_size_workload
+from repro.traffic.patterns import random_permutation
+
+KIB = 1024
+
+#: Engine-vs-reference speedup floor asserted at small/medium scale (the acceptance
+#: bar for the vectorized engine); tiny instances are too noisy to gate.
+_SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def fig02_workload(kgraph):
+    """Fig-2-style traffic on the scale-dependent Slim Fly: randomly mapped
+    permutation pairs, one uniform 256 KiB flow each."""
+    rng = np.random.default_rng(0)
+    pattern = random_permutation(kgraph.num_endpoints, rng).subsample(0.25, rng)
+    mapping = random_mapping(kgraph.num_endpoints, rng)
+    return uniform_size_workload(pattern, 256 * KIB), mapping
+
+
+def _run(kgraph, workload, mapping, engine):
+    stack = build_stack(kgraph, "fatpaths", seed=0, num_layers=4)
+    return simulate_workload(kgraph, stack.routing, workload, selector=stack.selector,
+                             transport=stack.transport, mapping=mapping, seed=0,
+                             engine=engine)
+
+
+def test_bench_flowsim_reference_scalar(benchmark, kgraph, fig02_workload):
+    workload, mapping = fig02_workload
+    result = benchmark.pedantic(_run, args=(kgraph, workload, mapping, "reference"),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) == len(workload)
+
+
+def test_bench_flowsim_vectorized_engine(benchmark, kgraph, fig02_workload):
+    workload, mapping = fig02_workload
+    result = benchmark.pedantic(_run, args=(kgraph, workload, mapping, "engine"),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) == len(workload)
+
+
+def test_flowsim_engine_speedup_and_equivalence(kgraph, fig02_workload, scale):
+    """Time both implementations on identical inputs, pin the records, and (at
+    small/medium scale) assert the engine's speedup floor."""
+    workload, mapping = fig02_workload
+    _run(kgraph, workload, mapping, "engine")          # warm shared caches
+    start = time.perf_counter()
+    reference = _run(kgraph, workload, mapping, "reference")
+    reference_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    engine = _run(kgraph, workload, mapping, "engine")
+    engine_seconds = time.perf_counter() - start
+
+    assert len(reference) == len(engine)
+    for ref, eng in zip(reference.records, engine.records):
+        assert ref.flow_id == eng.flow_id
+        assert ref.num_path_switches == eng.num_path_switches
+        assert ref.congestion_events == eng.congestion_events
+        assert eng.completion_time == pytest.approx(ref.completion_time, rel=1e-9)
+
+    speedup = reference_seconds / max(engine_seconds, 1e-9)
+    print(f"\nflowsim {scale.value}: reference {reference_seconds * 1e3:.1f} ms, "
+          f"engine {engine_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    if scale.value != "tiny":
+        assert speedup >= _SPEEDUP_FLOOR
+
+
+def test_bench_simulate_many_cell_sweep(benchmark, kgraph):
+    """A fig02/fig14-shaped cell sweep (two stacks x three flow sizes) through the
+    batched entry point, sharing the link space and candidate pools across cells."""
+    rng = np.random.default_rng(0)
+    pattern = random_permutation(kgraph.num_endpoints, rng).subsample(0.2, rng)
+    mapping = random_mapping(kgraph.num_endpoints, rng)
+    sizes = (32 * KIB, 256 * KIB, 1024 * KIB)
+
+    def sweep():
+        routing_cache = {}
+        cells = [StackCell(stack=build_stack(kgraph, stack_name, seed=0, num_layers=4,
+                                             routing_cache=routing_cache),
+                           workload=uniform_size_workload(pattern, size),
+                           mapping=mapping, seed=0)
+                 for stack_name in ("fatpaths", "ecmp") for size in sizes]
+        return simulate_stack_many(kgraph, cells)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(results) == 6
+    assert all(len(result) for result in results)

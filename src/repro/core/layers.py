@@ -27,10 +27,13 @@ import numpy as np
 
 from repro.core.config import FatPathsConfig
 from repro.kernels.cache import kernels_for
-from repro.kernels.csr import edges_connected
+from repro.kernels.csr import edges_connected, edges_connected_batch
 from repro.topologies.base import Topology
 
 Edge = Tuple[int, int]
+
+#: Total resampling attempts per sparsified layer (unchanged from the seed loop).
+_MAX_RESAMPLE_ATTEMPTS = 20
 
 
 @dataclass(frozen=True)
@@ -98,25 +101,47 @@ def random_edge_sampling_layers(topology: Topology, config: FatPathsConfig) -> L
 
     Sparsified layers that disconnect the network are re-sampled a bounded number of
     times; if the graph stubbornly disconnects (very low ``rho`` on a sparse topology)
-    the best attempt is kept — forwarding simply falls back to the full layer for
+    the first attempt is kept — forwarding simply falls back to the full layer for
     unreachable pairs, as in a real deployment.
+
+    Resampling is batched: candidates are drawn in geometrically growing blocks
+    (1, 1, 2, 4, 8, ...) and each block is decided through one
+    :func:`~repro.kernels.csr.edges_connected_batch` sweep instead of one
+    Python-driven traversal per attempt.  The common cases — a connected draw within
+    the first two attempts — consume exactly the permutations the seed's per-attempt
+    loop did; layers whose first two attempts both disconnect (very low ``rho``)
+    draw whole blocks up front, advancing the RNG by the block size rather than by
+    the exact number of failed attempts — acceptable there, since which
+    near-disconnected candidate is kept is already an arbitrary choice among
+    statistically identical samples.
     """
     rng = np.random.default_rng(config.seed)
     all_edges = [(u, v) for u, v in topology.edges]
     layers = [Layer(index=0, edges=frozenset(all_edges), is_full=True)]
     target = max(1, int(np.floor(config.rho * len(all_edges))))
 
+    def draw() -> List[Edge]:
+        idx = rng.permutation(len(all_edges))[:target]
+        return [all_edges[i] for i in idx]
+
     for layer_index in range(1, config.num_layers):
-        best: Optional[List[Edge]] = None
-        for _attempt in range(20):
-            idx = rng.permutation(len(all_edges))[:target]
-            sampled = [all_edges[i] for i in idx]
-            if best is None or len(sampled) > len(best):
-                best = sampled
-            if config.rho >= 1.0 or _is_connected(topology.num_routers, sampled):
-                best = sampled
-                break
-        layers.append(Layer(index=layer_index, edges=frozenset(best or all_edges)))
+        chosen: Optional[List[Edge]] = None
+        first = draw()
+        if config.rho >= 1.0 or _is_connected(topology.num_routers, first):
+            chosen = first
+        attempts, block_size = 1, 1
+        while chosen is None and attempts < _MAX_RESAMPLE_ATTEMPTS:
+            block = [draw() for _ in range(min(block_size,
+                                               _MAX_RESAMPLE_ATTEMPTS - attempts))]
+            attempts += len(block)
+            block_size *= 2
+            connected = edges_connected_batch(topology.num_routers, block)
+            for candidate, ok in zip(block, connected):
+                if ok:
+                    chosen = candidate
+                    break
+        layers.append(Layer(index=layer_index, edges=frozenset(chosen if chosen is not None
+                                                               else first)))
     return LayerSet(topology=topology, layers=layers, config=config,
                     meta={"algorithm": "random", "acyclic": config.acyclic_layers})
 

@@ -59,6 +59,35 @@ class PathSelector(abc.ABC):
                   path_lengths: Optional[Sequence[int]] = None) -> int:
         """Path used after a flowlet boundary / congestion signal."""
 
+    def next_path_batch(self, flow_ids: np.ndarray, currents: np.ndarray,
+                        num_paths: np.ndarray, loads: np.ndarray,
+                        path_lengths: np.ndarray) -> np.ndarray:
+        """Batched :meth:`next_path` over many flows at once.
+
+        ``loads`` and ``path_lengths`` are ``(flows, max_paths)`` float arrays padded
+        with ``+inf`` beyond each flow's ``num_paths``; every row must have
+        ``num_paths > 1`` (single-path flows never reach a selector in the reference
+        simulator either).  Returns the new path index per flow.
+
+        Contract (relied on by the vectorized simulation engine, and pinned by
+        ``tests/core/test_loadbalance_transport_mapping.py``): the batch call consumes
+        the selector's RNG stream *exactly* as the equivalent sequence of scalar
+        :meth:`next_path` calls in row order would, so batch and sequential execution
+        produce identical decisions.  The base implementation simply makes those
+        scalar calls; subclasses override it with vectorized draws that preserve the
+        consumption pattern (``Generator.integers`` with an array of bounds and
+        ``Generator.random(k)`` consume the PCG stream element-by-element in order,
+        which the selector test suite asserts).
+        """
+        out = np.empty(len(currents), dtype=np.int64)
+        for row, (fid, current, n) in enumerate(zip(flow_ids, currents, num_paths)):
+            row_loads = loads[row]
+            out[row] = self.next_path(
+                int(fid), int(current), int(n),
+                congestion=lambda i, values=row_loads: float(values[i]),
+                path_lengths=path_lengths[row, :int(n)])
+        return out
+
     def spray_weights(self, num_paths: int,
                       path_lengths: Optional[Sequence[int]] = None) -> np.ndarray:
         """Per-path traffic shares for spraying selectors (uniform by default)."""
@@ -79,6 +108,10 @@ class EcmpSelector(PathSelector):
     def next_path(self, flow_id, current, num_paths, congestion=None, path_lengths=None):
         # ECMP never re-routes a flow.
         return current
+
+    def next_path_batch(self, flow_ids, currents, num_paths, loads, path_lengths):
+        """Batched form: ECMP never re-routes, so the current indices come back."""
+        return np.asarray(currents, dtype=np.int64).copy()
 
 
 @dataclass
@@ -147,6 +180,45 @@ class FlowletSelector(PathSelector):
         weights = self._weights(num_paths, path_lengths)
         return int(self._rng.choice(num_paths, p=weights))
 
+    def next_path_batch(self, flow_ids, currents, num_paths, loads, path_lengths):
+        """Vectorized flowlet switching with reference-identical RNG consumption.
+
+        Each scalar :meth:`next_path` consumes exactly one RNG draw — a bounded
+        integer over its candidate pool (adaptive) or one uniform double (the
+        non-adaptive ``choice(..., p=...)``).  ``Generator.integers`` with an array
+        of bounds and ``Generator.random(k)`` perform those draws element-by-element
+        in row order, so the vectorized forms below replay the exact sequential
+        stream.  The biased non-adaptive variant (``length_bias > 0``) involves a
+        per-flow float reduction whose padded batch form could round differently, so
+        it falls back to the base class's scalar loop.
+        """
+        currents = np.asarray(currents, dtype=np.int64)
+        if self.adaptive:
+            acceptable = loads < self.congestion_threshold
+            any_acceptable = acceptable.any(axis=1)
+            # rows with an acceptable path pick uniformly among the shortest of
+            # those; fully congested rows pick uniformly among the least loaded
+            masked_lengths = np.where(acceptable, path_lengths, np.inf)
+            pool = np.where(any_acceptable[:, None],
+                            masked_lengths == masked_lengths.min(axis=1)[:, None],
+                            loads == loads.min(axis=1)[:, None])
+            draws = self._rng.integers(0, pool.sum(axis=1))
+            return (pool.cumsum(axis=1) == (draws + 1)[:, None]).argmax(axis=1)
+        if self.length_bias > 0:
+            return super().next_path_batch(flow_ids, currents, num_paths, loads,
+                                           path_lengths)
+        # non-adaptive, unbiased: choice(n, p=uniform) consumes one double per flow
+        # and inverts the uniform CDF (searchsorted from the right = count of
+        # partial sums <= u); padded columns carry weight 0 so the row CDF matches
+        # the sequential n-element cumsum bit-for-bit and its padding sits at 1.0
+        uniforms = self._rng.random(len(currents))
+        counts = np.asarray(num_paths, dtype=np.int64)
+        weights = np.where(np.arange(loads.shape[1]) < counts[:, None],
+                           1.0 / counts[:, None], 0.0)
+        cdf = np.cumsum(weights, axis=1)
+        cdf /= cdf[:, -1][:, None]
+        return (cdf <= uniforms[:, None]).sum(axis=1).astype(np.int64)
+
 
 @dataclass
 class PacketSpraySelector(PathSelector):
@@ -165,6 +237,10 @@ class PacketSpraySelector(PathSelector):
 
     def next_path(self, flow_id, current, num_paths, congestion=None, path_lengths=None):
         return int(self._rng.integers(num_paths))
+
+    def next_path_batch(self, flow_ids, currents, num_paths, loads, path_lengths):
+        """Vectorized spraying: one bounded-integer draw per flow, in row order."""
+        return self._rng.integers(0, np.asarray(num_paths, dtype=np.int64))
 
     def spray_weights(self, num_paths, path_lengths=None):
         return np.full(num_paths, 1.0 / num_paths)

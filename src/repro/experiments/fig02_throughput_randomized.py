@@ -9,27 +9,39 @@ flow, with the gap widening for large flows.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.core.mapping import random_mapping
-from repro.experiments.common import ExperimentResult, Scale
-from repro.experiments.simcommon import build_stack, simulate_stack, tail_and_mean_throughput
+from repro.experiments.common import ExperimentResult, Scale, select_topologies
+from repro.experiments.simcommon import (
+    StackCell,
+    build_stack,
+    simulate_stack_many,
+    tail_and_mean_throughput,
+)
 from repro.topologies import comparable_configurations
 from repro.traffic.flows import uniform_size_workload
 from repro.traffic.patterns import random_permutation
 
 KIB = 1024
 
+#: Topology families this experiment iterates (each family's samples draw from a
+#: fresh per-family stream, so grid cells may select a subset without changing rows).
+TOPOLOGY_NAMES = ("SF", "DF", "HX3", "XP", "FT3")
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
+
+def run(scale: Scale = Scale.TINY, seed: int = 0,
+        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
     scale = Scale(scale)
     size_class = scale.size_class()
     flow_sizes = scale.pick([32 * KIB, 256 * KIB, 2048 * KIB],
                             [32 * KIB, 128 * KIB, 512 * KIB, 2048 * KIB],
                             [32 * KIB, 128 * KIB, 512 * KIB, 1024 * KIB, 2048 * KIB])
     pattern_fraction = scale.pick(0.25, 0.3, 0.3)
-    configs = comparable_configurations(size_class, topologies=["SF", "DF", "HX3", "XP", "FT3"],
-                                        seed=seed)
+    selected = select_topologies(TOPOLOGY_NAMES, topologies)
+    configs = comparable_configurations(size_class, topologies=list(selected), seed=seed)
     rows = []
     for topo_name, topo in configs.items():
         stack_name = "ndp" if topo_name == "FT3" else "fatpaths"
@@ -37,9 +49,11 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         rng = np.random.default_rng(seed)
         pattern = random_permutation(topo.num_endpoints, rng).subsample(pattern_fraction, rng)
         mapping = random_mapping(topo.num_endpoints, rng)
-        for size in flow_sizes:
-            workload = uniform_size_workload(pattern, size)
-            result = simulate_stack(topo, stack, workload, mapping=mapping, seed=seed)
+        # one batched sweep over the flow sizes: the engine shares the topology link
+        # space and the stack's candidate paths across all cells
+        cells = [StackCell(stack=stack, workload=uniform_size_workload(pattern, size),
+                           mapping=mapping, seed=seed) for size in flow_sizes]
+        for size, result in zip(flow_sizes, simulate_stack_many(topo, cells)):
             tail, mean = tail_and_mean_throughput(result)
             rows.append({
                 "topology": topo_name,
@@ -61,5 +75,6 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         paper_reference="Figure 2",
         rows=rows,
         notes=notes,
-        meta={"scale": str(scale), "flow_sizes": flow_sizes},
+        meta={"scale": str(scale), "flow_sizes": flow_sizes,
+              "topologies": list(selected)},
     )

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.mapping import random_mapping
 from repro.experiments.common import ExperimentResult, Scale
-from repro.experiments.simcommon import build_stack, simulate_stack
+from repro.experiments.simcommon import StackCell, build_stack, simulate_stack_many
 from repro.sim.metrics import speedup_over_baseline
 from repro.topologies import comparable_configurations, equivalent_jellyfish
 from repro.traffic.flows import uniform_size_workload
@@ -47,14 +47,18 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         # come from in-network path collisions — the effect Figure 14 isolates.
         pattern = random_permutation(topo.num_endpoints, rng).subsample(fraction, rng)
         mapping = random_mapping(topo.num_endpoints, rng)
+        # routing construction (layer sets, forwarding tables, candidate paths) is
+        # shared across the flow-size loop; selectors stay fresh per cell
+        routing_cache: dict = {}
         for size_label in sizes:
             size = FLOW_SIZES[size_label]
             workload = uniform_size_workload(pattern, size)
-            results = {}
-            for variant, kwargs in stack_variants.items():
-                stack = build_stack(topo, seed=seed, **kwargs)
-                results[variant] = simulate_stack(topo, stack, workload, mapping=mapping,
-                                                  seed=seed)
+            stacks = {variant: build_stack(topo, seed=seed, routing_cache=routing_cache,
+                                           **kwargs)
+                      for variant, kwargs in stack_variants.items()}
+            cells = [StackCell(stack=stack, workload=workload, mapping=mapping, seed=seed)
+                     for stack in stacks.values()]
+            results = dict(zip(stacks, simulate_stack_many(topo, cells)))
             baseline = results["ecmp"]
             for variant, result in results.items():
                 rows.append({

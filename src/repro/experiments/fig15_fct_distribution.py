@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.mapping import random_mapping
 from repro.experiments.common import ExperimentResult, Scale
-from repro.experiments.simcommon import build_stack, simulate_stack
+from repro.experiments.simcommon import StackCell, build_stack, simulate_stack_many
 from repro.sim.queueing import offered_load, predict_fct_distribution
 from repro.topologies import build
 from repro.traffic.flows import poisson_workload
@@ -36,10 +36,10 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
     mapping = random_mapping(topo.num_endpoints, rng)
     workload = poisson_workload(pattern, arrival_rate, duration, rng=rng, fixed_size=flow_size)
 
-    results = {}
-    for variant in ("fatpaths_tcp", "ecmp"):
-        stack = build_stack(topo, variant, seed=seed)
-        results[variant] = simulate_stack(topo, stack, workload, mapping=mapping, seed=seed)
+    variants = ("fatpaths_tcp", "ecmp")
+    cells = [StackCell(stack=build_stack(topo, variant, seed=seed), workload=workload,
+                       mapping=mapping, seed=seed) for variant in variants]
+    results = dict(zip(variants, simulate_stack_many(topo, cells)))
 
     load = offered_load(arrival_rate, flow_size, link_rate)
     model_samples = predict_fct_distribution(np.full(len(workload), flow_size), load,

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.mapping import random_mapping
 from repro.experiments.common import ExperimentResult, Scale
-from repro.experiments.simcommon import build_stack, simulate_stack
+from repro.experiments.simcommon import StackCell, build_stack, simulate_stack_many
 from repro.topologies import comparable_configurations
 from repro.traffic.flows import uniform_size_workload
 from repro.traffic.patterns import adversarial_offdiagonal
@@ -34,9 +34,13 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
         pattern = pattern.subsample(fraction, rng)
         mapping = random_mapping(topo.num_endpoints, rng)
         workload = uniform_size_workload(pattern, 1 * MIB)
-        for rho in rhos:
-            stack = build_stack(topo, "fatpaths_tcp", seed=seed, num_layers=4, rho=rho)
-            result = simulate_stack(topo, stack, workload, mapping=mapping, seed=seed)
+        # one batched sweep over rho: each cell owns its routing (rho is the swept
+        # quantity) but the engine shares the topology link space across all of them
+        cells = [StackCell(stack=build_stack(topo, "fatpaths_tcp", seed=seed,
+                                             num_layers=4, rho=rho),
+                           workload=workload, mapping=mapping, seed=seed)
+                 for rho in rhos]
+        for rho, result in zip(rhos, simulate_stack_many(topo, cells)):
             summary = result.summary(percentiles=(10, 99))
             rows.append({
                 "topology": topo_name,

@@ -14,7 +14,7 @@ from repro.core.loadbalance import EcmpSelector
 from repro.core.transport import tcp_transport
 from repro.experiments.common import ExperimentResult, Scale
 from repro.routing import EcmpRouting
-from repro.sim.flowsim import simulate_workload
+from repro.sim.engine import SimCell, simulate_many
 from repro.sim.queueing import offered_load
 from repro.topologies import star
 from repro.traffic.flows import pfabric_mean_size, poisson_workload
@@ -31,13 +31,18 @@ def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
     topo = star(num_endpoints)
     routing = EcmpRouting(topo)
     rows = []
+    # one batched sweep over the arrival rates: the crossbar's candidate paths are
+    # resolved once and shared by every cell through the engine's pooled bank
+    cells = []
     for rate in rates:
         rng = np.random.default_rng(seed)
         pattern = random_permutation(num_endpoints, rng)
         workload = poisson_workload(pattern, float(rate), duration, rng=rng,
                                     fixed_size=flow_size)
-        result = simulate_workload(topo, routing, workload, selector=EcmpSelector(seed=seed),
-                                   transport=tcp_transport(), seed=seed, drop_warmup=True)
+        cells.append(SimCell(topology=topo, routing=routing, workload=workload,
+                             selector=EcmpSelector(seed=seed), transport=tcp_transport(),
+                             seed=seed, drop_warmup=True))
+    for rate, result in zip(rates, simulate_many(cells)):
         summary = result.summary(percentiles=(10, 90))
         rows.append({
             "lambda": rate,

@@ -2,7 +2,9 @@
 
 The paper evaluates a handful of recurring routing/transport stacks; this module maps
 their names to concrete (routing scheme, path selector, transport model) triples and
-provides a single entry point to simulate one workload under one stack.
+provides entry points to simulate workloads under them — one at a time
+(:func:`simulate_stack`) or as a batched cell sweep over the vectorized engine
+(:func:`simulate_stack_many`, the path the figure experiments use).
 
 Stack names
 -----------
@@ -17,8 +19,8 @@ Stack names
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +28,7 @@ from repro.core.fatpaths import FatPathsRouting
 from repro.core.loadbalance import EcmpSelector, FlowletSelector, PacketSpraySelector, PathSelector
 from repro.core.transport import TransportModel, dctcp_transport, ndp_transport, tcp_transport
 from repro.routing.ecmp import EcmpRouting
+from repro.sim.engine import SimCell, simulate_many
 from repro.sim.flowsim import FlowSimConfig, simulate_workload
 from repro.sim.metrics import SimulationResult
 from repro.topologies.base import Topology
@@ -45,8 +48,18 @@ class Stack:
 
 
 def build_stack(topology: Topology, stack: str, seed: int = 0,
-                num_layers: Optional[int] = None, rho: Optional[float] = None) -> Stack:
-    """Instantiate one of the named stacks for ``topology``."""
+                num_layers: Optional[int] = None, rho: Optional[float] = None,
+                routing_cache: Optional[Dict[tuple, object]] = None) -> Stack:
+    """Instantiate one of the named stacks for ``topology``.
+
+    ``routing_cache`` (an ordinary dict owned by the caller) deduplicates the
+    expensive routing construction across repeated builds: stacks with the same
+    topology and routing parameters share one routing instance — FatPaths layer sets
+    and forwarding tables are built once per distinct configuration, and the
+    ECMP-family stacks (``ndp``/``ecmp``/``letflow``) share one candidate-path set.
+    Routing construction is deterministic given its seed, so sharing changes no
+    results; selectors are always fresh (their RNG streams are per-stack state).
+    """
     if stack not in STACKS:
         raise ValueError(f"unknown stack {stack!r}; available: {STACKS}")
     if stack in ("fatpaths", "fatpaths_rho1", "fatpaths_tcp"):
@@ -60,11 +73,21 @@ def build_stack(topology: Topology, stack: str, seed: int = 0,
             config = config.with_(rho=rho)
         if stack == "fatpaths_rho1":
             config = config.with_(rho=1.0)
-        routing = FatPathsRouting(topology, config)
+        key = (topology.fingerprint(), "fatpaths", config)
+        routing = None if routing_cache is None else routing_cache.get(key)
+        if routing is None:
+            routing = FatPathsRouting(topology, config)
+            if routing_cache is not None:
+                routing_cache[key] = routing
         selector = FlowletSelector(seed=seed, adaptive=True)
         transport = ndp_transport() if stack != "fatpaths_tcp" else dctcp_transport()
         return Stack(stack, routing, selector, transport)
-    routing = EcmpRouting(topology, max_paths=8, seed=seed)
+    key = (topology.fingerprint(), "ecmp", 8, seed)
+    routing = None if routing_cache is None else routing_cache.get(key)
+    if routing is None:
+        routing = EcmpRouting(topology, max_paths=8, seed=seed)
+        if routing_cache is not None:
+            routing_cache[key] = routing
     if stack == "ndp":
         return Stack(stack, routing, PacketSpraySelector(seed=seed), ndp_transport())
     if stack == "ecmp":
@@ -76,11 +99,43 @@ def build_stack(topology: Topology, stack: str, seed: int = 0,
 def simulate_stack(topology: Topology, stack: Stack, workload: Workload,
                    mapping: Optional[Sequence[int]] = None,
                    config: Optional[FlowSimConfig] = None, seed: int = 0,
-                   drop_warmup: bool = False) -> SimulationResult:
+                   drop_warmup: bool = False, engine: str = "engine") -> SimulationResult:
     """Run one workload under one stack with the flow-level simulator."""
     return simulate_workload(topology, stack.routing, workload, selector=stack.selector,
                              transport=stack.transport, config=config, mapping=mapping,
-                             seed=seed, drop_warmup=drop_warmup)
+                             seed=seed, drop_warmup=drop_warmup, engine=engine)
+
+
+@dataclass
+class StackCell:
+    """One (stack, workload) cell of a batched simulation sweep."""
+
+    stack: Stack
+    workload: Workload
+    mapping: Optional[Sequence[int]] = None
+    config: Optional[FlowSimConfig] = None
+    seed: int = 0
+    drop_warmup: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def simulate_stack_many(topology: Topology, cells: Sequence[StackCell],
+                        engine: str = "engine") -> List[SimulationResult]:
+    """Simulate many (stack, workload) cells on one topology through the batched engine.
+
+    Cells run in order (identical to the equivalent sequence of
+    :func:`simulate_stack` calls, including shared selector RNG state when one stack
+    appears in several cells), while the engine shares the topology link space and
+    per-routing candidate pools across all of them — the
+    :func:`repro.sim.engine.simulate_many` amortization the figure sweeps rely on.
+    """
+    sim_cells = [SimCell(topology=topology, routing=cell.stack.routing,
+                         workload=cell.workload, selector=cell.stack.selector,
+                         transport=cell.stack.transport, config=cell.config,
+                         mapping=cell.mapping, seed=cell.seed,
+                         drop_warmup=cell.drop_warmup)
+                 for cell in cells]
+    return simulate_many(sim_cells, engine=engine)
 
 
 def tail_and_mean_throughput(result: SimulationResult) -> Tuple[float, float]:

@@ -30,7 +30,7 @@ from repro.kernels.cache import (
     layer_fingerprint,
     layer_kernels,
 )
-from repro.kernels.csr import CSRGraph, edges_connected
+from repro.kernels.csr import CSRGraph, edges_connected, edges_connected_batch
 from repro.kernels.disjoint import batch_disjoint_paths
 from repro.kernels.nexthop import next_hop_table
 from repro.kernels.paths import (
@@ -47,6 +47,7 @@ __all__ = [
     "PathCache",
     "batch_disjoint_paths",
     "edges_connected",
+    "edges_connected_batch",
     "fingerprint_edges",
     "global_cache",
     "kernels_for",

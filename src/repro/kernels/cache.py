@@ -66,6 +66,7 @@ class GraphKernels:
         self._counts: Optional[np.ndarray] = None
         self._connected: Optional[bool] = None
         self._next_hops: Dict[tuple, np.ndarray] = {}
+        self._aux: Dict[tuple, object] = {}
 
     # -------------------------------------------------------------- distances
     def distances_from(self, source: int) -> np.ndarray:
@@ -159,6 +160,21 @@ class GraphKernels:
             self._connected = self.csr.is_connected()
         return self._connected
 
+    def aux(self, key: tuple, builder):
+        """Memoised auxiliary per-graph object, built at most once per ``key``.
+
+        Lets consumers attach derived structures that should live and die with the
+        cache entry — the simulation engine stores its per-topology link space here
+        (:func:`repro.sim.engine.link_space_for`), so every simulator over the same
+        graph shares one build.  Values exposing an ``nbytes`` attribute count
+        towards the entry's retained bytes (and hence the cache's eviction budget).
+        """
+        value = self._aux.get(key)
+        if value is None:
+            value = builder()
+            self._aux[key] = value
+        return value
+
     def retained_nbytes(self) -> int:
         """Bytes pinned by this entry's cached results (grows as results are computed)."""
         total = self.csr.indptr.nbytes + self.csr.indices.nbytes
@@ -167,6 +183,7 @@ class GraphKernels:
             total += dense.nbytes
         total += sum(row.nbytes for row in self._rows.values())
         total += sum(table.nbytes for table in self._next_hops.values())
+        total += sum(int(getattr(value, "nbytes", 0)) for value in self._aux.values())
         for arr in (self._matrix, self._matrix_float, self._counts):
             if arr is not None:
                 total += arr.nbytes

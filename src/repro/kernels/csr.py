@@ -251,3 +251,30 @@ def edges_connected(num_nodes: int, edges: Sequence[Edge]) -> bool:
                     stack.append(y)
         return count == num_nodes
     return CSRGraph.from_edges(num_nodes, edges).is_connected()
+
+
+def edges_connected_batch(num_nodes: int, candidates: Sequence[Sequence[Edge]]) -> np.ndarray:
+    """Connectivity of many candidate edge subsets over the same vertex set.
+
+    All candidates are embedded as blocks of one block-diagonal graph (candidate
+    ``k``'s vertices are offset by ``k * num_nodes``) and a single batched BFS from
+    each block's vertex 0 decides every candidate at once — one vectorized sweep per
+    *block* of layer-resampling attempts instead of one traversal per attempt.
+    Agrees exactly with :func:`edges_connected` per candidate.
+    """
+    blocks = list(candidates)
+    if not blocks:
+        return np.zeros(0, dtype=bool)
+    if num_nodes <= 1:
+        return np.ones(len(blocks), dtype=bool)
+    if len(blocks) == 1:
+        return np.array([edges_connected(num_nodes, blocks[0])])
+    offset_edges = []
+    for k, edges in enumerate(blocks):
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        offset_edges.append(arr + k * num_nodes)
+    graph = CSRGraph.from_edges(num_nodes * len(blocks), np.concatenate(offset_edges, axis=0))
+    sources = np.arange(len(blocks), dtype=np.int64) * num_nodes
+    dist = graph.bfs_distances_batch(sources).reshape(len(blocks), len(blocks), num_nodes)
+    own_blocks = dist[np.arange(len(blocks)), np.arange(len(blocks))]
+    return (own_blocks >= 0).all(axis=1)

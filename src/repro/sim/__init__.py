@@ -2,10 +2,16 @@
 
 * :mod:`repro.sim.fairshare` — max-min fair bandwidth allocation (water filling) over
   directed links, the core of the flow-level simulator.
-* :mod:`repro.sim.flowsim` — an event-driven flow-level simulator: flows arrive, get
+* :mod:`repro.sim.flowsim` — the flow-level simulation entry point: flows arrive, get
   routed over candidate paths (FatPaths layers, ECMP paths, ...), share link bandwidth
   max-min fairly, and may switch paths at flowlet boundaries or on congestion.  It
-  substitutes for the paper's htsim/OMNeT++ packet simulations (see DESIGN.md).
+  substitutes for the paper's htsim/OMNeT++ packet simulations (see DESIGN.md) and
+  dispatches between the two implementations below.
+* :mod:`repro.sim.engine` — the vectorized structure-of-arrays engine (default):
+  pooled incidence, batched per-event sweeps, and the :func:`~repro.sim.engine.simulate_many`
+  batched multi-cell API the simulation experiments run on.
+* :mod:`repro.sim.reference` — the original scalar event loop, preserved as the
+  behavioural specification the engine is pinned against.
 * :mod:`repro.sim.packetsim` — a small-scale packet-level simulator with output queues,
   NDP-style payload trimming and receiver-driven pulls, exercising the purified
   transport mechanics directly.
@@ -14,6 +20,7 @@
 * :mod:`repro.sim.metrics` — flow-completion-time / throughput summaries.
 """
 
+from repro.sim.engine import FlowEngine, SimCell, simulate_many
 from repro.sim.fairshare import max_min_fair_rates
 from repro.sim.flowsim import FlowSimConfig, FlowLevelSimulator, simulate_workload
 from repro.sim.metrics import FlowRecord, SimulationResult, summarize_flows
@@ -22,8 +29,11 @@ from repro.sim.queueing import mg1_ps_fct, predict_fct_distribution
 
 __all__ = [
     "max_min_fair_rates",
+    "FlowEngine",
     "FlowSimConfig",
     "FlowLevelSimulator",
+    "SimCell",
+    "simulate_many",
     "simulate_workload",
     "FlowRecord",
     "SimulationResult",

@@ -1,0 +1,534 @@
+"""Vectorized flow-simulation engine (`repro.sim.engine`).
+
+This is the fast counterpart of the scalar reference simulator in
+:mod:`repro.sim.reference`, built in the same mold as :mod:`repro.kernels`: identical
+semantics (pinned record-for-record by ``tests/sim/test_engine_equivalence.py``), all
+hot per-event work as array operations instead of per-flow Python loops.
+
+What changes relative to the reference:
+
+* **Structure-of-arrays flow state** — remaining bytes, rates, per-flow path indices,
+  flowlet byte counters and congestion flags live in NumPy arrays indexed by arrival
+  position; the active set is an ascending index array, so per-event byte accounting,
+  completion search and congestion-episode detection are single vectorized sweeps.
+* **Pooled incidence, amended incrementally** — candidate router paths are resolved
+  once per (source router, target router) pair into a pooled link-index array shared
+  across runs (:class:`CandidateBank`, one per routing scheme), instead of per
+  simulator instance; the per-event flow/link incidence is gathered from the pool with
+  one fancy-index expression and fed to a progressive-filling allocator that works
+  directly on the pooled view (:func:`_progressive_fill`) — no per-event
+  ``scipy.sparse`` matrix construction.
+* **Batched path-switch evaluation** — flowlet/congestion switch *eligibility* is one
+  boolean mask over the active set (segmented maxima of link utilisation over each
+  flow's current path), and the eligible flows go through one batched selector call
+  (:meth:`~repro.core.loadbalance.PathSelector.next_path_batch`) whose vectorized
+  draws consume the selector RNG exactly as per-flow calls in arrival order would —
+  no per-flow Python callbacks on the hot path.
+* **Shared link space** — the directed-link index space of a topology is built once
+  and cached on the topology's :class:`~repro.kernels.cache.GraphKernels` entry
+  (:func:`link_space_for`), so the many cells of a figure sweep stop rebuilding it.
+
+One deliberate non-change: the next completion is found by a fresh masked ``argmin``
+over the active flows each event, not by a lazy-deletion heap.  The reference
+recomputes ``now + remaining / max(rate, eps)`` from scratch every event, and exact
+tie-breaking (which decides selector RNG consumption downstream) depends on the
+floating-point value *at the current* ``now`` — a heap entry computed at an earlier
+``now`` can differ in the last ulp and flip near-ties, breaking record-for-record
+equivalence.  The argmin is a single vectorized op and is never the bottleneck.
+
+:func:`simulate_many` is the batched entry point used by the simulation experiments
+(Figures 2, 12, 14, 15, 16, 20): it runs a list of :class:`SimCell` cells in order,
+sharing link spaces and candidate banks across cells.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.loadbalance import FlowletSelector, PathSelector
+from repro.core.transport import TransportModel, ndp_transport
+from repro.kernels.cache import kernels_for
+from repro.sim.metrics import FlowRecord, SimulationResult
+from repro.sim.reference import FlowLevelSimulator
+from repro.sim.simconfig import FlowSimConfig
+from repro.topologies.base import Topology
+from repro.traffic.flows import Workload
+
+#: Engine names accepted by the dispatching entry points.
+ENGINES = ("engine", "reference")
+
+
+# ------------------------------------------------------------------- link space
+class LinkSpace:
+    """The link index space of one topology.
+
+    Links are numbered as in the reference simulator: both orientations of every
+    router-router link first, then one injection link per endpoint, then one ejection
+    link per endpoint (the NIC up/down links).
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        """Build the directed-edge index and injection/ejection bases."""
+        self.directed = topology.directed_edges()
+        self.edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self.directed)}
+        n_router_links = len(self.directed)
+        self.num_endpoints = topology.num_endpoints
+        self.inject_base = n_router_links
+        self.eject_base = n_router_links + self.num_endpoints
+        self.num_links = n_router_links + 2 * self.num_endpoints
+
+    @property
+    def nbytes(self) -> int:
+        """Rough retained size (lets the shared cache account for this entry)."""
+        # two tuple-of-two-ints keys plus dict slots per directed edge
+        return 120 * len(self.directed)
+
+    def links_of_path(self, path: Sequence[int]) -> List[int]:
+        """Link indices of a router path (one per hop)."""
+        index = self.edge_index
+        return [index[(u, v)] for u, v in zip(path, path[1:])]
+
+
+def link_space_for(topology: Topology) -> LinkSpace:
+    """The (cached) :class:`LinkSpace` of ``topology``.
+
+    Stored on the topology's :class:`~repro.kernels.cache.GraphKernels` entry, so all
+    simulator instances over the same graph — including every cell of a
+    :func:`simulate_many` sweep and every worker-local repeat — share one build.
+    """
+    key = ("sim_linkspace", topology.concentration, tuple(topology.endpoint_routers))
+    return kernels_for(topology).aux(key, lambda: LinkSpace(topology))
+
+
+# --------------------------------------------------------------- candidate bank
+class CandidateEntry:
+    """Pooled candidate paths of one (source router, target router) pair.
+
+    ``seg_start[c]:seg_start[c]+seg_len[c]`` slices the bank's pool to the link
+    indices of candidate ``c`` (router links only — injection/ejection links are
+    per-flow and added by the engine); ``lengths`` is the per-candidate hop count
+    exactly as the reference computes it (``max(1, len(path) - 1)``).
+    """
+
+    __slots__ = ("bank", "num_candidates", "lengths", "lengths_float", "seg_start", "seg_len")
+
+    def __init__(self, bank: "CandidateBank", lengths: List[int],
+                 seg_start: np.ndarray, seg_len: np.ndarray) -> None:
+        """Wrap one pair's pooled candidate segments."""
+        self.bank = bank
+        self.num_candidates = len(lengths)
+        self.lengths = lengths
+        self.lengths_float = np.asarray(lengths, dtype=np.float64)
+        self.seg_start = seg_start
+        self.seg_len = seg_len
+
+
+class CandidateBank:
+    """Pooled candidate-path store for one routing scheme over one link space.
+
+    The bank is the engine's *incrementally amended* incidence: every distinct router
+    pair is resolved through ``routing.router_paths`` exactly once, its candidates'
+    link lists are appended to one growing ``int64`` pool, and all later runs (other
+    workloads, other cells of a sweep) reuse the pooled segments.  Same-router pairs
+    get the reference's synthetic single candidate (empty link list, hop count 1).
+    """
+
+    def __init__(self, links: LinkSpace) -> None:
+        """Create an empty bank over ``links``."""
+        self.links = links
+        self.pool = np.zeros(256, dtype=np.int64)
+        self.used = 0
+        self.entries: Dict[Tuple[int, int], CandidateEntry] = {}
+
+    def _append(self, values: Sequence[int]) -> Tuple[int, int]:
+        """Append one candidate's link list to the pool; return (start, length)."""
+        need = self.used + len(values)
+        if need > self.pool.size:
+            grown = np.zeros(max(need, 2 * self.pool.size), dtype=np.int64)
+            grown[:self.used] = self.pool[:self.used]
+            self.pool = grown
+        start = self.used
+        self.pool[start:need] = values
+        self.used = need
+        return start, len(values)
+
+    def entry(self, routing, source_router: int, target_router: int) -> CandidateEntry:
+        """The pooled candidate entry for one router pair (resolved at most once)."""
+        key = (source_router, target_router)
+        cached = self.entries.get(key)
+        if cached is not None:
+            return cached
+        if source_router == target_router:
+            link_lists: List[List[int]] = [[]]
+            lengths = [1]
+        else:
+            paths = routing.router_paths(source_router, target_router)
+            if not paths:
+                raise ValueError(f"routing scheme offers no path between routers {key}")
+            link_lists = [self.links.links_of_path(p) for p in paths]
+            lengths = [max(1, len(p) - 1) for p in paths]
+        seg_start = np.empty(len(link_lists), dtype=np.int64)
+        seg_len = np.empty(len(link_lists), dtype=np.int64)
+        for c, link_list in enumerate(link_lists):
+            seg_start[c], seg_len[c] = self._append(link_list)
+        made = CandidateEntry(self, lengths, seg_start, seg_len)
+        self.entries[key] = made
+        return made
+
+
+#: Per-routing-object candidate banks (weak keys: banks die with their routing).
+_BANKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def candidate_bank_for(routing, links: LinkSpace) -> CandidateBank:
+    """The shared :class:`CandidateBank` of one routing scheme (per link space)."""
+    try:
+        bank = _BANKS.get(routing)
+    except TypeError:  # unhashable / non-weakrefable routing: private bank
+        return CandidateBank(links)
+    if bank is None or bank.links is not links:
+        bank = CandidateBank(links)
+        _BANKS[routing] = bank
+    return bank
+
+
+# --------------------------------------------------------------- fair allocation
+def _progressive_fill(entry_links: np.ndarray, entry_flows: np.ndarray, num_flows: int,
+                      capacities: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Max-min fair progressive filling over a pooled (link, flow) incidence.
+
+    Replicates :func:`repro.sim.fairshare.max_min_fair_rates` for the unweighted,
+    no-empty-path case the simulator produces, operating on entry arrays instead of a
+    freshly built ``scipy.sparse`` matrix.  Per-link loads are exact integer counts in
+    float64 and every per-round scalar (increment, remaining capacity, saturation
+    test) evaluates the same expressions as the reference, so the resulting rates are
+    bit-identical regardless of flow ordering.
+    """
+    rates = np.zeros(num_flows)
+    if entry_links.size == 0:
+        return rates
+    # compress to the links that actually carry entries: idle links never have load,
+    # so they can neither bound the increment nor saturate — dropping them changes
+    # nothing (the per-link floats below are identical), it only shrinks every
+    # per-round array from |links| to |touched links|
+    touched, compressed = np.unique(entry_links, return_inverse=True)
+    remaining = capacities[touched].astype(np.float64)
+    saturation_threshold = epsilon * remaining + epsilon   # constant across rounds
+    unfixed = np.ones(num_flows, dtype=bool)
+    for _ in range(capacities.shape[0] + 1):
+        if not unfixed.any():
+            break
+        live = unfixed[entry_flows]
+        load = np.bincount(compressed[live], minlength=touched.size)
+        active_links = load > 0
+        if not active_links.any():
+            break
+        increment = float((remaining[active_links] / load[active_links]).min())
+        if increment <= 0:
+            increment = 0.0
+        rates[unfixed] += increment
+        remaining = remaining - load * increment
+        saturated = active_links & (remaining <= saturation_threshold)
+        if not saturated.any():
+            # no link saturates (should not happen with finite capacities); freeze all
+            break
+        newly_fixed = np.zeros(num_flows, dtype=bool)
+        newly_fixed[entry_flows[saturated[compressed] & live]] = True
+        unfixed &= ~newly_fixed
+    return rates
+
+
+def _segment_max(values: np.ndarray, pool: np.ndarray, starts: np.ndarray,
+                 lens: np.ndarray) -> np.ndarray:
+    """Per-segment maximum of ``values[pool[start:start+len]]`` (0.0 for empty)."""
+    out = np.zeros(starts.size)
+    nonzero = lens > 0
+    if not nonzero.any():
+        return out
+    s, l = starts[nonzero], lens[nonzero]
+    offsets = np.cumsum(l) - l
+    gather = np.repeat(s - offsets, l) + np.arange(int(l.sum()))
+    out[nonzero] = np.maximum.reduceat(values[pool[gather]], offsets)
+    return out
+
+
+# ----------------------------------------------------------------------- engine
+class FlowEngine:
+    """Vectorized flow-level simulation of one workload (reference-equivalent).
+
+    Drop-in replacement for :class:`repro.sim.reference.FlowLevelSimulator` — same
+    constructor, same :meth:`run` contract, record-for-record identical results —
+    with all per-event work vectorized over structure-of-arrays flow state.
+    """
+
+    def __init__(self, topology: Topology, routing, selector: Optional[PathSelector] = None,
+                 transport: Optional[TransportModel] = None,
+                 config: Optional[FlowSimConfig] = None, seed: int = 0) -> None:
+        """Bind one (topology, routing, selector, transport) stack to shared caches."""
+        self.topology = topology
+        self.routing = routing
+        self.selector = selector if selector is not None else FlowletSelector(seed=seed)
+        self.transport = transport or ndp_transport()
+        self.config = config or FlowSimConfig()
+        self.rng = np.random.default_rng(seed)
+        self.links = link_space_for(topology)
+        self.bank = candidate_bank_for(routing, self.links)
+        self.num_links = self.links.num_links
+        rate_bytes = self.config.link_rate_bps / 8.0
+        self.capacities = np.full(self.num_links, rate_bytes)
+        self._link_util = np.zeros(self.num_links)
+
+    # -------------------------------------------------------------------- run
+    def run(self, workload: Workload, mapping: Optional[Sequence[int]] = None) -> SimulationResult:
+        """Simulate ``workload`` and return per-flow records.
+
+        ``mapping`` optionally remaps endpoints (randomized workload mapping).
+        """
+        arrivals = workload.sorted_by_start()
+        n = len(arrivals)
+        config = self.config
+        line_rate = config.link_rate_bps / 8.0
+        congestion_threshold = config.congestion_rate_fraction * line_rate
+
+        # ---- structure-of-arrays flow state, indexed by arrival position
+        fid = np.fromiter((f.flow_id for f in arrivals), dtype=np.int64, count=n)
+        start = np.fromiter((f.start_time for f in arrivals), dtype=np.float64, count=n)
+        src = np.fromiter((f.source for f in arrivals), dtype=np.int64, count=n)
+        dst = np.fromiter((f.destination for f in arrivals), dtype=np.int64, count=n)
+        size = np.fromiter((f.size_bytes for f in arrivals), dtype=np.float64, count=n)
+        if mapping is not None and n:
+            remap = np.asarray(mapping, dtype=np.int64)
+            src, dst = remap[src], remap[dst]
+        if n:
+            if src.min() < 0 or dst.min() < 0 or \
+                    max(src.max(), dst.max()) >= self.links.num_endpoints:
+                raise ValueError("workload references an endpoint out of range")
+            routers = self.topology.endpoint_router_array()
+            src_router, dst_router = routers[src], routers[dst]
+        else:
+            src_router = dst_router = np.empty(0, dtype=np.int64)
+        inj_link = self.links.inject_base + src
+        ej_link = self.links.eject_base + dst
+
+        remaining = size.copy()
+        rate = np.zeros(n)
+        bytes_since_switch = np.zeros(n)
+        num_switches = np.zeros(n, dtype=np.int64)
+        congestion_events = np.zeros(n, dtype=np.int64)
+        currently_congested = np.zeros(n, dtype=bool)
+        path_index = np.zeros(n, dtype=np.int64)
+        num_candidates = np.zeros(n, dtype=np.int64)
+        cand_start = np.zeros(n, dtype=np.int64)
+        cand_len = np.zeros(n, dtype=np.int64)
+        entries: List[Optional[CandidateEntry]] = [None] * n
+
+        records: List[FlowRecord] = []
+        active = np.empty(0, dtype=np.int64)   # arrival positions, ascending
+        arrival_idx = 0
+        now = 0.0
+        events = 0
+        selector = self.selector
+        bank = self.bank
+        routing = self.routing
+
+        def advance_to(new_time: float) -> None:
+            """Transfer bytes on all active flows up to ``new_time`` (vectorized)."""
+            # byte accounting: same elementwise expressions as the reference loop
+            dt = new_time - now
+            if dt <= 0 or active.size == 0:
+                return
+            r = rate[active]
+            transferred = np.where(np.isfinite(r), r * dt, remaining[active])
+            np.minimum(transferred, remaining[active], out=transferred)
+            remaining[active] -= transferred
+            bytes_since_switch[active] += transferred
+
+        def active_incidence() -> Tuple[np.ndarray, np.ndarray]:
+            """(link, flow) entry arrays of the active flows' current paths."""
+            # gather [inject, path links..., eject] per active flow from the pool,
+            # flow-major — the exact entry order of the reference's _full_links lists
+            middles = cand_len[active]
+            lens = middles + 2
+            total = int(lens.sum())
+            ends = np.cumsum(lens)
+            starts_out = ends - lens
+            links = np.empty(total, dtype=np.int64)
+            links[starts_out] = inj_link[active]
+            links[ends - 1] = ej_link[active]
+            mid_total = int(middles.sum())
+            if mid_total:
+                middle_mask = np.ones(total, dtype=bool)
+                middle_mask[starts_out] = False
+                middle_mask[ends - 1] = False
+                offsets = np.cumsum(middles) - middles
+                gather = np.repeat(cand_start[active] - offsets, middles) + np.arange(mid_total)
+                links[middle_mask] = bank.pool[gather]
+            flows = np.repeat(np.arange(active.size), lens)
+            return links, flows
+
+        def recompute_rates() -> None:
+            """Max-min fair rates + link utilisation + congestion-episode edges."""
+            if active.size == 0:
+                self._link_util[:] = 0.0
+                return
+            entry_links, entry_flows = active_incidence()
+            fair = _progressive_fill(entry_links, entry_flows, active.size, self.capacities)
+            np.minimum(fair, line_rate, out=fair)
+            rate[active] = fair
+            self._link_util = np.bincount(
+                entry_links, weights=fair[entry_flows] / self.capacities[entry_links],
+                minlength=self.num_links)
+            congested = fair < congestion_threshold
+            congestion_events[active] += congested & ~currently_congested[active]
+            currently_congested[active] = congested
+
+        def maybe_switch_paths() -> None:
+            """Flowlet/congestion path switching with one batched selector call."""
+            if active.size == 0:
+                return
+            multi = active[num_candidates[active] > 1]
+            if multi.size == 0:
+                return
+            current_congestion = _segment_max(self._link_util, bank.pool,
+                                              cand_start[multi], cand_len[multi])
+            eligible = multi[(bytes_since_switch[multi] >= config.flowlet_bytes)
+                             | (current_congestion >= 1.0)]
+            if eligible.size == 0:
+                return
+            # batched switch evaluation: per-candidate congestion for every eligible
+            # flow in one segmented sweep, then one batched selector call whose RNG
+            # consumption matches per-flow calls in arrival order exactly
+            flow_entries = [entries[int(a)] for a in eligible]
+            seg_starts = np.concatenate([e.seg_start for e in flow_entries])
+            seg_lens = np.concatenate([e.seg_len for e in flow_entries])
+            counts = num_candidates[eligible]
+            congestion_flat = _segment_max(self._link_util, bank.pool, seg_starts, seg_lens)
+            width = int(counts.max())
+            row_mask = np.arange(width) < counts[:, None]
+            loads = np.full((eligible.size, width), np.inf)
+            loads[row_mask] = congestion_flat
+            lengths = np.full((eligible.size, width), np.inf)
+            lengths[row_mask] = np.concatenate([e.lengths_float for e in flow_entries])
+            new_index = selector.next_path_batch(fid[eligible], path_index[eligible],
+                                                 counts, loads, lengths)
+            bytes_since_switch[eligible] = 0.0
+            switched = new_index != path_index[eligible]
+            path_index[eligible] = new_index
+            num_switches[eligible[switched]] += 1
+            flat = np.cumsum(counts) - counts + new_index
+            cand_start[eligible] = seg_starts[flat]
+            cand_len[eligible] = seg_lens[flat]
+
+        def make_record(a: int, completion_time: float) -> FlowRecord:
+            """Assemble one flow's record (RTT + transport startup, as reference)."""
+            entry = entries[a]
+            hops = entry.lengths[int(path_index[a])]
+            rtt = 2 * (hops * config.per_hop_latency + config.host_latency)
+            startup = self.transport.startup_delay(float(size[a]), rtt, config.link_rate_bps)
+            return FlowRecord(
+                flow_id=int(fid[a]), source=int(src[a]), destination=int(dst[a]),
+                size_bytes=float(size[a]), start_time=float(start[a]),
+                completion_time=float(completion_time + rtt / 2 + startup),
+                path_hops=hops, num_path_switches=int(num_switches[a]),
+                congestion_events=int(congestion_events[a]))
+
+        while (arrival_idx < n or active.size) and events < config.max_events:
+            events += 1
+            if active.size:
+                horizon = now + remaining[active] / np.maximum(rate[active], config.rate_epsilon)
+                k = int(np.argmin(horizon))    # first minimum = earliest-arrived, as reference
+                completion_time = float(horizon[k])
+                completing: Optional[int] = int(active[k])
+            else:
+                completion_time, completing = np.inf, None
+            next_arrival = start[arrival_idx] if arrival_idx < n else np.inf
+            if next_arrival <= completion_time:
+                advance_to(float(next_arrival))
+                now = float(next_arrival)
+                first_new = arrival_idx
+                while arrival_idx < n and start[arrival_idx] <= now:
+                    a = arrival_idx
+                    arrival_idx += 1
+                    entry = bank.entry(routing, int(src_router[a]), int(dst_router[a]))
+                    entries[a] = entry
+                    index = selector.initial_path(int(fid[a]), entry.num_candidates,
+                                                  path_lengths=entry.lengths)
+                    path_index[a] = index
+                    num_candidates[a] = entry.num_candidates
+                    cand_start[a] = entry.seg_start[index]
+                    cand_len[a] = entry.seg_len[index]
+                active = np.concatenate([active, np.arange(first_new, arrival_idx)])
+            else:
+                if completing is None:
+                    break
+                advance_to(completion_time)
+                now = completion_time
+                active = active[active != completing]
+                records.append(make_record(completing, now))
+            maybe_switch_paths()
+            recompute_rates()
+
+        # drain any flows left when max_events was hit (same rate floor as the
+        # completion search, matching the reference)
+        for a in active:
+            a = int(a)
+            records.append(make_record(
+                a, now + remaining[a] / max(float(rate[a]), config.rate_epsilon)))
+        records.sort(key=lambda r: r.flow_id)
+        return SimulationResult(records=records, name=workload.name,
+                                meta={"topology": self.topology.name,
+                                      "routing": getattr(self.routing, "name",
+                                                         type(self.routing).__name__),
+                                      "transport": self.transport.name,
+                                      "events": events,
+                                      "engine": "engine"})
+
+
+# ------------------------------------------------------------------ batched API
+@dataclass
+class SimCell:
+    """One simulation cell of a sweep: a workload under one stack on one topology."""
+
+    topology: Topology
+    routing: object
+    workload: Workload
+    selector: Optional[PathSelector] = None
+    transport: Optional[TransportModel] = None
+    config: Optional[FlowSimConfig] = None
+    mapping: Optional[Sequence[int]] = None
+    seed: int = 0
+    drop_warmup: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def simulate_many(cells: Sequence[SimCell], engine: str = "engine") -> List[SimulationResult]:
+    """Run many simulation cells in order, sharing setup across them.
+
+    Cells are executed sequentially (so stateful selectors shared between cells
+    consume their RNG streams exactly as the equivalent sequence of
+    :func:`repro.sim.flowsim.simulate_workload` calls would), but the expensive
+    per-cell setup is amortized: link spaces are shared per topology through the
+    kernel cache, and candidate paths are resolved once per (routing, router pair)
+    through the pooled :class:`CandidateBank`.  This is the entry point the
+    simulation-backed experiments (Figures 2, 12, 14, 15, 16, 20) sweep their
+    (stack, workload, seed) grids through.
+
+    ``engine="reference"`` runs every cell on the scalar reference simulator instead
+    (the same escape hatch :func:`repro.sim.flowsim.simulate_workload` offers).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+    results: List[SimulationResult] = []
+    for cell in cells:
+        sim_cls = FlowEngine if engine == "engine" else FlowLevelSimulator
+        sim = sim_cls(cell.topology, cell.routing, selector=cell.selector,
+                      transport=cell.transport, config=cell.config, seed=cell.seed)
+        result = sim.run(cell.workload, mapping=cell.mapping)
+        if cell.drop_warmup:
+            result = result.warmup_filtered()
+        results.append(result)
+    return results

@@ -13,6 +13,7 @@ milliseconds (see the HPC guides: vectorise the hot loop).
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import List, Sequence
 
 import numpy as np
@@ -100,15 +101,27 @@ def max_min_fair_rates(paths_links: Sequence[Sequence[int]], link_capacities: np
 
 def link_utilisation(paths_links: Sequence[Sequence[int]], rates: np.ndarray,
                      link_capacities: np.ndarray) -> np.ndarray:
-    """Utilisation (load / capacity) of each link under the given flow rates."""
+    """Utilisation (load / capacity) of each link under the given flow rates.
+
+    Vectorized over the same flattened flow/link incidence that
+    :func:`max_min_fair_rates` builds its CSR matrix from: one weighted ``bincount``
+    accumulates every (flow, link) entry flow-major, exactly as the former per-flow
+    Python loop did (flows with non-finite rates contribute zero).
+    """
     capacities = np.asarray(link_capacities, dtype=np.float64)
-    load = np.zeros(capacities.shape[0])
-    for f, links in enumerate(paths_links):
-        rate = rates[f]
-        if not np.isfinite(rate):
-            continue
-        for link in links:
-            load[link] += rate
+    num_links = capacities.shape[0]
+    lengths = np.fromiter((len(links) for links in paths_links), dtype=np.int64,
+                          count=len(paths_links))
+    total = int(lengths.sum())
+    if total == 0:
+        load = np.zeros(num_links)
+    else:
+        links = np.fromiter(chain.from_iterable(paths_links), dtype=np.int64, count=total)
+        if links.min() < 0 or links.max() >= num_links:
+            raise ValueError("paths reference an unknown link index")
+        flow_rates = np.asarray(rates, dtype=np.float64)
+        weights = np.repeat(np.where(np.isfinite(flow_rates), flow_rates, 0.0), lengths)
+        load = np.bincount(links, weights=weights, minlength=num_links)
     with np.errstate(divide="ignore", invalid="ignore"):
         util = np.where(capacities > 0, load / capacities, 0.0)
     return util

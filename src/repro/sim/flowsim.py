@@ -1,4 +1,4 @@
-"""Event-driven flow-level network simulator (the htsim/OMNeT++ substitute, see DESIGN.md).
+"""Event-driven flow-level network simulation (the htsim/OMNeT++ substitute, see DESIGN.md).
 
 The simulator resolves, over time, how concurrently active flows share link bandwidth:
 
@@ -15,262 +15,41 @@ The simulator resolves, over time, how concurrently active flows share link band
 This captures the effects the paper's evaluation hinges on — path collisions on
 low-diversity topologies, the benefit of non-minimal multipathing, flowlet adaptivity
 and transport differences — at a scale a pure-Python reproduction can run.
+
+Two implementations provide these semantics:
+
+* :mod:`repro.sim.engine` — the vectorized structure-of-arrays engine (the default);
+* :mod:`repro.sim.reference` — the original scalar event loop, preserved as the
+  behavioural specification (``tests/sim/test_engine_equivalence.py`` pins the engine
+  to it record-for-record).
+
+:func:`simulate_workload` dispatches between them via its ``engine`` parameter
+(``"engine"`` by default, ``"reference"`` as the escape hatch); batched sweeps should
+use :func:`repro.sim.engine.simulate_many`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.core.loadbalance import FlowletSelector, PathSelector
-from repro.core.transport import TransportModel, ndp_transport
-from repro.sim.fairshare import max_min_fair_rates
-from repro.sim.metrics import FlowRecord, SimulationResult
+from repro.core.loadbalance import PathSelector
+from repro.core.transport import TransportModel
+from repro.sim.engine import ENGINES, FlowEngine, SimCell, simulate_many
+from repro.sim.metrics import SimulationResult
+from repro.sim.reference import FlowLevelSimulator
+from repro.sim.simconfig import FlowSimConfig
 from repro.topologies.base import Topology
-from repro.traffic.flows import Flow, Workload
+from repro.traffic.flows import Workload
 
-
-@dataclass(frozen=True)
-class FlowSimConfig:
-    """Simulator parameters (defaults follow the paper's §VII-A setup)."""
-
-    link_rate_bps: float = 10e9          # 10G endpoint/link rate
-    per_hop_latency: float = 1e-6        # 1 us fixed delay per link (INET-style)
-    host_latency: float = 10e-6          # endpoint software latency (interrupt throttling)
-    flowlet_bytes: float = 64 * 1024.0   # bytes between flowlet path re-evaluations
-    congestion_rate_fraction: float = 0.5  # "congested" = rate below this fraction of line rate
-    rate_epsilon: float = 1.0            # bytes/s resolution for completion times
-    max_events: int = 5_000_000
-
-    def __post_init__(self) -> None:
-        if self.link_rate_bps <= 0:
-            raise ValueError("link_rate_bps must be positive")
-        if self.flowlet_bytes <= 0:
-            raise ValueError("flowlet_bytes must be positive")
-
-
-@dataclass
-class _ActiveFlow:
-    flow: Flow
-    source_router: int
-    target_router: int
-    candidate_paths: List[List[int]]          # router paths
-    candidate_links: List[List[int]]          # same paths as link-index lists
-    path_lengths: List[int]
-    path_index: int
-    remaining: float
-    bytes_since_switch: float = 0.0
-    num_switches: int = 0
-    congestion_events: int = 0
-    currently_congested: bool = False
-    rate: float = 0.0
-    hops_travelled: float = 0.0
-
-
-class FlowLevelSimulator:
-    """Flow-level simulation of one workload on one topology + routing scheme."""
-
-    def __init__(self, topology: Topology, routing, selector: Optional[PathSelector] = None,
-                 transport: Optional[TransportModel] = None,
-                 config: Optional[FlowSimConfig] = None, seed: int = 0) -> None:
-        self.topology = topology
-        self.routing = routing
-        self.selector = selector if selector is not None else FlowletSelector(seed=seed)
-        self.transport = transport or ndp_transport()
-        self.config = config or FlowSimConfig()
-        self.rng = np.random.default_rng(seed)
-
-        # Link index space: directed router links, then per-endpoint injection and
-        # ejection links (the NIC up/down links).
-        self._directed = topology.directed_edges()
-        self._edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self._directed)}
-        n_router_links = len(self._directed)
-        n_endpoints = topology.num_endpoints
-        self._inject_base = n_router_links
-        self._eject_base = n_router_links + n_endpoints
-        self.num_links = n_router_links + 2 * n_endpoints
-        rate_bytes = self.config.link_rate_bps / 8.0
-        self.capacities = np.full(self.num_links, rate_bytes)
-        self._link_util = np.zeros(self.num_links)
-        self._path_cache: Dict[Tuple[int, int], Tuple[List[List[int]], List[List[int]], List[int]]] = {}
-
-    # ------------------------------------------------------------------ paths
-    def _links_of_router_path(self, path: Sequence[int]) -> List[int]:
-        return [self._edge_index[(u, v)] for u, v in zip(path, path[1:])]
-
-    def _candidates(self, source_router: int, target_router: int
-                    ) -> Tuple[List[List[int]], List[List[int]], List[int]]:
-        key = (source_router, target_router)
-        if key in self._path_cache:
-            return self._path_cache[key]
-        paths = self.routing.router_paths(source_router, target_router)
-        if not paths:
-            raise ValueError(f"routing scheme offers no path between routers {key}")
-        links = [self._links_of_router_path(p) for p in paths]
-        lengths = [max(1, len(p) - 1) for p in paths]
-        value = (paths, links, lengths)
-        self._path_cache[key] = value
-        return value
-
-    def _full_links(self, active: _ActiveFlow, path_index: int) -> List[int]:
-        inj = self._inject_base + active.flow.source
-        ej = self._eject_base + active.flow.destination
-        return [inj] + active.candidate_links[path_index] + [ej]
-
-    def _path_congestion(self, active: _ActiveFlow, path_index: int) -> float:
-        links = active.candidate_links[path_index]
-        if not links:
-            return 0.0
-        return float(max(self._link_util[link] for link in links))
-
-    # -------------------------------------------------------------------- run
-    def run(self, workload: Workload, mapping: Optional[Sequence[int]] = None) -> SimulationResult:
-        """Simulate ``workload`` and return per-flow records.
-
-        ``mapping`` optionally remaps endpoints (randomized workload mapping).
-        """
-        arrivals = workload.sorted_by_start()
-        if mapping is not None:
-            remapped = []
-            for f in arrivals:
-                remapped.append(Flow(start_time=f.start_time, source=int(mapping[f.source]),
-                                     destination=int(mapping[f.destination]),
-                                     size_bytes=f.size_bytes, flow_id=f.flow_id))
-            arrivals = remapped
-        records: List[FlowRecord] = []
-        active: Dict[int, _ActiveFlow] = {}
-        arrival_idx = 0
-        now = 0.0
-        events = 0
-        line_rate = self.config.link_rate_bps / 8.0
-
-        def advance_to(new_time: float) -> None:
-            dt = new_time - now
-            if dt <= 0:
-                return
-            for state in active.values():
-                if np.isfinite(state.rate):
-                    transferred = state.rate * dt
-                else:
-                    transferred = state.remaining
-                transferred = min(transferred, state.remaining)
-                state.remaining -= transferred
-                state.bytes_since_switch += transferred
-
-        def recompute_rates() -> None:
-            if not active:
-                self._link_util[:] = 0.0
-                return
-            states = list(active.values())
-            paths_links = [self._full_links(s, s.path_index) for s in states]
-            rates = max_min_fair_rates(paths_links, self.capacities)
-            self._link_util[:] = 0.0
-            for state, links, rate in zip(states, paths_links, rates):
-                state.rate = float(min(rate, line_rate))
-                for link in links:
-                    self._link_util[link] += state.rate / self.capacities[link]
-            for state in states:
-                # A congestion *episode* starts when the flow's rate drops below the
-                # threshold (edge-triggered): this is what a loss/ECN reaction costs.
-                congested = state.rate < self.config.congestion_rate_fraction * line_rate
-                if congested and not state.currently_congested:
-                    state.congestion_events += 1
-                state.currently_congested = congested
-
-        def maybe_switch_paths() -> None:
-            for state in active.values():
-                if len(state.candidate_paths) <= 1:
-                    continue
-                congested = self._path_congestion(state, state.path_index) >= 1.0
-                if state.bytes_since_switch < self.config.flowlet_bytes and not congested:
-                    continue
-                new_index = self.selector.next_path(
-                    state.flow.flow_id, state.path_index, len(state.candidate_paths),
-                    congestion=lambda i, s=state: self._path_congestion(s, i),
-                    path_lengths=state.path_lengths)
-                state.bytes_since_switch = 0.0
-                if new_index != state.path_index:
-                    state.path_index = new_index
-                    state.num_switches += 1
-
-        def next_completion() -> Tuple[float, Optional[int]]:
-            best_time, best_flow = np.inf, None
-            for fid, state in active.items():
-                rate = max(state.rate, self.config.rate_epsilon)
-                t = now + state.remaining / rate
-                if t < best_time:
-                    best_time, best_flow = t, fid
-            return best_time, best_flow
-
-        while (arrival_idx < len(arrivals) or active) and events < self.config.max_events:
-            events += 1
-            completion_time, completing = next_completion()
-            next_arrival = arrivals[arrival_idx].start_time if arrival_idx < len(arrivals) else np.inf
-            if next_arrival <= completion_time:
-                # process all arrivals at this timestamp
-                advance_to(next_arrival)
-                now = next_arrival
-                while arrival_idx < len(arrivals) and arrivals[arrival_idx].start_time <= now:
-                    flow = arrivals[arrival_idx]
-                    arrival_idx += 1
-                    rs = self.topology.router_of_endpoint(flow.source)
-                    rt = self.topology.router_of_endpoint(flow.destination)
-                    if rs == rt:
-                        paths, links, lengths = [[rs]], [[]], [1]
-                    else:
-                        paths, links, lengths = self._candidates(rs, rt)
-                    index = self.selector.initial_path(flow.flow_id, len(paths),
-                                                       path_lengths=lengths)
-                    state = _ActiveFlow(flow=flow, source_router=rs, target_router=rt,
-                                        candidate_paths=paths, candidate_links=links,
-                                        path_lengths=lengths, path_index=index,
-                                        remaining=flow.size_bytes)
-                    active[flow.flow_id] = state
-            else:
-                if completing is None:
-                    break
-                advance_to(completion_time)
-                now = completion_time
-                state = active.pop(completing)
-                records.append(self._record(state, now))
-            maybe_switch_paths()
-            recompute_rates()
-
-        # drain any flows left when max_events was hit (defensive; not expected)
-        for state in active.values():  # pragma: no cover - only on event budget overflow
-            records.append(self._record(state, now + state.remaining / max(state.rate, 1.0)))
-        records.sort(key=lambda r: r.flow_id)
-        return SimulationResult(records=records, name=workload.name,
-                                meta={"topology": self.topology.name,
-                                      "routing": getattr(self.routing, "name",
-                                                         type(self.routing).__name__),
-                                      "transport": self.transport.name,
-                                      "events": events})
-
-    # ---------------------------------------------------------------- records
-    def _record(self, state: _ActiveFlow, completion_time: float) -> FlowRecord:
-        hops = state.path_lengths[state.path_index]
-        rtt = 2 * (hops * self.config.per_hop_latency + self.config.host_latency)
-        startup = self.transport.startup_delay(state.flow.size_bytes, rtt,
-                                               self.config.link_rate_bps)
-        # Congestion episodes are reported per flow but not charged as extra latency:
-        # bandwidth contention is already resolved by the max-min fair sharing, and a
-        # per-episode RTT surcharge would double-count it (and make results depend on
-        # how often rates cross the congestion threshold rather than on routing).
-        total_completion = completion_time + rtt / 2 + startup
-        return FlowRecord(
-            flow_id=state.flow.flow_id,
-            source=state.flow.source,
-            destination=state.flow.destination,
-            size_bytes=state.flow.size_bytes,
-            start_time=state.flow.start_time,
-            completion_time=total_completion,
-            path_hops=hops,
-            num_path_switches=state.num_switches,
-            congestion_events=state.congestion_events,
-        )
+__all__ = [
+    "ENGINES",
+    "FlowEngine",
+    "FlowLevelSimulator",
+    "FlowSimConfig",
+    "SimCell",
+    "simulate_many",
+    "simulate_workload",
+]
 
 
 def simulate_workload(topology: Topology, routing, workload: Workload,
@@ -278,10 +57,19 @@ def simulate_workload(topology: Topology, routing, workload: Workload,
                       transport: Optional[TransportModel] = None,
                       config: Optional[FlowSimConfig] = None,
                       mapping: Optional[Sequence[int]] = None,
-                      seed: int = 0, drop_warmup: bool = False) -> SimulationResult:
-    """Convenience wrapper: build a simulator, run one workload, optionally drop warm-up."""
-    sim = FlowLevelSimulator(topology, routing, selector=selector, transport=transport,
-                             config=config, seed=seed)
+                      seed: int = 0, drop_warmup: bool = False,
+                      engine: str = "engine") -> SimulationResult:
+    """Build a simulator, run one workload, optionally drop warm-up.
+
+    ``engine`` selects the implementation: ``"engine"`` (default) runs the vectorized
+    :class:`~repro.sim.engine.FlowEngine`, ``"reference"`` the scalar
+    :class:`~repro.sim.reference.FlowLevelSimulator`.  Both produce identical records.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+    sim_cls = FlowEngine if engine == "engine" else FlowLevelSimulator
+    sim = sim_cls(topology, routing, selector=selector, transport=transport,
+                  config=config, seed=seed)
     result = sim.run(workload, mapping=mapping)
     if drop_warmup:
         result = result.warmup_filtered()

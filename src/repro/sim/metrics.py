@@ -45,12 +45,15 @@ class SimulationResult:
         return len(self.records)
 
     def fcts(self) -> np.ndarray:
+        """Per-flow completion times in seconds (record order)."""
         return np.array([r.fct for r in self.records])
 
     def throughputs(self) -> np.ndarray:
+        """Per-flow throughputs in bytes/s (record order)."""
         return np.array([r.throughput for r in self.records])
 
     def sizes(self) -> np.ndarray:
+        """Per-flow sizes in bytes (record order)."""
         return np.array([r.size_bytes for r in self.records])
 
     def warmup_filtered(self, warmup_fraction: float = 0.5) -> "SimulationResult":
@@ -66,6 +69,7 @@ class SimulationResult:
         return SimulationResult(records=kept, name=self.name, meta=dict(self.meta))
 
     def summary(self, percentiles: Sequence[float] = (1, 10, 50, 90, 99)) -> Dict[str, float]:
+        """Mean/percentile FCT and throughput summary (see :func:`summarize_flows`)."""
         return summarize_flows(self.records, percentiles)
 
     def by_size_bucket(self, buckets: Sequence[float]) -> Dict[float, "SimulationResult"]:

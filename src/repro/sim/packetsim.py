@@ -165,10 +165,12 @@ class PacketLevelSimulator:
 
     # -------------------------------------------------------------------- run
     def run(self, workload: Workload) -> SimulationResult:
+        """Simulate ``workload`` packet by packet and return per-flow records."""
         cfg = self.config
         events: List[Tuple[float, int, str, object]] = []
 
         def push(time: float, kind: str, payload: object) -> None:
+            """Enqueue one event, tie-broken by insertion order."""
             heapq.heappush(events, (time, next(self._counter), kind, payload))
 
         flows: Dict[int, _FlowState] = {}

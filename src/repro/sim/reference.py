@@ -1,0 +1,263 @@
+"""The scalar flow-level simulator: the trusted reference for :mod:`repro.sim.engine`.
+
+This is the event-driven simulator the repository grew up with (previously the body of
+:mod:`repro.sim.flowsim`), preserved as the behavioural specification — one Python
+``_ActiveFlow`` object per active flow, per-flow loops for byte accounting, path
+switching and completion search, and a fresh sparse max-min fair allocation every
+event.  The vectorized engine in :mod:`repro.sim.engine` is pinned to it
+record-for-record by ``tests/sim/test_engine_equivalence.py``, mirroring how
+:mod:`repro.kernels.reference` preserves the scalar graph kernels.
+
+Semantics worth knowing when reading either implementation:
+
+* every arrival/completion event recomputes max-min fair rates over all active flows;
+* path switches are evaluated after every event, *before* rates are recomputed, so
+  switching decisions read the link utilisation of the previous allocation;
+* the next completion is the active flow minimising ``now + remaining / max(rate,
+  rate_epsilon)``, ties broken towards the earliest-arrived flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.loadbalance import FlowletSelector, PathSelector
+from repro.core.transport import TransportModel, ndp_transport
+from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.metrics import FlowRecord, SimulationResult
+from repro.sim.simconfig import FlowSimConfig
+from repro.topologies.base import Topology
+from repro.traffic.flows import Flow, Workload
+
+
+@dataclass
+class _ActiveFlow:
+    flow: Flow
+    source_router: int
+    target_router: int
+    candidate_paths: List[List[int]]          # router paths
+    candidate_links: List[List[int]]          # same paths as link-index lists
+    path_lengths: List[int]
+    path_index: int
+    remaining: float
+    bytes_since_switch: float = 0.0
+    num_switches: int = 0
+    congestion_events: int = 0
+    currently_congested: bool = False
+    rate: float = 0.0
+    hops_travelled: float = 0.0
+
+
+class FlowLevelSimulator:
+    """Flow-level simulation of one workload on one topology + routing scheme."""
+
+    def __init__(self, topology: Topology, routing, selector: Optional[PathSelector] = None,
+                 transport: Optional[TransportModel] = None,
+                 config: Optional[FlowSimConfig] = None, seed: int = 0) -> None:
+        """Set up link index space and caches for one (topology, routing, stack) triple."""
+        self.topology = topology
+        self.routing = routing
+        self.selector = selector if selector is not None else FlowletSelector(seed=seed)
+        self.transport = transport or ndp_transport()
+        self.config = config or FlowSimConfig()
+        self.rng = np.random.default_rng(seed)
+
+        # Link index space: directed router links, then per-endpoint injection and
+        # ejection links (the NIC up/down links).
+        self._directed = topology.directed_edges()
+        self._edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self._directed)}
+        n_router_links = len(self._directed)
+        n_endpoints = topology.num_endpoints
+        self._inject_base = n_router_links
+        self._eject_base = n_router_links + n_endpoints
+        self.num_links = n_router_links + 2 * n_endpoints
+        rate_bytes = self.config.link_rate_bps / 8.0
+        self.capacities = np.full(self.num_links, rate_bytes)
+        self._link_util = np.zeros(self.num_links)
+        self._path_cache: Dict[Tuple[int, int], Tuple[List[List[int]], List[List[int]], List[int]]] = {}
+
+    # ------------------------------------------------------------------ paths
+    def _links_of_router_path(self, path: Sequence[int]) -> List[int]:
+        return [self._edge_index[(u, v)] for u, v in zip(path, path[1:])]
+
+    def _candidates(self, source_router: int, target_router: int
+                    ) -> Tuple[List[List[int]], List[List[int]], List[int]]:
+        key = (source_router, target_router)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        paths = self.routing.router_paths(source_router, target_router)
+        if not paths:
+            raise ValueError(f"routing scheme offers no path between routers {key}")
+        links = [self._links_of_router_path(p) for p in paths]
+        lengths = [max(1, len(p) - 1) for p in paths]
+        value = (paths, links, lengths)
+        self._path_cache[key] = value
+        return value
+
+    def _full_links(self, active: _ActiveFlow, path_index: int) -> List[int]:
+        inj = self._inject_base + active.flow.source
+        ej = self._eject_base + active.flow.destination
+        return [inj] + active.candidate_links[path_index] + [ej]
+
+    def _path_congestion(self, active: _ActiveFlow, path_index: int) -> float:
+        links = active.candidate_links[path_index]
+        if not links:
+            return 0.0
+        return float(max(self._link_util[link] for link in links))
+
+    # -------------------------------------------------------------------- run
+    def run(self, workload: Workload, mapping: Optional[Sequence[int]] = None) -> SimulationResult:
+        """Simulate ``workload`` and return per-flow records.
+
+        ``mapping`` optionally remaps endpoints (randomized workload mapping).
+        """
+        arrivals = workload.sorted_by_start()
+        if mapping is not None:
+            remapped = []
+            for f in arrivals:
+                remapped.append(Flow(start_time=f.start_time, source=int(mapping[f.source]),
+                                     destination=int(mapping[f.destination]),
+                                     size_bytes=f.size_bytes, flow_id=f.flow_id))
+            arrivals = remapped
+        records: List[FlowRecord] = []
+        active: Dict[int, _ActiveFlow] = {}
+        arrival_idx = 0
+        now = 0.0
+        events = 0
+        line_rate = self.config.link_rate_bps / 8.0
+
+        def advance_to(new_time: float) -> None:
+            """Transfer bytes on every active flow up to ``new_time``."""
+            dt = new_time - now
+            if dt <= 0:
+                return
+            for state in active.values():
+                if np.isfinite(state.rate):
+                    transferred = state.rate * dt
+                else:
+                    transferred = state.remaining
+                transferred = min(transferred, state.remaining)
+                state.remaining -= transferred
+                state.bytes_since_switch += transferred
+
+        def recompute_rates() -> None:
+            """Max-min fair rates, link utilisation and congestion episodes."""
+            if not active:
+                self._link_util[:] = 0.0
+                return
+            states = list(active.values())
+            paths_links = [self._full_links(s, s.path_index) for s in states]
+            rates = max_min_fair_rates(paths_links, self.capacities)
+            self._link_util[:] = 0.0
+            for state, links, rate in zip(states, paths_links, rates):
+                state.rate = float(min(rate, line_rate))
+                for link in links:
+                    self._link_util[link] += state.rate / self.capacities[link]
+            for state in states:
+                # A congestion *episode* starts when the flow's rate drops below the
+                # threshold (edge-triggered): this is what a loss/ECN reaction costs.
+                congested = state.rate < self.config.congestion_rate_fraction * line_rate
+                if congested and not state.currently_congested:
+                    state.congestion_events += 1
+                state.currently_congested = congested
+
+        def maybe_switch_paths() -> None:
+            """Per-flow flowlet/congestion path switching via the selector."""
+            for state in active.values():
+                if len(state.candidate_paths) <= 1:
+                    continue
+                congested = self._path_congestion(state, state.path_index) >= 1.0
+                if state.bytes_since_switch < self.config.flowlet_bytes and not congested:
+                    continue
+                new_index = self.selector.next_path(
+                    state.flow.flow_id, state.path_index, len(state.candidate_paths),
+                    congestion=lambda i, s=state: self._path_congestion(s, i),
+                    path_lengths=state.path_lengths)
+                state.bytes_since_switch = 0.0
+                if new_index != state.path_index:
+                    state.path_index = new_index
+                    state.num_switches += 1
+
+        def next_completion() -> Tuple[float, Optional[int]]:
+            """(time, flow id) of the earliest completion among active flows."""
+            best_time, best_flow = np.inf, None
+            for fid, state in active.items():
+                rate = max(state.rate, self.config.rate_epsilon)
+                t = now + state.remaining / rate
+                if t < best_time:
+                    best_time, best_flow = t, fid
+            return best_time, best_flow
+
+        while (arrival_idx < len(arrivals) or active) and events < self.config.max_events:
+            events += 1
+            completion_time, completing = next_completion()
+            next_arrival = arrivals[arrival_idx].start_time if arrival_idx < len(arrivals) else np.inf
+            if next_arrival <= completion_time:
+                # process all arrivals at this timestamp
+                advance_to(next_arrival)
+                now = next_arrival
+                while arrival_idx < len(arrivals) and arrivals[arrival_idx].start_time <= now:
+                    flow = arrivals[arrival_idx]
+                    arrival_idx += 1
+                    rs = self.topology.router_of_endpoint(flow.source)
+                    rt = self.topology.router_of_endpoint(flow.destination)
+                    if rs == rt:
+                        paths, links, lengths = [[rs]], [[]], [1]
+                    else:
+                        paths, links, lengths = self._candidates(rs, rt)
+                    index = self.selector.initial_path(flow.flow_id, len(paths),
+                                                       path_lengths=lengths)
+                    state = _ActiveFlow(flow=flow, source_router=rs, target_router=rt,
+                                        candidate_paths=paths, candidate_links=links,
+                                        path_lengths=lengths, path_index=index,
+                                        remaining=flow.size_bytes)
+                    active[flow.flow_id] = state
+            else:
+                if completing is None:
+                    break
+                advance_to(completion_time)
+                now = completion_time
+                state = active.pop(completing)
+                records.append(self._record(state, now))
+            maybe_switch_paths()
+            recompute_rates()
+
+        # drain any flows left when max_events was hit (the completion-time floor uses
+        # config.rate_epsilon, the same resolution next_completion applies)
+        for state in active.values():
+            records.append(self._record(state, now + state.remaining
+                                        / max(state.rate, self.config.rate_epsilon)))
+        records.sort(key=lambda r: r.flow_id)
+        return SimulationResult(records=records, name=workload.name,
+                                meta={"topology": self.topology.name,
+                                      "routing": getattr(self.routing, "name",
+                                                         type(self.routing).__name__),
+                                      "transport": self.transport.name,
+                                      "events": events,
+                                      "engine": "reference"})
+
+    # ---------------------------------------------------------------- records
+    def _record(self, state: _ActiveFlow, completion_time: float) -> FlowRecord:
+        hops = state.path_lengths[state.path_index]
+        rtt = 2 * (hops * self.config.per_hop_latency + self.config.host_latency)
+        startup = self.transport.startup_delay(state.flow.size_bytes, rtt,
+                                               self.config.link_rate_bps)
+        # Congestion episodes are reported per flow but not charged as extra latency:
+        # bandwidth contention is already resolved by the max-min fair sharing, and a
+        # per-episode RTT surcharge would double-count it (and make results depend on
+        # how often rates cross the congestion threshold rather than on routing).
+        total_completion = completion_time + rtt / 2 + startup
+        return FlowRecord(
+            flow_id=state.flow.flow_id,
+            source=state.flow.source,
+            destination=state.flow.destination,
+            size_bytes=state.flow.size_bytes,
+            start_time=state.flow.start_time,
+            completion_time=total_completion,
+            path_hops=hops,
+            num_path_switches=state.num_switches,
+            congestion_events=state.congestion_events,
+        )

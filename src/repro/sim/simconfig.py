@@ -1,0 +1,31 @@
+"""Shared configuration of the flow-level simulators.
+
+Both the scalar reference simulator (:mod:`repro.sim.reference`) and the vectorized
+engine (:mod:`repro.sim.engine`) consume the same :class:`FlowSimConfig`; keeping it in
+its own module lets either implementation be imported without pulling in the other
+(mirroring how :mod:`repro.kernels` separates the scalar specifications from the
+vectorized kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowSimConfig:
+    """Simulator parameters (defaults follow the paper's §VII-A setup)."""
+
+    link_rate_bps: float = 10e9          # 10G endpoint/link rate
+    per_hop_latency: float = 1e-6        # 1 us fixed delay per link (INET-style)
+    host_latency: float = 10e-6          # endpoint software latency (interrupt throttling)
+    flowlet_bytes: float = 64 * 1024.0   # bytes between flowlet path re-evaluations
+    congestion_rate_fraction: float = 0.5  # "congested" = rate below this fraction of line rate
+    rate_epsilon: float = 1.0            # bytes/s resolution for completion times
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.link_rate_bps <= 0:
+            raise ValueError("link_rate_bps must be positive")
+        if self.flowlet_bytes <= 0:
+            raise ValueError("flowlet_bytes must be positive")

@@ -158,3 +158,38 @@ class TestInterferenceLayers:
         layers = build_layers(clique_tiny)
         assert isinstance(layers, LayerSet)
         assert len(layers) == FatPathsConfig().num_layers
+
+
+class TestBatchedResampling:
+    def test_low_rho_layers_connected_or_first_kept(self):
+        """Very low rho forces the blocked resampling path: every sparsified layer is
+        either connected or the (arbitrary) first candidate kept as fallback, and all
+        layers keep exactly the target edge count."""
+        topo = complete_graph(10)
+        cfg = FatPathsConfig(num_layers=6, rho=0.25, seed=7)
+        layers = random_edge_sampling_layers(topo, cfg)
+        target = max(1, int(np.floor(cfg.rho * topo.num_edges)))
+        for layer in list(layers)[1:]:
+            assert len(layer) == target
+            assert set(layer.edges) <= set(topo.edges)
+
+    def test_batched_resampling_still_deterministic(self):
+        topo = complete_graph(10)
+        cfg = FatPathsConfig(num_layers=5, rho=0.25, seed=3)
+        a = random_edge_sampling_layers(topo, cfg)
+        b = random_edge_sampling_layers(topo, cfg)
+        assert [layer.edges for layer in a] == [layer.edges for layer in b]
+
+    def test_common_case_matches_seed_sequential_loop(self):
+        """With a connected first draw the batched path consumes exactly one
+        permutation per layer — replaying the seed's sequential loop draws the same
+        layers."""
+        topo = complete_graph(12)
+        cfg = FatPathsConfig(num_layers=4, rho=0.8, seed=11)
+        layers = random_edge_sampling_layers(topo, cfg)
+        rng = np.random.default_rng(cfg.seed)
+        all_edges = [(u, v) for u, v in topo.edges]
+        target = max(1, int(np.floor(cfg.rho * len(all_edges))))
+        for layer in list(layers)[1:]:
+            idx = rng.permutation(len(all_edges))[:target]
+            assert layer.edges == frozenset(all_edges[i] for i in idx)

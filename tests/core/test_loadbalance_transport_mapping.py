@@ -144,3 +144,68 @@ class TestMapping:
     @settings(max_examples=25, deadline=None)
     def test_property_random_mapping_is_permutation(self, n, seed):
         assert is_valid_mapping(random_mapping(n, np.random.default_rng(seed)), n)
+
+
+class TestBatchedSelectors:
+    """next_path_batch must consume the selector RNG exactly as sequential calls do
+    (the contract the vectorized simulation engine's equivalence rests on)."""
+
+    @staticmethod
+    def _random_batch(rng, num_flows, max_paths=6):
+        counts = rng.integers(2, max_paths + 1, size=num_flows)
+        width = int(counts.max())
+        loads = np.full((num_flows, width), np.inf)
+        lengths = np.full((num_flows, width), np.inf)
+        for row, n in enumerate(counts):
+            loads[row, :n] = rng.uniform(0.0, 1.5, size=n)
+            lengths[row, :n] = rng.integers(1, 5, size=n)
+        flow_ids = rng.integers(0, 1000, size=num_flows)
+        currents = np.array([int(rng.integers(0, n)) for n in counts])
+        return flow_ids, currents, counts, loads, lengths
+
+    def _assert_batch_matches_sequential(self, make_selector, seed_pool=range(6)):
+        for case_seed in seed_pool:
+            rng = np.random.default_rng(case_seed)
+            flow_ids, currents, counts, loads, lengths = self._random_batch(rng, 40)
+            sequential_sel = make_selector()
+            sequential = [sequential_sel.next_path(
+                int(fid), int(cur), int(n),
+                congestion=lambda i, row=row: float(loads[row, i]),
+                path_lengths=lengths[row, :int(n)])
+                for row, (fid, cur, n) in enumerate(zip(flow_ids, currents, counts))]
+            batch_sel = make_selector()
+            batch = batch_sel.next_path_batch(flow_ids, currents, counts, loads, lengths)
+            assert list(batch) == sequential
+            # the RNG streams must land in the same state, so later draws agree too
+            if hasattr(sequential_sel, "_rng"):
+                assert (sequential_sel._rng.bit_generator.state
+                        == batch_sel._rng.bit_generator.state)
+
+    def test_flowlet_adaptive(self):
+        self._assert_batch_matches_sequential(lambda: FlowletSelector(seed=3, adaptive=True))
+
+    def test_flowlet_nonadaptive_unbiased(self):
+        self._assert_batch_matches_sequential(
+            lambda: FlowletSelector(seed=4, adaptive=False, length_bias=0.0))
+
+    def test_flowlet_nonadaptive_biased_falls_back(self):
+        self._assert_batch_matches_sequential(
+            lambda: FlowletSelector(seed=5, adaptive=False, length_bias=1.5))
+
+    def test_packet_spray(self):
+        self._assert_batch_matches_sequential(lambda: PacketSpraySelector(seed=6))
+
+    def test_ecmp_returns_currents(self):
+        self._assert_batch_matches_sequential(lambda: EcmpSelector(seed=7))
+
+    def test_numpy_draw_consumption_identities(self):
+        """The numpy facts the vectorized selectors rely on: bounded integers with an
+        array of bounds and random(k) consume the bit stream element-by-element."""
+        bounds = [3, 5, 1, 7, 2, 1, 9]
+        a_rng = np.random.default_rng(42)
+        b_rng = np.random.default_rng(42)
+        assert [int(a_rng.integers(0, b)) for b in bounds] \
+            == b_rng.integers(0, np.array(bounds)).tolist()
+        assert a_rng.bit_generator.state == b_rng.bit_generator.state
+        assert [a_rng.random() for _ in range(9)] == b_rng.random(9).tolist()
+        assert a_rng.bit_generator.state == b_rng.bit_generator.state

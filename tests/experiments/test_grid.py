@@ -51,6 +51,18 @@ class TestSplitHeavyCells:
         assert splittable_families("tab04") == ("CLIQUE", "SF", "XP", "HX3", "DF", "FT3")
         assert splittable_families("tab05") is None   # no TOPOLOGY_NAMES attr
         assert splittable_families("nope") is None    # unknown experiment
+        # the heavy simulation experiments are splittable since PR 3
+        assert splittable_families("fig02") == ("SF", "DF", "HX3", "XP", "FT3")
+        assert splittable_families("fig11") == ("SF", "DF", "HX3", "XP", "FT3")
+
+    def test_fig02_split_rows_equal_unsplit_rows(self):
+        """The simulation experiments keep the splittable contract: per-family cells
+        reproduce the full run's rows exactly (per-family RNG + batched engine)."""
+        full = run_experiment("fig02", scale="tiny", seed=1)
+        cells = split_heavy_cells([GridCell(name="fig02", scale="tiny", seed=1)])
+        results = run_experiment_grid(cells)
+        combined = [row for r in results for row in r.result.rows]
+        assert combined == full.rows
 
     def test_label_shows_topology(self):
         cell = split_heavy_cells([GridCell(name="fig07")])[0]

@@ -1,5 +1,6 @@
 """Unit tests for the CSR graph representation, batched BFS and the path cache."""
 
+import numpy as np
 import pytest
 
 from repro.kernels import (
@@ -177,3 +178,31 @@ class TestPathCache:
         topo.bfs_distances(0)
         topo.bfs_distances(1)
         assert global_cache().stats()["hits"] >= before + 1
+
+
+class TestEdgesConnectedBatch:
+    def test_matches_scalar_per_candidate(self):
+        from repro.kernels import edges_connected_batch
+
+        rng = np.random.default_rng(0)
+        n = 9
+        candidates = []
+        for _ in range(12):
+            m = int(rng.integers(0, 14))
+            cand = set()
+            while len(cand) < m:
+                u, v = rng.integers(0, n, size=2)
+                if u != v:
+                    cand.add((min(int(u), int(v)), max(int(u), int(v))))
+            candidates.append(sorted(cand))
+        got = edges_connected_batch(n, candidates)
+        expected = [edges_connected(n, cand) for cand in candidates]
+        assert got.tolist() == expected
+
+    def test_degenerate_inputs(self):
+        from repro.kernels import edges_connected_batch
+
+        assert edges_connected_batch(5, []).tolist() == []
+        assert edges_connected_batch(1, [[], []]).tolist() == [True, True]
+        assert edges_connected_batch(3, [[]]).tolist() == [False]
+        assert edges_connected_batch(2, [[(0, 1)], []]).tolist() == [True, False]

@@ -1,0 +1,209 @@
+"""Engine/reference equivalence: the vectorized flow engine must reproduce the scalar
+reference simulator *record for record* — flow ids, hops, path-switch and
+congestion-episode counts exactly; completion times and throughputs to 1e-9 relative —
+across every simcommon stack, multiple topologies, and the simulator's edge paths
+(same-router flows, single-path flows, sprayed flows, the max-events drain)."""
+
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import EcmpSelector, FlowletSelector
+from repro.experiments.simcommon import STACKS, build_stack
+from repro.routing import EcmpRouting
+from repro.sim.engine import SimCell, simulate_many
+from repro.sim.flowsim import FlowSimConfig, simulate_workload
+from repro.topologies import comparable_configurations, star
+from repro.topologies.configs import SizeClass
+from repro.traffic.flows import Flow, Workload, poisson_workload, uniform_size_workload
+from repro.traffic.patterns import random_permutation
+
+
+TOPOLOGY_NAMES = ("SF", "HX3")
+
+
+def assert_equivalent(reference, engine):
+    """Record-for-record comparison with the tolerances of the acceptance criteria."""
+    assert len(reference) == len(engine)
+    assert reference.meta["events"] == engine.meta["events"]
+    for ref, eng in zip(reference.records, engine.records):
+        assert ref.flow_id == eng.flow_id
+        assert ref.source == eng.source
+        assert ref.destination == eng.destination
+        assert ref.size_bytes == eng.size_bytes
+        assert ref.path_hops == eng.path_hops
+        assert ref.num_path_switches == eng.num_path_switches
+        assert ref.congestion_events == eng.congestion_events
+        assert ref.start_time == eng.start_time
+        assert eng.completion_time == pytest.approx(ref.completion_time, rel=1e-9)
+        assert eng.throughput == pytest.approx(ref.throughput, rel=1e-9)
+
+
+def run_both(topology, stack_name, workload, mapping=None, config=None, seed=0):
+    """One workload under freshly built identical stacks on both implementations."""
+    results = []
+    for engine in ("reference", "engine"):
+        stack = build_stack(topology, stack_name, seed=seed)
+        results.append(simulate_workload(
+            topology, stack.routing, workload, selector=stack.selector,
+            transport=stack.transport, config=config, mapping=mapping, seed=seed,
+            engine=engine))
+    return results
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    return comparable_configurations(SizeClass.TINY, topologies=list(TOPOLOGY_NAMES), seed=0)
+
+
+@pytest.fixture(scope="module")
+def workloads(topologies):
+    out = {}
+    for name, topo in topologies.items():
+        rng = np.random.default_rng(0)
+        pattern = random_permutation(topo.num_endpoints, rng).subsample(0.3, rng)
+        out[name] = {
+            "uniform": uniform_size_workload(pattern, 512 * 1024),
+            "poisson": poisson_workload(pattern, 300.0, 0.01, rng=np.random.default_rng(2)),
+        }
+    return out
+
+
+class TestAllStacks:
+    """The acceptance grid: every simcommon stack on at least two topologies."""
+
+    @pytest.mark.parametrize("stack_name", STACKS)
+    @pytest.mark.parametrize("topo_name", TOPOLOGY_NAMES)
+    def test_uniform_workload(self, topologies, workloads, topo_name, stack_name):
+        reference, engine = run_both(topologies[topo_name], stack_name,
+                                     workloads[topo_name]["uniform"])
+        assert_equivalent(reference, engine)
+
+    @pytest.mark.parametrize("stack_name", ["fatpaths", "ndp", "ecmp"])
+    @pytest.mark.parametrize("topo_name", TOPOLOGY_NAMES)
+    def test_poisson_arrivals(self, topologies, workloads, topo_name, stack_name):
+        reference, engine = run_both(topologies[topo_name], stack_name,
+                                     workloads[topo_name]["poisson"])
+        assert_equivalent(reference, engine)
+
+    def test_with_random_mapping(self, topologies, workloads):
+        topo = topologies["SF"]
+        mapping = np.random.default_rng(5).permutation(topo.num_endpoints)
+        reference, engine = run_both(topo, "fatpaths", workloads["SF"]["uniform"],
+                                     mapping=mapping)
+        assert_equivalent(reference, engine)
+
+
+class TestEdgePaths:
+    def test_same_router_flows(self, topologies):
+        """Endpoints on one router take the synthetic single-hop candidate."""
+        topo = topologies["SF"]
+        workload = Workload([Flow(0.0, 0, 1, 1e6), Flow(0.0, 2, 40, 2e6)])
+        reference, engine = run_both(topo, "fatpaths", workload)
+        assert_equivalent(reference, engine)
+        assert reference.records[0].path_hops == 1
+
+    def test_single_path_flows(self, topologies):
+        """A max_paths=1 routing never offers alternatives, so no switches happen."""
+        topo = topologies["SF"]
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints,
+                               np.random.default_rng(1)).subsample(0.2,
+                                                                   np.random.default_rng(2)),
+            256 * 1024)
+        results = []
+        for engine in ("reference", "engine"):
+            routing = EcmpRouting(topo, max_paths=1, seed=0)
+            results.append(simulate_workload(topo, routing, workload,
+                                             selector=FlowletSelector(seed=0),
+                                             seed=0, engine=engine))
+        assert_equivalent(*results)
+        assert all(r.num_path_switches == 0 for r in results[1].records)
+
+    def test_sprayed_flows_on_star(self):
+        """Packet-spray selector on a crossbar (NDP's home turf)."""
+        topo = star(12)
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints, np.random.default_rng(3)), 128 * 1024)
+        reference, engine = run_both(topo, "ndp", workload)
+        assert_equivalent(reference, engine)
+
+    def test_max_events_drain(self, topologies):
+        """Hitting the event budget drains remaining flows identically."""
+        topo = topologies["SF"]
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints,
+                               np.random.default_rng(1)).subsample(0.2,
+                                                                   np.random.default_rng(2)),
+            512 * 1024)
+        config = FlowSimConfig(max_events=3)
+        reference, engine = run_both(topo, "fatpaths", workload, config=config)
+        assert_equivalent(reference, engine)
+        assert reference.meta["events"] == 3
+        assert len(reference) == len(workload)   # every flow still produces a record
+
+    def test_ecmp_selector_static_paths(self, topologies):
+        """Hash-based selector: no RNG at all, still pinned."""
+        topo = topologies["HX3"]
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints,
+                               np.random.default_rng(7)).subsample(0.3,
+                                                                   np.random.default_rng(8)),
+            1024 * 1024)
+        results = []
+        for engine in ("reference", "engine"):
+            routing = EcmpRouting(topo, max_paths=8, seed=0)
+            results.append(simulate_workload(topo, routing, workload,
+                                             selector=EcmpSelector(seed=0),
+                                             seed=0, engine=engine))
+        assert_equivalent(*results)
+
+
+class TestSimulateMany:
+    def test_batch_equals_sequential_runs(self, topologies, workloads):
+        """simulate_many cells reproduce the equivalent sequence of single runs,
+        including selector RNG state shared across cells of one stack."""
+        topo = topologies["SF"]
+        workload_a = workloads["SF"]["uniform"]
+        workload_b = workloads["SF"]["poisson"]
+
+        stack = build_stack(topo, "fatpaths", seed=0)
+        sequential = [simulate_workload(topo, stack.routing, wl, selector=stack.selector,
+                                        transport=stack.transport, seed=0)
+                      for wl in (workload_a, workload_b)]
+
+        stack2 = build_stack(topo, "fatpaths", seed=0)
+        cells = [SimCell(topology=topo, routing=stack2.routing, workload=wl,
+                         selector=stack2.selector, transport=stack2.transport, seed=0)
+                 for wl in (workload_a, workload_b)]
+        batched = simulate_many(cells)
+        for seq, bat in zip(sequential, batched):
+            assert_equivalent(seq, bat)
+
+    def test_reference_escape_hatch(self, topologies, workloads):
+        topo = topologies["SF"]
+        stack = build_stack(topo, "ecmp", seed=0)
+        cells = [SimCell(topology=topo, routing=stack.routing,
+                         workload=workloads["SF"]["uniform"], selector=stack.selector,
+                         transport=stack.transport, seed=0)]
+        (result,) = simulate_many(cells, engine="reference")
+        assert result.meta["engine"] == "reference"
+
+    def test_unknown_engine_rejected(self, topologies, workloads):
+        with pytest.raises(ValueError):
+            simulate_many([], engine="warp-drive")
+        with pytest.raises(ValueError):
+            simulate_workload(next(iter(topologies.values())), None,
+                              workloads["SF"]["uniform"], engine="warp-drive")
+
+    def test_non_weakrefable_routing_gets_private_bank(self, topologies):
+        """Routings that cannot be weak-referenced still work (private bank)."""
+        from repro.sim.engine import candidate_bank_for, link_space_for
+
+        class SlottedRouting:
+            __slots__ = ()
+
+        links = link_space_for(topologies["SF"])
+        bank = candidate_bank_for(SlottedRouting(), links)
+        other = candidate_bank_for(SlottedRouting(), links)
+        assert bank is not other
+        assert bank.links is links

@@ -90,3 +90,96 @@ class TestMaxMinFair:
         for f, links in enumerate(paths):
             on_saturated = any(util[l] >= 1.0 - 1e-6 for l in links)
             assert on_saturated or rates[f] >= rates.max() - 1e-6
+
+
+def _random_flow_set(rng, num_links, num_flows, weighted=False):
+    caps = rng.uniform(1.0, 10.0, size=num_links)
+    paths = [list(rng.choice(num_links, size=int(rng.integers(1, min(4, num_links) + 1)),
+                             replace=False))
+             for _ in range(num_flows)]
+    weights = rng.uniform(0.5, 3.0, size=num_flows) if weighted else None
+    return caps, paths, weights
+
+
+class TestProgressiveFillingInvariants:
+    """Property-based certificates of max-min fairness on random flow sets."""
+
+    @given(num_flows=st.integers(1, 24), num_links=st.integers(1, 12),
+           seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_no_link_over_capacity(self, num_flows, num_links, seed):
+        caps, paths, _ = _random_flow_set(np.random.default_rng(seed), num_links, num_flows)
+        rates = max_min_fair_rates(paths, caps)
+        util = link_utilisation(paths, rates, caps)
+        assert (util <= 1.0 + 1e-6).all()
+
+    @given(num_flows=st.integers(2, 20), num_links=st.integers(2, 10),
+           seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_max_min_certificate(self, num_flows, num_links, seed):
+        """The allocation is max-min: every flow has a *bottleneck* link — one that is
+        saturated and on which the flow's rate is maximal.  Raising that flow would
+        then necessarily lower another flow that is no faster (the classical
+        certificate: no flow can be increased without decreasing a slower one)."""
+        caps, paths, _ = _random_flow_set(np.random.default_rng(seed), num_links, num_flows)
+        rates = max_min_fair_rates(paths, caps)
+        loads = np.zeros(num_links)
+        link_max_rate = np.zeros(num_links)
+        for f, links in enumerate(paths):
+            for link in links:
+                loads[link] += rates[f]
+                link_max_rate[link] = max(link_max_rate[link], rates[f])
+        saturated = loads >= caps * (1.0 - 1e-9) - 1e-9
+        for f, links in enumerate(paths):
+            has_bottleneck = any(saturated[link] and rates[f] >= link_max_rate[link] - 1e-9
+                                 for link in links)
+            assert has_bottleneck, f"flow {f} could be raised without hurting a slower flow"
+
+    @given(num_flows=st.integers(2, 16), num_links=st.integers(2, 8),
+           seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_feasibility_and_certificate(self, num_flows, num_links, seed):
+        """Weighted (packet-spray subflow) allocations stay feasible and bottlenecked:
+        link load counts each flow at weight * rate, and on some saturated link of
+        every flow no other flow gets a higher rate."""
+        caps, paths, weights = _random_flow_set(np.random.default_rng(seed), num_links,
+                                                num_flows, weighted=True)
+        rates = max_min_fair_rates(paths, caps, weights=weights)
+        assert (rates > 0).all()
+        loads = np.zeros(num_links)
+        link_max_rate = np.zeros(num_links)
+        for f, links in enumerate(paths):
+            for link in links:
+                loads[link] += weights[f] * rates[f]
+                link_max_rate[link] = max(link_max_rate[link], rates[f])
+        assert (loads <= caps * (1.0 + 1e-6)).all()
+        for f, links in enumerate(paths):
+            saturated_bottleneck = any(
+                loads[link] >= caps[link] * (1.0 - 1e-9) - 1e-9
+                and rates[f] >= link_max_rate[link] - 1e-9
+                for link in links)
+            assert saturated_bottleneck
+
+    @given(num_flows=st.integers(0, 18), num_links=st.integers(1, 10),
+           seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_utilisation_matches_scalar_loop(self, num_flows, num_links, seed):
+        """link_utilisation (bincount form) equals the per-flow accumulation loop."""
+        rng = np.random.default_rng(seed)
+        caps, paths, _ = _random_flow_set(rng, num_links, max(num_flows, 0))
+        rates = rng.uniform(0.0, 5.0, size=len(paths))
+        if len(paths) > 2:
+            rates[0] = np.inf    # same-router flows carry infinite rate markers
+        expected = np.zeros(num_links)
+        for f, links in enumerate(paths):
+            if not np.isfinite(rates[f]):
+                continue
+            for link in links:
+                expected[link] += rates[f]
+        expected = np.where(caps > 0, expected / caps, 0.0)
+        got = link_utilisation(paths, rates, caps)
+        assert np.array_equal(got, expected)
+
+    def test_utilisation_rejects_unknown_link(self):
+        with pytest.raises(ValueError):
+            link_utilisation([[0, 3]], np.array([1.0]), np.array([5.0, 5.0]))

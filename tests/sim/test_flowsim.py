@@ -155,3 +155,34 @@ class TestMetrics:
             FlowSimConfig(link_rate_bps=0)
         with pytest.raises(ValueError):
             FlowSimConfig(flowlet_bytes=0)
+
+
+class TestEngineDispatch:
+    """simulate_workload dispatches between the vectorized engine (default) and the
+    preserved scalar reference; the full record-level pinning lives in
+    tests/sim/test_engine_equivalence.py."""
+
+    def test_default_engine_is_vectorized(self, sf, sf_fatpaths):
+        wl = Workload([Flow(0.0, 0, 50, 1e6)])
+        result = simulate_workload(sf, sf_fatpaths, wl, seed=0)
+        assert result.meta["engine"] == "engine"
+
+    def test_reference_escape_hatch(self, sf, sf_fatpaths):
+        wl = Workload([Flow(0.0, 0, 50, 1e6)])
+        result = simulate_workload(sf, sf_fatpaths, wl, seed=0, engine="reference")
+        assert result.meta["engine"] == "reference"
+
+    def test_unknown_engine_rejected(self, sf, sf_fatpaths):
+        wl = Workload([Flow(0.0, 0, 50, 1e6)])
+        with pytest.raises(ValueError):
+            simulate_workload(sf, sf_fatpaths, wl, engine="quantum")
+
+    def test_empty_workload(self, sf, sf_fatpaths):
+        for engine in ("engine", "reference"):
+            result = simulate_workload(sf, sf_fatpaths, Workload([]), seed=0, engine=engine)
+            assert len(result) == 0
+
+    def test_endpoint_out_of_range_rejected(self, sf, sf_fatpaths):
+        wl = Workload([Flow(0.0, 0, sf.num_endpoints + 3, 1e6)])
+        with pytest.raises(ValueError):
+            simulate_workload(sf, sf_fatpaths, wl, seed=0)
