@@ -1,0 +1,60 @@
+"""Pooled-vs-sequential benchmark for batched ``simulate_many`` scenario cells.
+
+The scenario pipeline makes every topology-axis experiment splittable into
+per-family grid cells, each carrying its family's whole batched ``simulate_many``
+StackCell group — so the engine's multi-cell sweeps fan out over the process pool.
+This pair times the same splittable simulation scenarios once sequentially
+in-process and once split across a two-worker pool, and pins the split contract
+(identical rows) while reporting the wall-clock ratio.
+
+Run ``pytest benchmarks/test_bench_grid.py --benchmark-only -s``; set
+``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
+"""
+
+import time
+
+from repro.experiments.grid import (
+    GridCell,
+    run_experiment_grid,
+    split_heavy_cells,
+)
+
+#: Splittable simulation scenarios swept by the pooled-vs-sequential pair.
+SCENARIOS = ("fig12", "incast")
+
+
+def _cells(scale):
+    return split_heavy_cells(
+        [GridCell(name=name, scale=scale.value, seed=0) for name in SCENARIOS])
+
+
+def test_bench_simulate_many_sequential(benchmark, scale):
+    results = benchmark.pedantic(run_experiment_grid, args=(_cells(scale),),
+                                 kwargs={"jobs": None},
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)
+
+
+def test_bench_simulate_many_pooled(benchmark, scale):
+    results = benchmark.pedantic(run_experiment_grid, args=(_cells(scale),),
+                                 kwargs={"jobs": 2},
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)
+
+
+def test_pooled_rows_match_sequential(scale):
+    """Time both executions on identical cells and pin the split contract."""
+    cells = _cells(scale)
+    start = time.perf_counter()
+    sequential = run_experiment_grid(cells, jobs=None)
+    sequential_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = run_experiment_grid(cells, jobs=2)
+    pooled_seconds = time.perf_counter() - start
+    assert all(r.ok for r in sequential) and all(r.ok for r in pooled)
+    for s, p in zip(sequential, pooled):
+        assert s.cell == p.cell
+        assert s.result.rows == p.result.rows
+    print(f"\ngrid {scale.value}: sequential {sequential_seconds:.2f}s, "
+          f"2-worker pool {pooled_seconds:.2f}s over {len(cells)} cells "
+          f"(ratio {sequential_seconds / max(pooled_seconds, 1e-9):.2f}x)")

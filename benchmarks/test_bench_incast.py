@@ -1,0 +1,14 @@
+"""Benchmark regenerating the incast/hotspot registry scenario.
+
+Run ``pytest benchmarks/test_bench_incast.py --benchmark-only -s`` to execute and
+print the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger
+instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_incast(benchmark, scale):
+    result = run_experiment_once(benchmark, "incast", scale)
+    print()
+    print(result.report())

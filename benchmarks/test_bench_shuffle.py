@@ -1,0 +1,14 @@
+"""Benchmark regenerating the broadcast-shuffle registry scenario.
+
+Run ``pytest benchmarks/test_bench_shuffle.py --benchmark-only -s`` to execute and
+print the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger
+instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_shuffle(benchmark, scale):
+    result = run_experiment_once(benchmark, "shuffle", scale)
+    print()
+    print(result.report())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario-registry sweep: run registered experiments on a process pool and
+cross-tabulate their merged result rows.
+
+Demonstrates the declarative experiment layer end to end:
+
+1. pick scenarios from the central registry (`repro.experiments.scenario`) and
+   inspect their specs (paper reference, split axis, row schema);
+2. fan them across a worker pool as per-topology grid cells — each simulation
+   cell runs its family's whole batched ``simulate_many`` group in one worker;
+3. merge the split cells back into whole tables (`grid.combine_cell_results`)
+   and pivot the common row schema into one cross-scenario summary per topology.
+
+Run:  python examples/scenario_sweep.py [--scenarios fig06,incast] [--jobs 2]
+"""
+
+import argparse
+import time
+
+from repro.experiments.grid import (
+    combine_cell_results,
+    make_grid,
+    run_experiment_grid,
+    split_heavy_cells,
+)
+from repro.experiments.scenario import scenario_spec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", default="fig06,incast",
+                        help="comma-separated registry names (default: fig06,incast)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the grid (default: 2)")
+    parser.add_argument("--scale", default="tiny", help="instance scale")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    names = [n for n in args.scenarios.split(",") if n]
+
+    print("specs:")
+    for name in names:
+        spec = scenario_spec(name)
+        axis = "+".join(spec.topology_names) if spec.splittable else "(whole cell)"
+        print(f"  {spec.name:8s} {spec.paper_reference:24s} axis={axis}")
+        print(f"  {'':8s} rows carry {', '.join(spec.base_columns)}")
+
+    cells = split_heavy_cells(make_grid(names, scales=[args.scale], seeds=[args.seed]))
+    start = time.perf_counter()
+    results = run_experiment_grid(cells, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
+    failed = [r for r in results if not r.ok]
+    print(f"\ngrid: {len(cells)} cells on {args.jobs} workers in {elapsed:.1f}s "
+          f"({len(failed)} failed)")
+    for r in failed:
+        print(f"  FAILED {r.cell.label()}: {r.error}")
+
+    # merged tables: split per-topology cells recombine into the full runs
+    merged = combine_cell_results(results)
+    for result in merged:
+        print()
+        print(result.report())
+
+    # the common row schema makes cross-scenario pivots one dict comprehension:
+    # every splittable scenario's rows carry a "topology" column
+    by_topology: dict = {}
+    for result in merged:
+        for row in result.rows:
+            topo = row.get("topology")
+            if topo is not None:
+                by_topology.setdefault(topo, {}).setdefault(result.name, 0)
+                by_topology[topo][result.name] += 1
+    print("\nrows per (topology, scenario):")
+    for topo, counts in sorted(by_topology.items()):
+        counted = ", ".join(f"{name}={n}" for name, n in sorted(counts.items()))
+        print(f"  {topo:8s} {counted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,15 @@
-"""Experiment harness: one module per table/figure of the paper's evaluation.
+"""Experiment harness: one declarative scenario per table/figure (and beyond).
 
-Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentResult``;
+Every scenario module defines a :class:`~repro.experiments.scenario.ScenarioSpec`
+(``SCENARIO``) plus a thin ``run(scale=..., seed=...) -> ExperimentResult`` alias;
+all specs execute through the shared pipeline in :mod:`repro.experiments.scenario`.
 :mod:`repro.experiments.runner` provides a CLI (``fatpaths-experiment <name>``) and
-:func:`repro.experiments.registry` lists all experiments.  EXPERIMENTS.md records the
+:func:`repro.experiments.registry` lists all scenarios.  EXPERIMENTS.md records the
 paper-vs-measured comparison for each of them.
 """
 
 from repro.experiments.common import ExperimentResult, Scale, registry, run_experiment
+from repro.experiments.scenario import ScenarioSpec, run_scenario, scenario_spec
 
-__all__ = ["ExperimentResult", "Scale", "registry", "run_experiment"]
+__all__ = ["ExperimentResult", "Scale", "ScenarioSpec", "registry", "run_experiment",
+           "run_scenario", "scenario_spec"]

@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-import importlib
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
@@ -124,39 +123,21 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
-#: experiment name -> module path (one per paper table/figure reproduced)
-_EXPERIMENTS: Dict[str, str] = {
-    "fig02": "repro.experiments.fig02_throughput_randomized",
-    "fig04": "repro.experiments.fig04_collisions",
-    "fig06": "repro.experiments.fig06_minimal_paths",
-    "fig07": "repro.experiments.fig07_nonminimal_paths",
-    "fig08": "repro.experiments.fig08_interference",
-    "fig09": "repro.experiments.fig09_theoretical_mat",
-    "fig10": "repro.experiments.fig10_cost",
-    "fig11": "repro.experiments.fig11_adversarial",
-    "fig12": "repro.experiments.fig12_layer_setup",
-    "fig13": "repro.experiments.fig13_large_scale",
-    "fig14": "repro.experiments.fig14_tcp_speedups",
-    "fig15": "repro.experiments.fig15_fct_distribution",
-    "fig16": "repro.experiments.fig16_rho_impact",
-    "fig17": "repro.experiments.fig17_stencil",
-    "fig19": "repro.experiments.fig19_edge_density",
-    "fig20": "repro.experiments.fig20_flow_arrival",
-    "tab01": "repro.experiments.tab01_scheme_comparison",
-    "tab04": "repro.experiments.tab04_diversity_summary",
-    "tab05": "repro.experiments.tab05_topologies",
-}
-
-
 def registry() -> Dict[str, str]:
-    """All experiment names and their module paths."""
-    return dict(_EXPERIMENTS)
+    """All experiment names and their defining module paths.
+
+    The table itself lives on the scenario registry
+    (:data:`repro.experiments.scenario.SCENARIO_MODULES`); this facade keeps the
+    historical import location working.
+    """
+    from repro.experiments.scenario import SCENARIO_MODULES
+
+    return dict(SCENARIO_MODULES)
 
 
 def run_experiment(name: str, scale: Scale | str = Scale.TINY, seed: int = 0,
                    **kwargs) -> ExperimentResult:
-    """Import and run one experiment by name."""
-    if name not in _EXPERIMENTS:
-        raise KeyError(f"unknown experiment {name!r}; available: {sorted(_EXPERIMENTS)}")
-    module = importlib.import_module(_EXPERIMENTS[name])
-    return module.run(scale=Scale(scale), seed=seed, **kwargs)
+    """Run one experiment by name through the shared scenario pipeline."""
+    from repro.experiments.scenario import run_scenario, scenario_spec
+
+    return run_scenario(scenario_spec(name), scale=Scale(scale), seed=seed, **kwargs)

@@ -9,72 +9,72 @@ flow, with the gap widening for large flows.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
 from repro.core.mapping import random_mapping
-from repro.experiments.common import ExperimentResult, Scale, select_topologies
-from repro.experiments.simcommon import (
-    StackCell,
-    build_stack,
-    simulate_stack_many,
-    tail_and_mean_throughput,
-)
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec, SimSweep
+from repro.experiments.simcommon import StackCell, build_stack, tail_and_mean_throughput
 from repro.topologies import comparable_configurations
 from repro.traffic.flows import uniform_size_workload
 from repro.traffic.patterns import random_permutation
 
 KIB = 1024
 
-#: Topology families this experiment iterates (each family's samples draw from a
+#: Topology families this scenario iterates (each family's samples draw from a
 #: fresh per-family stream, so grid cells may select a subset without changing rows).
 TOPOLOGY_NAMES = ("SF", "DF", "HX3", "XP", "FT3")
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0,
-        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    flow_sizes = scale.pick([32 * KIB, 256 * KIB, 2048 * KIB],
-                            [32 * KIB, 128 * KIB, 512 * KIB, 2048 * KIB],
-                            [32 * KIB, 128 * KIB, 512 * KIB, 1024 * KIB, 2048 * KIB])
-    pattern_fraction = scale.pick(0.25, 0.3, 0.3)
-    selected = select_topologies(TOPOLOGY_NAMES, topologies)
-    configs = comparable_configurations(size_class, topologies=list(selected), seed=seed)
-    rows = []
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    flow_sizes = ctx.scale.pick([32 * KIB, 256 * KIB, 2048 * KIB],
+                                [32 * KIB, 128 * KIB, 512 * KIB, 2048 * KIB],
+                                [32 * KIB, 128 * KIB, 512 * KIB, 1024 * KIB, 2048 * KIB])
+    ctx.meta["flow_sizes"] = list(flow_sizes)
+    pattern_fraction = ctx.scale.pick(0.25, 0.3, 0.3)
+    configs = comparable_configurations(size_class, topologies=list(ctx.topologies),
+                                        seed=ctx.seed)
     for topo_name, topo in configs.items():
         stack_name = "ndp" if topo_name == "FT3" else "fatpaths"
-        stack = build_stack(topo, stack_name, seed=seed)
-        rng = np.random.default_rng(seed)
+        stack = build_stack(topo, stack_name, seed=ctx.seed,
+                            routing_cache=ctx.routing_cache)
+        rng = np.random.default_rng(ctx.seed)
         pattern = random_permutation(topo.num_endpoints, rng).subsample(pattern_fraction, rng)
         mapping = random_mapping(topo.num_endpoints, rng)
         # one batched sweep over the flow sizes: the engine shares the topology link
         # space and the stack's candidate paths across all cells
         cells = [StackCell(stack=stack, workload=uniform_size_workload(pattern, size),
-                           mapping=mapping, seed=seed) for size in flow_sizes]
-        for size, result in zip(flow_sizes, simulate_stack_many(topo, cells)):
-            tail, mean = tail_and_mean_throughput(result)
-            rows.append({
-                "topology": topo_name,
-                "stack": stack_name,
-                "flow_size_KiB": size // KIB,
-                "throughput_mean_MiBs": round(mean, 2),
-                "throughput_tail1_MiBs": round(tail, 2),
-                "fct_mean_ms": round(result.summary()["fct_mean"] * 1e3, 4),
-                "flows": len(result),
-            })
-    notes = [
+                           mapping=mapping, seed=ctx.seed,
+                           meta={"topology": topo_name, "stack": stack_name,
+                                 "flow_size_KiB": size // KIB})
+                 for size in flow_sizes]
+        yield SimSweep.per_cell(topo, cells, _row)
+
+
+def _row(cell: StackCell, result) -> dict:
+    tail, mean = tail_and_mean_throughput(result)
+    return {
+        **cell.meta,
+        "throughput_mean_MiBs": round(mean, 2),
+        "throughput_tail1_MiBs": round(tail, 2),
+        "fct_mean_ms": round(result.summary()["fct_mean"] * 1e3, 4),
+        "flows": len(result),
+    }
+
+
+SCENARIO = ScenarioSpec(
+    name="fig02",
+    title="Throughput per flow vs flow size (randomized workload, similar cost)",
+    paper_reference="Figure 2",
+    plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
+    base_columns=("topology", "stack", "flow_size_KiB", "throughput_mean_MiBs",
+                  "throughput_tail1_MiBs", "fct_mean_ms", "flows"),
+    notes=(
         "Paper finding (Fig 2): low-diameter topologies with FatPaths reach ~15% higher "
         "throughput (and ~2x lower latency) than a similar-cost fat tree with NDP, for "
         "randomized workloads; the advantage is largest for big flows.",
-    ]
-    return ExperimentResult(
-        name="fig02",
-        description="Throughput per flow vs flow size (randomized workload, similar cost)",
-        paper_reference="Figure 2",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "flow_sizes": flow_sizes,
-              "topologies": list(selected)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

@@ -6,52 +6,57 @@ traffic patterns (random permutation, off-diagonal, shuffle, four parallel
 permutations, and a 4-point stencil), all randomly mapped.  The takeaway: for D >= 2
 fewer than 1% of router pairs see four or more collisions, so three disjoint paths per
 router pair suffice; the clique needs many more.
+
+One random stream is shared across the topology loop (mappings and patterns draw from
+it in sequence), so this scenario has no independent per-family streams and is not
+splittable.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.mapping import random_mapping
 from repro.diversity.collisions import collision_histogram, fraction_with_at_least, max_collisions
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build
 from repro.traffic.patterns import all_patterns
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
-    size_class = Scale(scale).size_class()
-    rng = np.random.default_rng(seed)
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    rng = ctx.rng()
     topologies = {
         "Clique (D=1)": build("CLIQUE", size_class),
         "Slim Fly (D=2)": build("SF", size_class),
         "Dragonfly (D=3)": build("DF", size_class),
     }
-    rows = []
     for topo_name, topo in topologies.items():
         n = topo.num_endpoints
         mapping = random_mapping(n, rng)
         patterns = all_patterns(n, topo.concentration, rng)
         for pattern_name, pattern in patterns.items():
             hist = collision_histogram(topo, pattern.pairs, mapping)
-            rows.append({
+            yield {
                 "topology": topo_name,
                 "pattern": pattern_name,
                 "max_collisions": max_collisions(hist),
                 "frac_pairs_ge4": round(fraction_with_at_least(hist, 4), 4),
                 "frac_pairs_ge9": round(fraction_with_at_least(hist, 9), 4),
                 "router_pairs_with_traffic": sum(hist.values()),
-            })
-    notes = [
+            }
+
+
+SCENARIO = ScenarioSpec(
+    name="fig04",
+    title="Collision multiplicity per router pair under randomly mapped patterns",
+    paper_reference="Figure 4",
+    plan=_plan,
+    base_columns=("topology", "pattern", "max_collisions", "frac_pairs_ge4",
+                  "frac_pairs_ge9", "router_pairs_with_traffic"),
+    notes=(
         "Paper finding: for D>=2 fewer than 1% of router pairs see >=4 collisions "
         "even for 4x-oversubscribed patterns; the D=1 clique sees >=9 collisions for "
         ">1% of pairs.",
-    ]
-    return ExperimentResult(
-        name="fig04",
-        description="Collision multiplicity per router pair under randomly mapped patterns",
-        paper_reference="Figure 4",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

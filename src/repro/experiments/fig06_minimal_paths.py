@@ -9,29 +9,24 @@ trees and HyperX retain high minimal diversity.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 from repro.diversity.minimal_paths import minimal_path_statistics
-from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import comparable_configurations
 
-#: Base topology families this experiment iterates (each brings its Jellyfish
+#: Base topology families this scenario iterates (each brings its Jellyfish
 #: equivalent along; grid cells may select a subset).
 TOPOLOGY_NAMES = ("SF", "DF", "HX3", "XP", "FT3")
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0,
-        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    num_samples = scale.pick(150, 400, 800)
-    selected = select_topologies(TOPOLOGY_NAMES, topologies)
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    num_samples = ctx.scale.pick(150, 400, 800)
+    ctx.meta["num_samples"] = num_samples
     configs = comparable_configurations(size_class, include_jellyfish=True,
-                                        topologies=list(selected), seed=seed)
-    rows = []
+                                        topologies=list(ctx.topologies), seed=ctx.seed)
     for name, topo in configs.items():
         # per-topology generator: a filtered run yields the same rows as a full one
-        rng = topology_rng(seed, name)
+        rng = ctx.rng(name)
         stats = minimal_path_statistics(topo, num_samples=num_samples, rng=rng)
         row = {
             "topology": name,
@@ -44,18 +39,21 @@ def run(scale: Scale = Scale.TINY, seed: int = 0,
         for count, frac in stats.count_histogram.items():
             label = f"cmin>={count}" if count >= 4 else f"cmin={count}"
             row[label] = round(frac, 3)
-        rows.append(row)
-    notes = [
+        yield row
+
+
+SCENARIO = ScenarioSpec(
+    name="fig06",
+    title="Shortest-path length and diversity distributions",
+    paper_reference="Figure 6",
+    plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
+    base_columns=("topology", "mean_lmin", "mean_cmin", "frac_single_shortest"),
+    notes=(
         "Paper finding: SF/DF have mostly one shortest path per pair; HX has ~2-3; "
         "FT3 (edge switches) has high minimal diversity; Jellyfish equivalents are "
         "'smoothed out'.",
-    ]
-    return ExperimentResult(
-        name="fig06",
-        description="Shortest-path length and diversity distributions",
-        paper_reference="Figure 6",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples,
-              "topologies": list(selected)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

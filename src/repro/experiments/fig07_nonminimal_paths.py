@@ -8,24 +8,20 @@ three disjoint paths for virtually all pairs, saturating towards the router radi
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
 from repro.diversity.disjoint_paths import disjoint_path_distribution
-from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build, equivalent_jellyfish
 
-#: Topology families this experiment iterates (grid cells may select a subset).
+#: Topology families this scenario iterates (grid cells may select a subset).
 TOPOLOGY_NAMES = ("SF", "SF-JF", "DF", "HX3")
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0,
-        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    num_samples = scale.pick(60, 150, 250)
-    selected = select_topologies(TOPOLOGY_NAMES, topologies)
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    num_samples = ctx.scale.pick(60, 150, 250)
+    ctx.meta["num_samples"] = num_samples
     built = {}
 
     def base(name):
@@ -35,18 +31,18 @@ def run(scale: Scale = Scale.TINY, seed: int = 0,
 
     builders = {
         "SF": lambda: base("SF"),
-        "SF-JF": lambda: equivalent_jellyfish(base("SF"), seed=seed + 1),
+        "SF-JF": lambda: equivalent_jellyfish(base("SF"), seed=ctx.seed + 1),
         "DF": lambda: base("DF"),
         "HX3": lambda: base("HX3"),
     }
-    rows = []
-    for name in selected:
+    for name in ctx.topologies:
         topo = builders[name]()
         # per-topology generator: a filtered run yields the same rows as a full one
-        rng = topology_rng(seed, name)
+        rng = ctx.rng(name)
         for length in (2, 3, 4):
-            values = disjoint_path_distribution(topo, length, num_samples=num_samples, rng=rng)
-            rows.append({
+            values = disjoint_path_distribution(topo, length, num_samples=num_samples,
+                                                rng=rng)
+            yield {
                 "topology": name,
                 "l": length,
                 "mean": round(float(values.mean()), 2),
@@ -55,17 +51,21 @@ def run(scale: Scale = Scale.TINY, seed: int = 0,
                 "p99": float(np.percentile(values, 99)),
                 "frac_ge3": round(float((values >= 3).mean()), 3),
                 "mean_frac_of_radix": round(float(values.mean()) / topo.network_radix, 3),
-            })
-    notes = [
+            }
+
+
+SCENARIO = ScenarioSpec(
+    name="fig07",
+    title="Non-minimal edge-disjoint path count distributions c_l(A,B)",
+    paper_reference="Figure 7",
+    plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
+    base_columns=("topology", "l", "mean", "median", "p1", "p99", "frac_ge3",
+                  "mean_frac_of_radix"),
+    notes=(
         "Paper finding: counts saturate towards k' as l grows; at l = diameter+1 "
         "essentially all pairs have >= 3 disjoint paths.",
-    ]
-    return ExperimentResult(
-        name="fig07",
-        description="Non-minimal edge-disjoint path count distributions c_l(A,B)",
-        paper_reference="Figure 7",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples,
-              "topologies": list(selected)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

@@ -5,6 +5,9 @@ The paper samples router 4-tuples and plots the distribution of the interference
 equivalents.  Takeaways: PI is small at l=2 (few paths exist, and they rarely overlap),
 peaks at l=3..4 (the hop counts most router pairs actually use), nearly vanishes at
 l=5, and is exactly zero for fat trees.
+
+All topologies sample 4-tuples from one shared random stream, so this scenario has
+no independent per-family streams and is not splittable.
 """
 
 from __future__ import annotations
@@ -12,44 +15,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.diversity.interference import interference_distribution
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build, equivalent_jellyfish
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    num_samples = scale.pick(40, 120, 250)
-    rng = np.random.default_rng(seed)
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    num_samples = ctx.scale.pick(40, 120, 250)
+    ctx.meta["num_samples"] = num_samples
+    rng = ctx.rng()
     sf = build("SF", size_class)
     topologies = {
         "SF": sf,
-        "SF-JF": equivalent_jellyfish(sf, seed=seed + 1),
+        "SF-JF": equivalent_jellyfish(sf, seed=ctx.seed + 1),
         "DF": build("DF", size_class),
         "HX3": build("HX3", size_class),
         "FT3": build("FT3", size_class),
     }
-    rows = []
     for name, topo in topologies.items():
         for length in (2, 3, 4, 5):
-            values = interference_distribution(topo, length, num_samples=num_samples, rng=rng)
-            rows.append({
+            values = interference_distribution(topo, length, num_samples=num_samples,
+                                               rng=rng)
+            yield {
                 "topology": name,
                 "l": length,
                 "mean": round(float(values.mean()), 3),
                 "p999": float(np.percentile(values, 99.9)),
                 "frac_zero": round(float((values == 0).mean()), 3),
                 "mean_frac_of_radix": round(float(values.mean()) / topo.network_radix, 3),
-            })
-    notes = [
+            }
+
+
+SCENARIO = ScenarioSpec(
+    name="fig08",
+    title="Path-interference distributions at l = 2..5",
+    paper_reference="Figure 8",
+    plan=_plan,
+    base_columns=("topology", "l", "mean", "p999", "frac_zero", "mean_frac_of_radix"),
+    notes=(
         "Paper finding: most interference occurs at l=3 and l=4; FT3 shows zero PI due "
         "to symmetry and high path diversity; little PI remains at l=5.",
-    ]
-    return ExperimentResult(
-        name="fig08",
-        description="Path-interference distributions at l = 2..5",
-        paper_reference="Figure 8",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

@@ -9,6 +9,8 @@ fat tree; PAST (single path) is the weakest.
 
 Instance sizes are scaled down relative to the paper (the LPs and SPAIN's
 precomputation grow quickly); the comparison is relative throughput per topology.
+Commodity subsampling shares one random stream across the topology loop, so this
+scenario is not splittable.
 """
 
 from __future__ import annotations
@@ -17,36 +19,45 @@ import numpy as np
 
 from repro.core.config import FatPathsConfig
 from repro.core.layers import interference_minimizing_layers, random_edge_sampling_layers
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.mcf.throughput import commodities_from_pattern, scheme_max_throughput
 from repro.routing import KShortestPathsRouting, PastRouting, SpainRouting
 from repro.routing.base import LayerSetRouting
 from repro.topologies import build, equivalent_jellyfish
 from repro.traffic.worstcase import worst_case_pattern
 
+#: Equal layer budget for all layered schemes.
+NUM_LAYERS = 9
 
-def run(scale: Scale = Scale.TINY, seed: int = 0, intensity: float = 0.55) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    max_routers = scale.pick(24, 40, 60)          # matching size for the worst-case pattern
-    max_commodities = scale.pick(60, 120, 200)
-    num_layers = 9                                # equal layer budget for all layered schemes
-    rng = np.random.default_rng(seed)
+
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    max_routers = ctx.scale.pick(24, 40, 60)      # matching size for the worst-case pattern
+    max_commodities = ctx.scale.pick(60, 120, 200)
+    intensity = float(ctx.options.get("intensity", 0.55))
+    ctx.meta["intensity"] = intensity
+    ctx.note(
+        f"All layered schemes use the same layer budget (n = {NUM_LAYERS}); the "
+        f"worst-case matching is restricted to {max_routers} routers and "
+        f"{max_commodities} commodities for LP tractability; the interference-minimising "
+        "constructor prioritises the router pairs stressed by the pattern (the paper's "
+        "M-bounded pair processing).")
+    rng = ctx.rng()
 
     topo_names = ["SF", "DF", "HX3", "XP", "FT3"]
-    rows = []
     for name in topo_names + ["SF-JF"]:
         if name == "SF-JF":
-            topo = equivalent_jellyfish(build("SF", size_class, seed=seed), seed=seed + 1)
+            topo = equivalent_jellyfish(build("SF", size_class, seed=ctx.seed),
+                                        seed=ctx.seed + 1)
         else:
-            topo = build(name, size_class, seed=seed)
+            topo = build(name, size_class, seed=ctx.seed)
         pattern = worst_case_pattern(topo, intensity=intensity, max_routers=max_routers,
-                                     rng=np.random.default_rng(seed))
+                                     rng=np.random.default_rng(ctx.seed))
         commodities = commodities_from_pattern(topo, pattern,
                                                max_commodities=max_commodities, rng=rng)
         spain_destinations = sorted({c.target for c in commodities})
         commodity_pairs = [(c.source, c.target) for c in commodities]
-        random_cfg = FatPathsConfig(num_layers=num_layers, rho=0.6, seed=seed)
+        random_cfg = FatPathsConfig(num_layers=NUM_LAYERS, rho=0.6, seed=ctx.seed)
         interference_cfg = random_cfg.with_(layer_algorithm="interference")
         schemes = {
             "fatpaths_interference": LayerSetRouting(
@@ -55,10 +66,11 @@ def run(scale: Scale = Scale.TINY, seed: int = 0, intensity: float = 0.55) -> Ex
                                                candidate_pairs=commodity_pairs),
                 name="fatpaths_interference"),
             "fatpaths_random": LayerSetRouting(
-                topo, random_edge_sampling_layers(topo, random_cfg), name="fatpaths_random"),
+                topo, random_edge_sampling_layers(topo, random_cfg),
+                name="fatpaths_random"),
             "spain": SpainRouting(topo, paths_per_pair=3, destinations=spain_destinations,
-                                  seed=seed, max_layers=num_layers),
-            "past": PastRouting(topo, seed=seed),
+                                  seed=ctx.seed, max_layers=NUM_LAYERS),
+            "past": PastRouting(topo, seed=ctx.seed),
             "ksp": KShortestPathsRouting(topo, k=5),
         }
         throughputs = {}
@@ -69,23 +81,23 @@ def run(scale: Scale = Scale.TINY, seed: int = 0, intensity: float = 0.55) -> Ex
         for scheme_name, value in throughputs.items():
             row[scheme_name] = round(value, 4)
             row[f"{scheme_name}_rel"] = round(value / best, 3)
-        rows.append(row)
-    notes = [
+        yield row
+
+
+SCENARIO = ScenarioSpec(
+    name="fig09",
+    title="LP maximum achievable throughput: FatPaths vs SPAIN/PAST/k-SP",
+    paper_reference="Figure 9",
+    plan=_plan,
+    option_names=("intensity",),
+    base_columns=("topology", "N", "commodities", "fatpaths_interference",
+                  "fatpaths_random", "spain", "past", "ksp"),
+    notes=(
         "Paper finding (Fig 9): FatPaths layered routing achieves the highest throughput "
         "on the low-diameter topologies; SPAIN is tuned for Clos and weakest elsewhere; "
         "PAST (single path) is the weakest overall; the interference-minimising variant "
         "improves on random edge sampling.",
-        f"All layered schemes use the same layer budget (n = {num_layers}); the "
-        f"worst-case matching is restricted to {max_routers} routers and "
-        f"{max_commodities} commodities for LP tractability; the interference-minimising "
-        "constructor prioritises the router pairs stressed by the pattern (the paper's "
-        "M-bounded pair processing).",
-    ]
-    return ExperimentResult(
-        name="fig09",
-        description="LP maximum achievable throughput: FatPaths vs SPAIN/PAST/k-SP",
-        paper_reference="Figure 9",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "intensity": intensity},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

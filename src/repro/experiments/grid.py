@@ -7,12 +7,15 @@ routing state), so they parallelise embarrassingly over a ``ProcessPoolExecutor`
 each worker process grows its own :mod:`repro.kernels` path cache, which repeated
 cells on the same topology then share.
 
-Heavy diversity experiments (Figures 6/7, Table IV) iterate several topology
-families inside one ``run()`` call, which used to make them the slowest cells and
-bound the pool's wall clock.  :func:`split_heavy_cells` fans those experiments into
-*per-topology* cells via their ``topologies=`` filter; the per-topology random
-streams in :mod:`repro.experiments.common` guarantee the split cells' rows equal the
-unsplit run's, so splitting only changes scheduling granularity.
+Experiments that iterate several topology families inside one run used to be the
+slowest cells and bound the pool's wall clock.  :func:`split_heavy_cells` fans every
+scenario that declares a ``topology_names`` axis (see
+:mod:`repro.experiments.scenario`) into *per-topology* cells via its ``topologies=``
+filter — for the simulation scenarios each such cell is a whole batched
+``simulate_many`` StackCell group, so the engine's multi-cell sweeps fan out over
+the pool too.  Per-family random streams guarantee the split cells' rows equal the
+unsplit run's, so splitting only changes scheduling granularity;
+:func:`combine_cell_results` merges split cells back into whole-experiment tables.
 
 Serial execution (``jobs=None`` or ``jobs<=1``) runs in-process, reusing the parent's
 cache — useful for debugging and as the baseline in the cached-vs-parallel benchmark.
@@ -22,28 +25,30 @@ whole sweep.
 
 from __future__ import annotations
 
-import importlib
+import copy
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentResult, Scale, registry, run_experiment
+from repro.experiments.common import ExperimentResult, Scale, run_experiment
 
 
 def splittable_families(experiment: str) -> Optional[Tuple[str, ...]]:
     """Topology families of a splittable experiment, or ``None``.
 
-    An experiment is splittable iff its module exposes a ``TOPOLOGY_NAMES``
-    tuple — the contract (see ``docs/experiments.md``) that its ``run()`` also
-    accepts a matching ``topologies=`` filter with per-family random streams.
-    Derived from the module itself so the splitter can never drift from the
-    experiment's own family list.
+    An experiment is splittable iff its scenario spec declares a
+    ``topology_names`` axis — the contract (see ``docs/experiments.md``) that its
+    pipeline run also accepts a matching ``topologies=`` filter with per-family
+    random streams.  Derived from the registered spec itself so the splitter can
+    never drift from the scenario's own family list.
     """
-    module_path = registry().get(experiment)
-    if module_path is None:
+    from repro.experiments.scenario import scenario_spec
+
+    try:
+        spec = scenario_spec(experiment)
+    except KeyError:
         return None
-    families = getattr(importlib.import_module(module_path), "TOPOLOGY_NAMES", None)
-    return tuple(families) if families else None
+    return spec.topology_names
 
 
 @dataclass(frozen=True)
@@ -92,13 +97,22 @@ def split_heavy_cells(cells: Iterable[GridCell]) -> List[GridCell]:
 
     Cells of experiments without :func:`splittable_families`, and cells that
     already carry an explicit ``topologies`` selection, pass through unchanged.
+    Specs that narrow their axis per scale (``ScenarioSpec.families_at``) only
+    spawn the families that actually run at the cell's scale — no zero-row cells.
     The finer cells keep the original order (grouped per parent cell), so summary
     reports stay readable and result concatenation is deterministic.
     """
+    from repro.experiments.scenario import scenario_spec
+
     out: List[GridCell] = []
     for cell in cells:
-        families = splittable_families(cell.name)
-        if families is None or any(key == "topologies" for key, _ in cell.kwargs):
+        try:
+            spec = scenario_spec(cell.name)
+        except KeyError:
+            out.append(cell)
+            continue
+        families = spec.families_at(cell.scale)
+        if not families or any(key == "topologies" for key, _ in cell.kwargs):
             out.append(cell)
             continue
         for family in families:
@@ -136,6 +150,46 @@ def run_experiment_grid(cells: Iterable[GridCell],
     workers = min(jobs, len(cell_list))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_run_cell, cell_list))
+
+
+def combine_cell_results(results: Iterable[GridCellResult]) -> List[ExperimentResult]:
+    """Merge split grid cells back into one result per (experiment, scale, seed).
+
+    Cells that came from :func:`split_heavy_cells` carry disjoint per-topology row
+    subsets in family order; concatenating them reproduces the unsplit run's table
+    (the split contract of the scenario pipeline's common row schema).  Rows and
+    dict-valued metadata merge across cells; notes deduplicate in first-seen order;
+    failed cells are skipped (they are visible in the grid summary).  Cells that
+    differ in non-``topologies`` kwargs (distinct configurations of one
+    experiment) are kept apart, and the per-cell results are never mutated.
+    """
+    merged: Dict[Tuple, ExperimentResult] = {}
+    order: List[Tuple] = []
+    for r in results:
+        if r.result is None:
+            continue
+        options = tuple((k, v) for k, v in r.cell.kwargs if k != "topologies")
+        key = (r.cell.name, r.cell.scale, r.cell.seed, options)
+        current = merged.get(key)
+        if current is None:
+            result = r.result
+            merged[key] = ExperimentResult(
+                name=result.name, description=result.description,
+                paper_reference=result.paper_reference, rows=list(result.rows),
+                notes=list(result.notes), meta=copy.deepcopy(result.meta))
+            order.append(key)
+            continue
+        current.rows.extend(r.result.rows)
+        current.notes.extend(n for n in r.result.notes if n not in current.notes)
+        for meta_key, value in r.result.meta.items():
+            existing = current.meta.get(meta_key)
+            if isinstance(existing, dict) and isinstance(value, dict):
+                existing.update(value)
+            elif meta_key == "topologies" and isinstance(existing, list):
+                existing.extend(v for v in value if v not in existing)
+            elif meta_key not in current.meta:
+                current.meta[meta_key] = value
+    return [merged[key] for key in order]
 
 
 @dataclass

@@ -33,6 +33,7 @@ from typing import List, Optional
 from repro.experiments.common import Scale, registry, run_experiment
 from repro.experiments.grid import (
     GridSummary,
+    combine_cell_results,
     make_grid,
     run_experiment_grid,
     split_heavy_cells,
@@ -59,10 +60,12 @@ def main(argv: Optional[List[str]] = None) -> int:
       print a per-cell summary.  ``--seeds`` accepts a comma list (``0,1,2``) or an
       inclusive range (``0:4``); ``--scales`` sweeps scales.  ``--jobs N`` fans the
       cells over ``N`` worker processes (each with its own path cache), and by
-      default also splits heavy diversity experiments into per-topology cells —
-      identical rows, finer scheduling; ``--no-split`` keeps whole-experiment
-      cells.  Cell failures are captured per cell and reported in the summary
-      (exit code 1) instead of aborting the sweep.
+      default also splits scenarios with a topology axis into per-topology cells —
+      identical rows, finer scheduling (the simulation scenarios' batched
+      ``simulate_many`` groups fan out with them); ``--no-split`` keeps
+      whole-experiment cells.  ``--tables`` additionally prints the merged result
+      tables (split cells recombined).  Cell failures are captured per cell and
+      reported in the summary (exit code 1) instead of aborting the sweep.
     """
     parser = argparse.ArgumentParser(
         prog="fatpaths-experiment",
@@ -83,14 +86,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="grid mode: comma list ('0,1,2') or inclusive range ('0:4') "
                              "of seeds (overrides --seed)")
     parser.add_argument("--split", action=argparse.BooleanOptionalAction, default=None,
-                        help="grid mode: split heavy diversity experiments into "
+                        help="grid mode: split scenarios with a topology axis into "
                              "per-topology cells (default: on when --jobs is given)")
+    parser.add_argument("--tables", action="store_true",
+                        help="grid mode: also print the merged result tables "
+                             "(split cells recombined per experiment)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
+        from repro.experiments.scenario import scenario_spec
+
         print("available experiments:")
-        for name, module in sorted(registry().items()):
-            print(f"  {name:8s} {module}")
+        for name in sorted(registry()):
+            spec = scenario_spec(name)
+            axis = f" [splittable: {'+'.join(spec.topology_names)}]" \
+                if spec.splittable else ""
+            print(f"  {name:8s} {spec.paper_reference:24s} {spec.title}{axis}")
         return 0
 
     names = (sorted(registry()) if args.experiment == "all"
@@ -105,7 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # only exist in grid mode).  A lone --no-split is a no-op and keeps the full
     # report output; plain "all" or comma lists also print every table.
     grid_mode = (args.jobs is not None or args.scales is not None
-                 or args.seeds is not None or args.split is True)
+                 or args.seeds is not None or args.split is True or args.tables)
     if grid_mode:
         scales = ([s for s in args.scales.split(",") if s] if args.scales
                   else [args.scale])
@@ -133,6 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         elapsed = time.perf_counter() - start
         summary = GridSummary(results=results)
         print(summary.report())
+        if args.tables:
+            for combined in combine_cell_results(results):
+                print()
+                print(combined.report())
         mode = f"{args.jobs} workers" if args.jobs and args.jobs > 1 else "serial"
         print(f"\n[{len(results)} cells completed in {elapsed:.1f}s ({mode})]")
         return 0 if summary.num_failed == 0 else 1

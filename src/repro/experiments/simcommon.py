@@ -36,6 +36,16 @@ from repro.traffic.flows import Workload
 
 STACKS = ("fatpaths", "fatpaths_rho1", "fatpaths_tcp", "ndp", "ecmp", "letflow")
 
+#: The paper's four compared TCP deployments (Figures 14 and 17), in row order:
+#: ECMP baseline, LetFlow, and FatPaths with rho = 0.6 / rho = 1 (both n = 4).
+#: Values are ``build_stack`` keyword sets.
+TCP_STACK_VARIANTS = {
+    "ecmp": dict(stack="ecmp"),
+    "letflow": dict(stack="letflow"),
+    "fatpaths_rho0.6": dict(stack="fatpaths_tcp", num_layers=4, rho=0.6),
+    "fatpaths_rho1": dict(stack="fatpaths_tcp", num_layers=4, rho=1.0),
+}
+
 
 @dataclass
 class Stack:
@@ -136,6 +146,27 @@ def simulate_stack_many(topology: Topology, cells: Sequence[StackCell],
                          drop_warmup=cell.drop_warmup)
                  for cell in cells]
     return simulate_many(sim_cells, engine=engine)
+
+
+def grouped_baseline_rows(cells: Sequence[StackCell],
+                          results: Sequence[SimulationResult], group: int,
+                          row_fn, baseline_variant: str = "ecmp") -> List[Dict[str, object]]:
+    """Rows for variant-comparison sweeps, each computed against its group baseline.
+
+    ``cells``/``results`` are sliced into consecutive groups of ``group`` (one
+    group per (topology, flow size) combination); within each group the cell whose
+    ``meta["variant"]`` equals ``baseline_variant`` is the baseline, and
+    ``row_fn(cell, result, baseline_result)`` produces one row per cell.  Shared by
+    the Figure 14/17 four-stack comparisons so their grouping contract cannot
+    diverge.
+    """
+    rows: List[Dict[str, object]] = []
+    for start in range(0, len(cells), group):
+        batch = list(zip(cells[start:start + group], results[start:start + group]))
+        baseline = next(r for c, r in batch
+                        if c.meta["variant"] == baseline_variant)
+        rows.extend(row_fn(cell, result, baseline) for cell, result in batch)
+    return rows
 
 
 def tail_and_mean_throughput(result: SimulationResult) -> Tuple[float, float]:

@@ -7,21 +7,23 @@ FatPaths is the only scheme supporting all of them.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.routing.comparison import FEATURES, feature_table, only_fully_supporting_scheme
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0) -> ExperimentResult:
-    rows = feature_table(sort_by_score=True)
-    notes = [
-        f"Aspects: {', '.join(FEATURES)} (see repro.routing.comparison for definitions).",
-        f"Only scheme supporting every aspect: {only_fully_supporting_scheme()}.",
-    ]
-    return ExperimentResult(
-        name="tab01",
-        description="Path-diversity feature support across routing schemes",
-        paper_reference="Table I",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale)},
-    )
+def _plan(ctx: ScenarioContext):
+    ctx.note(f"Aspects: {', '.join(FEATURES)} (see repro.routing.comparison for "
+             "definitions).")
+    ctx.note(f"Only scheme supporting every aspect: {only_fully_supporting_scheme()}.")
+    yield from feature_table(sort_by_score=True)
+
+
+SCENARIO = ScenarioSpec(
+    name="tab01",
+    title="Path-diversity feature support across routing schemes",
+    paper_reference="Table I",
+    plan=_plan,
+    base_columns=("name",),
+)
+
+run = SCENARIO.runner()

@@ -14,39 +14,36 @@ have worse tails.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 from repro.diversity.metrics import cdp_summary, pi_summary
-from repro.experiments.common import ExperimentResult, Scale, select_topologies, topology_rng
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build, equivalent_jellyfish
 
 #: The evaluation distances d' used in the paper's Table IV.
 PAPER_DISTANCES = {"CLIQUE": 2, "SF": 3, "XP": 3, "HX3": 3, "DF": 4, "FT3": 4}
 
-#: Base topology families this experiment iterates (each non-clique family brings
+#: Base topology families this scenario iterates (each non-clique family brings
 #: its Jellyfish equivalent along; grid cells may select a subset).
 TOPOLOGY_NAMES = tuple(PAPER_DISTANCES)
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0, include_jellyfish: bool = True,
-        topologies: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = Scale(scale)
-    size_class = scale.size_class()
-    num_samples = scale.pick(60, 150, 300)
-    selected = select_topologies(TOPOLOGY_NAMES, topologies)
-    rows = []
-    for short_name in selected:
+def _plan(ctx: ScenarioContext):
+    size_class = ctx.scale.size_class()
+    num_samples = ctx.scale.pick(60, 150, 300)
+    ctx.meta["num_samples"] = num_samples
+    include_jellyfish = bool(ctx.options.get("include_jellyfish", True))
+    for short_name in ctx.topologies:
         distance = PAPER_DISTANCES[short_name]
-        topo = build(short_name, size_class, seed=seed)
+        topo = build(short_name, size_class, seed=ctx.seed)
         variants = {short_name: topo}
         if include_jellyfish and short_name not in ("CLIQUE",):
-            variants[f"{short_name}-JF"] = equivalent_jellyfish(topo, seed=seed + 1)
+            variants[f"{short_name}-JF"] = equivalent_jellyfish(topo, seed=ctx.seed + 1)
         for name, variant in variants.items():
             # per-topology generator: filtered runs yield the same rows as full ones
-            rng = topology_rng(seed, name)
+            rng = ctx.rng(name)
             cdp = cdp_summary(variant, distance, num_samples=num_samples, rng=rng)
-            pi = pi_summary(variant, distance, num_samples=max(20, num_samples // 2), rng=rng)
-            rows.append({
+            pi = pi_summary(variant, distance, num_samples=max(20, num_samples // 2),
+                            rng=rng)
+            yield {
                 "topology": name,
                 "d_prime": distance,
                 "k_prime": variant.network_radix,
@@ -54,18 +51,23 @@ def run(scale: Scale = Scale.TINY, seed: int = 0, include_jellyfish: bool = True
                 "CDP_tail1_pct": round(100 * cdp.tail_1pct / variant.network_radix, 1),
                 "PI_mean_pct": round(100 * pi.mean_fraction_of_radix, 1),
                 "PI_tail999_pct": round(100 * pi.tail_999pct / variant.network_radix, 1),
-            })
-    notes = [
+            }
+
+
+SCENARIO = ScenarioSpec(
+    name="tab04",
+    title="CDP and PI summaries at distance d' (fractions of router radix)",
+    paper_reference="Table IV",
+    plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
+    option_names=("include_jellyfish",),
+    base_columns=("topology", "d_prime", "k_prime", "CDP_mean_pct", "CDP_tail1_pct",
+                  "PI_mean_pct", "PI_tail999_pct"),
+    notes=(
         "Paper values (medium size): clique 100/100/2/2, SF 89/10/26/79, XP 49/34/20/41, "
         "HX 25/10/9/67, DF 25/13/8/74, FT3 100/100/0/0 (CDP mean/1% tail, PI mean/99.9% "
         "tail, all % of k').",
-    ]
-    return ExperimentResult(
-        name="tab04",
-        description="CDP and PI summaries at distance d' (fractions of router radix)",
-        paper_reference="Table IV",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale), "num_samples": num_samples,
-              "topologies": list(selected)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

@@ -7,35 +7,38 @@ edge density — verifying the fair-comparison configurations.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import comparable_configurations
 from repro.topologies.configs import summary_row
 
 
-def run(scale: Scale = Scale.TINY, seed: int = 0,
-        include_jellyfish: bool = True) -> ExperimentResult:
-    scale = Scale(scale)
+def _plan(ctx: ScenarioContext):
     configs = comparable_configurations(
-        scale.size_class(),
+        ctx.scale.size_class(),
         topologies=["SF", "DF", "HX2", "HX3", "XP", "FT3", "CLIQUE"],
-        include_jellyfish=include_jellyfish, seed=seed)
-    rows = []
+        include_jellyfish=bool(ctx.options.get("include_jellyfish", True)),
+        seed=ctx.seed)
     for name, topo in configs.items():
         row = {"short_name": name}
         row.update(summary_row(topo))
         # measure the diameter on small instances (sampled on larger ones)
         sample = None if topo.num_routers <= 600 else 50
         row["measured_diameter"] = topo.diameter(sample=sample)
-        rows.append(row)
-    notes = [
+        yield row
+
+
+SCENARIO = ScenarioSpec(
+    name="tab05",
+    title="Topology configuration parameters per size class",
+    paper_reference="Table V (and Table IV topology parameters)",
+    plan=_plan,
+    option_names=("include_jellyfish",),
+    base_columns=("short_name", "Nr", "N", "k_prime", "p", "k", "diameter_hint",
+                  "edges", "edge_density", "measured_diameter"),
+    notes=(
         "Medium scale reproduces the paper's Table IV parameters exactly for SF "
         "(Nr=722, k'=29), XP (1056, 32), HX3 (1331, 30) and DF (2064, 23).",
-    ]
-    return ExperimentResult(
-        name="tab05",
-        description="Topology configuration parameters per size class",
-        paper_reference="Table V (and Table IV topology parameters)",
-        rows=rows,
-        notes=notes,
-        meta={"scale": str(scale)},
-    )
+    ),
+)
+
+run = SCENARIO.runner()

@@ -27,6 +27,13 @@ target-set) items per call*:
   with the actual frontier size instead of ``B * K^2``.
 * Augmenting paths are reconstructed scalar-wise from the per-item depth arrays
   (a few index operations per path vertex) and saturated in place.
+* Greedy rounds are **adaptively round-robined** rather than chunk-synchronous:
+  once at least half of a block's items have retired (no further augmenting path),
+  the survivors are compacted into a smaller block — fewer rows and, where the
+  survivors' relevant sets allow, a narrower padding width — so a few
+  high-diversity items no longer drag every finished item through their remaining
+  sweeps.  Items are independent and survivor state is copied verbatim, so results
+  are provably unchanged (pinned in ``tests/kernels/``).
 
 Two capacity models are supported:
 
@@ -113,7 +120,8 @@ def _distance_rows(csr: CSRGraph,
 
 def _greedy_chunk(adjs: np.ndarray, src: np.ndarray, dst: np.ndarray, max_len: int,
                   bounds: Optional[np.ndarray], mode: str, want_paths: bool,
-                  vertex_maps: Optional[List[np.ndarray]]) -> Tuple[np.ndarray, List[List[List[int]]]]:
+                  vertex_maps: Optional[List[np.ndarray]],
+                  vcounts: Optional[np.ndarray] = None) -> Tuple[np.ndarray, List[List[List[int]]]]:
     """Run the batched greedy search on one chunk of (locally indexed) items.
 
     ``adjs`` is the mutable ``(B, K, K)`` boolean adjacency block (one private copy
@@ -121,6 +129,15 @@ def _greedy_chunk(adjs: np.ndarray, src: np.ndarray, dst: np.ndarray, max_len: i
     ``(B, K)`` boolean masks and ``bounds`` optionally carries admissible remaining
     -distance lower bounds (``-1`` where the targets are unreachable).
     ``vertex_maps`` translates local to global indices for path output.
+
+    Rounds are *adaptively* round-robined: whenever at least half of the block's
+    items have retired (found no further augmenting path), the surviving items are
+    compacted into a smaller block — fewer rows, and a narrower ``K`` when the
+    per-item vertex counts (``vcounts``) of the survivors allow it.  Items are
+    mutually independent and each survivor's state is copied verbatim (the padding
+    sliced off is all-False/-1 by construction), so retirement is invisible to the
+    results; it only stops finished items from riding along in every sweep of a
+    chunk whose slowest item needs many more greedy rounds.
     """
     num_items, k = src.shape
     counts = np.zeros(num_items, dtype=np.int64)
@@ -128,16 +145,33 @@ def _greedy_chunk(adjs: np.ndarray, src: np.ndarray, dst: np.ndarray, max_len: i
     active = src.any(axis=1) & dst.any(axis=1) & ~(src & dst).any(axis=1)
     if bounds is not None:
         prune_out = (bounds < 0) | (bounds > max_len)
+    #: row -> original chunk item, updated on every compaction
+    orig = np.arange(num_items, dtype=np.int64)
     depth = np.empty((num_items, k), dtype=np.int64)
     flat_rows = adjs.reshape(num_items * k, k)
     while active.any():
+        live = int(active.sum())
+        if live <= orig.size // 2:
+            # ---- retire finished items: compact survivors into a smaller block
+            keep = np.flatnonzero(active)
+            if vcounts is not None:
+                k = max(1, int(vcounts[orig[keep]].max()))
+            adjs = np.ascontiguousarray(adjs[keep, :k, :k])
+            src, dst = src[keep, :k], dst[keep, :k]
+            if bounds is not None:
+                bounds = bounds[keep, :k]
+                prune_out = prune_out[keep, :k]
+            orig = orig[keep]
+            active = np.ones(live, dtype=bool)
+            depth = np.empty((live, k), dtype=np.int64)
+            flat_rows = adjs.reshape(live * k, k)
         # ---- one batched BFS round: all active items advance level by level
         depth.fill(-1)
         depth[src] = 0
         searching = active.copy()
-        chosen = np.full(num_items, -1, dtype=np.int64)
+        chosen = np.full(orig.size, -1, dtype=np.int64)
         frontier = src & searching[:, None]
-        reach = np.zeros((num_items, k), dtype=bool)
+        reach = np.zeros((orig.size, k), dtype=bool)
         for level in range(1, max_len + 1):
             # Expand all items' frontiers in one flat sweep: gather every frontier
             # vertex's adjacency row across the batch, then OR the rows of each item
@@ -187,13 +221,14 @@ def _greedy_chunk(adjs: np.ndarray, src: np.ndarray, dst: np.ndarray, max_len: i
                 candidates = (adjs[items, :, cur]
                               & (depth[items] == (depth[items, cur] - 1)[:, None]))
                 verts[walking, step] = candidates.argmax(axis=1)
-            counts[found] += 1
+            counts[orig[found]] += 1
             if want_paths:
                 for i, b in enumerate(found):
-                    local = vertex_maps[b] if vertex_maps is not None else None
+                    item = int(orig[b])
+                    local = vertex_maps[item] if vertex_maps is not None else None
                     path = [int(v) if local is None else int(local[v])
                             for v in verts[i, length[i]::-1]]
-                    paths[b].append(path)
+                    paths[item].append(path)
             # Saturate the path's edge arcs (both modes; in the node-splitting
             # construction every edge arc has unit capacity too, and without this a
             # direct source-target edge would be rediscovered forever in vertex mode).
@@ -327,7 +362,8 @@ def batch_disjoint_paths(csr: CSRGraph, items, max_len: int, *, mode: str = "edg
             if prune:
                 chunk_bounds[i, :verts.size] = bounds[item, verts]
         chunk_counts, chunk_paths = _greedy_chunk(
-            adjs, src, dst, max_len, chunk_bounds, mode, return_paths, maps)
+            adjs, src, dst, max_len, chunk_bounds, mode, return_paths, maps,
+            vcounts=np.asarray([m.size for m in maps], dtype=np.int64))
         counts[pos:stop] = chunk_counts
         if return_paths:
             all_paths[pos:stop] = chunk_paths

@@ -12,6 +12,14 @@ endpoint id space ``{0, ..., N-1}``.  The paper's selection:
 * **adversarial off-diagonal** — a skewed off-diagonal with a large offset, optionally
   repeated (oversubscribed), chosen to maximise colliding router pairs.
 
+Beyond the paper's selection, two datacenter workload shapes back the ``incast`` and
+``shuffle`` scenarios of the experiment registry:
+
+* **incast/hotspot** — many sources converge on few hot destinations (partition/
+  aggregate, parameter servers);
+* **broadcast shuffle** — every member of a group broadcasts to the whole next group
+  (the stage-to-stage all-to-all of a map/reduce shuffle).
+
 Patterns are represented as a :class:`TrafficPattern`, a thin wrapper over a list of
 ``(source endpoint, destination endpoint)`` pairs.
 """
@@ -172,6 +180,60 @@ def adversarial_offdiagonal(num_endpoints: int, concentration: int,
         pairs.extend((s, (s + offset) % num_endpoints) for s in range(num_endpoints))
     return TrafficPattern("adversarial_offdiagonal", pairs, oversubscription=repeats,
                           meta={"base_offset": base, "repeats": repeats})
+
+
+def incast_pattern(num_endpoints: int, num_hotspots: int = 1, fanin: int = 16,
+                   rng: Optional[np.random.Generator] = None) -> TrafficPattern:
+    """Incast/hotspot: ``fanin`` distinct sources converge on each hot destination.
+
+    Models the many-to-one aggregation step of partition/aggregate and parameter-
+    server workloads — the flows share the hotspot's ejection link, so router-level
+    path diversity moves contention to the NIC and stresses tail FCT.  Hotspots and
+    their senders are drawn without replacement from ``rng``; hotspots never send
+    to themselves.
+    """
+    _check_n(num_endpoints)
+    if num_hotspots < 1:
+        raise ValueError("num_hotspots must be >= 1")
+    if fanin < 1:
+        raise ValueError("fanin must be >= 1")
+    if num_hotspots > num_endpoints:
+        raise ValueError("more hotspots than endpoints")
+    rng = rng or np.random.default_rng(0)
+    hotspots = rng.choice(num_endpoints, size=num_hotspots, replace=False)
+    pairs: List[Tuple[int, int]] = []
+    for hot in hotspots:
+        hot = int(hot)
+        others = np.delete(np.arange(num_endpoints), hot)
+        senders = rng.choice(others, size=min(fanin, others.size), replace=False)
+        pairs.extend((int(s), hot) for s in senders)
+    return TrafficPattern("incast", pairs,
+                          meta={"hotspots": tuple(int(h) for h in hotspots),
+                                "fanin": int(fanin)})
+
+
+def broadcast_shuffle_pattern(num_endpoints: int, group_size: int = 4) -> TrafficPattern:
+    """Broadcast-shuffle: every member of group g sends to every member of group g+1.
+
+    Endpoints are partitioned into consecutive groups of ``group_size``; each source
+    broadcasts to the whole next group (mod the group count) — the all-to-all
+    exchange between pipeline stages of a map/reduce-style shuffle.  The pattern is
+    ``group_size``-times oversubscribed and deterministic (no random stream), so it
+    splits cleanly across per-topology grid cells.
+    """
+    _check_n(num_endpoints)
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if group_size * 2 > num_endpoints:
+        raise ValueError("need at least two groups")
+    num_groups = num_endpoints // group_size
+    pairs: List[Tuple[int, int]] = []
+    for s in range(num_groups * group_size):
+        group = s // group_size
+        target_base = ((group + 1) % num_groups) * group_size
+        pairs.extend((s, target_base + j) for j in range(group_size))
+    return TrafficPattern("broadcast_shuffle", pairs, oversubscription=group_size,
+                          meta={"group_size": group_size, "num_groups": num_groups})
 
 
 def all_patterns(num_endpoints: int, concentration: int,

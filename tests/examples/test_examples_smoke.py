@@ -34,6 +34,10 @@ EXAMPLES = {
         ["--dragonfly-p", "2", "--message-size", "50000"],
         ["cluster:", "stencil step"],
     ),
+    "scenario_sweep.py": (
+        ["--scenarios", "fig19,shuffle", "--jobs", "2"],
+        ["specs:", "grid:", "rows per (topology, scenario):"],
+    ),
 }
 
 

@@ -191,3 +191,31 @@ class TestThroughputExperiments:
         fct_by_rate = {r["lambda"]: r["fct_mean_ms"] for r in result.rows}
         # FCT grows with the arrival rate once past saturation
         assert fct_by_rate[rates[-1]] > fct_by_rate[rates[0]]
+
+
+class TestRegistryScenarios:
+    """Qualitative shapes of the registry scenarios beyond the paper's figures."""
+
+    def test_incast_hotspot_bound(self):
+        result = result_of("incast")
+        assert {r["stack"] for r in result.rows} == {"fatpaths", "ndp", "ecmp"}
+        for row in result.rows:
+            # the hotspot NIC bounds throughput: nobody exceeds the 10G line rate
+            assert row["throughput_mean_MiBs"] <= 10e9 / 8 / 2**20 * 1.01
+            assert row["fct_p99_ms"] >= row["fct_p50_ms"]
+        # adaptive stacks never lose to static ECMP hashing on the same topology
+        by_key = {(r["topology"], r["stack"]): r for r in result.rows}
+        for topo in {r["topology"] for r in result.rows}:
+            assert by_key[(topo, "fatpaths")]["fct_p99_ms"] <= \
+                by_key[(topo, "ecmp")]["fct_p99_ms"] * 1.05
+
+    def test_shuffle_fatpaths_competitive(self):
+        result = result_of("shuffle")
+        assert {r["stack"] for r in result.rows} == {"fatpaths", "ndp", "letflow"}
+        by_key = {(r["topology"], r["stack"]): r for r in result.rows}
+        # on the single-shortest-path topologies FatPaths' non-minimal layers must
+        # at least match the minimal-path stacks' mean throughput
+        for topo in ("SF", "DF"):
+            fat = by_key[(topo, "fatpaths")]["throughput_mean_MiBs"]
+            ndp = by_key[(topo, "ndp")]["throughput_mean_MiBs"]
+            assert fat >= 0.9 * ndp

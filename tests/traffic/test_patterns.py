@@ -9,6 +9,8 @@ from repro.traffic.patterns import (
     TrafficPattern,
     adversarial_offdiagonal,
     all_patterns,
+    broadcast_shuffle_pattern,
+    incast_pattern,
     multiple_permutations,
     off_diagonal,
     random_permutation,
@@ -121,3 +123,58 @@ def test_off_diagonal_property(n, offset):
 def test_random_permutation_property(n, seed):
     p = random_permutation(n, np.random.default_rng(seed))
     assert sorted(p.destinations()) == list(range(n))
+
+
+class TestIncastPattern:
+    def test_fanin_sources_per_hotspot(self):
+        p = incast_pattern(64, num_hotspots=2, fanin=8, rng=np.random.default_rng(0))
+        assert len(p) == 16
+        hotspots = p.meta["hotspots"]
+        assert len(hotspots) == 2
+        # every pair targets a hotspot; senders are distinct and never the hotspot
+        for hot in hotspots:
+            senders = [s for s, t in p if t == hot]
+            assert len(senders) == 8
+            assert len(set(senders)) == 8
+            assert hot not in senders
+
+    def test_fanin_clamped_to_available_endpoints(self):
+        p = incast_pattern(5, num_hotspots=1, fanin=100, rng=np.random.default_rng(1))
+        assert len(p) == 4
+
+    def test_deterministic_per_stream(self):
+        a = incast_pattern(50, num_hotspots=3, fanin=5, rng=np.random.default_rng(7))
+        b = incast_pattern(50, num_hotspots=3, fanin=5, rng=np.random.default_rng(7))
+        assert a.pairs == b.pairs
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            incast_pattern(10, num_hotspots=0)
+        with pytest.raises(ValueError):
+            incast_pattern(10, fanin=0)
+        with pytest.raises(ValueError):
+            incast_pattern(10, num_hotspots=11)
+
+
+class TestBroadcastShufflePattern:
+    def test_every_member_broadcasts_to_next_group(self):
+        p = broadcast_shuffle_pattern(12, group_size=3)
+        assert p.oversubscription == 3
+        assert p.meta["num_groups"] == 4
+        assert len(p) == 12 * 3
+        # member 0 (group 0) sends to all of group 1
+        assert {t for s, t in p if s == 0} == {3, 4, 5}
+        # last group wraps to group 0
+        assert {t for s, t in p if s == 11} == {0, 1, 2}
+
+    def test_ragged_tail_endpoints_idle(self):
+        p = broadcast_shuffle_pattern(14, group_size=4)   # 3 groups, 2 idle endpoints
+        assert max(p.sources()) < 12
+        assert max(p.destinations()) < 12
+
+    def test_deterministic_without_rng(self):
+        assert broadcast_shuffle_pattern(16).pairs == broadcast_shuffle_pattern(16).pairs
+
+    def test_rejects_too_few_groups(self):
+        with pytest.raises(ValueError):
+            broadcast_shuffle_pattern(6, group_size=4)

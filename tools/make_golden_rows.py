@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-row fixtures pinning experiment output across refactors.
+
+Runs every registered experiment at tiny scale for the pinned seed and writes the
+result rows to ``tests/experiments/golden/tiny_seed0.json``.  The golden-row test
+(``tests/experiments/test_scenario.py``) replays the scenario pipeline against this
+file, so experiment-layer refactors are held to bit-identical rows.  Rows pass
+through :func:`repro.experiments.scenario.normalized_rows` — the same helper the
+test compares with, so the two sides can never drift.
+
+Only rerun this script when a row change is *intended* (new experiment, deliberate
+semantic change); commit the diff together with the change that explains it.
+
+Run:  PYTHONPATH=src python tools/make_golden_rows.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.common import registry, run_experiment
+from repro.experiments.scenario import normalized_rows
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "experiments" / \
+    "golden" / "tiny_seed0.json"
+SEED = 0
+
+
+def main() -> None:
+    """Run every experiment at tiny scale and write the normalized-row fixture."""
+    golden = {}
+    for name in sorted(registry()):
+        result = run_experiment(name, scale="tiny", seed=SEED)
+        golden[name] = normalized_rows(result.rows)
+        print(f"{name:8s} {len(result.rows)} rows")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
