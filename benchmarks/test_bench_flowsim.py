@@ -1,12 +1,21 @@
-"""Flow-simulation engine benchmarks: scalar reference vs vectorized engine.
+"""Flow-simulation engine benchmarks: reference vs engine, full vs incremental.
 
-The pair mirrors the other legacy-vs-kernel benchmarks: the *same* fig02-style
+The first pair mirrors the other legacy-vs-kernel benchmarks: the *same* fig02-style
 workload (randomly mapped permutation traffic, uniform flow sizes, FatPaths stack) on
 the *same* scale-dependent Slim Fly, once through the preserved scalar simulator
 (``repro.sim.reference``) and once through ``repro.sim.engine``; results are pinned
 identical inside the speedup test.  A third benchmark sweeps a multi-cell
 (stack, workload) grid through ``simulate_many`` — the batched entry point the
 simulation experiments run on.
+
+The second pair benchmarks the engine's *rate allocators*
+(``FlowSimConfig.allocator``) on the staggered multi-tenant incast workload:
+disjoint-sender hotspot groups with Poisson arrivals, where the link–flow
+incidence decomposes into per-group components and churn is local — the regime the
+incremental dirty-component allocator (``repro.sim.allocstate``) targets.  The
+static-hash ``ecmp`` stack keeps both allocators on identical trajectories, so the
+comparison isolates allocation cost.  ``tools/bench_report.py`` consolidates these
+benchmarks' pytest-benchmark output into the committed ``BENCH_flowsim.json``.
 
 Run ``pytest benchmarks/test_bench_flowsim.py --benchmark-only -s``; set
 ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
@@ -19,15 +28,26 @@ import pytest
 
 from repro.core.mapping import random_mapping
 from repro.experiments.simcommon import StackCell, build_stack, simulate_stack_many
-from repro.sim.flowsim import simulate_workload
-from repro.traffic.flows import uniform_size_workload
-from repro.traffic.patterns import random_permutation
+from repro.sim.flowsim import FlowSimConfig, simulate_workload
+from repro.traffic.flows import poisson_workload, uniform_size_workload
+from repro.traffic.patterns import incast_pattern, random_permutation
 
 KIB = 1024
 
 #: Engine-vs-reference speedup floor asserted at small/medium scale (the acceptance
 #: bar for the vectorized engine); tiny instances are too noisy to gate.
 _SPEEDUP_FLOOR = 5.0
+
+#: Incremental-vs-full allocator event-rate speedup floor on the staggered incast
+#: benchmark, asserted at small/medium scale (the PR's acceptance bar).
+_ALLOC_SPEEDUP_FLOOR = 2.0
+
+#: Staggered incast shape per scale: (hotspots, fanin, per-pair flow rate 1/s,
+#: flows per pair).  Disjoint sender sets keep per-group injection links private,
+#: Poisson arrivals keep concurrency moderate — both are what makes the incidence
+#: decompose into components the incremental allocator can refill locally.
+_INCAST_SHAPE = {"tiny": (8, 8, 500.0, 3), "small": (64, 8, 500.0, 4),
+                 "medium": (160, 8, 500.0, 4)}
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +71,7 @@ def test_bench_flowsim_reference_scalar(benchmark, kgraph, fig02_workload):
     workload, mapping = fig02_workload
     result = benchmark.pedantic(_run, args=(kgraph, workload, mapping, "reference"),
                                 rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events"] = int(result.meta["events"])
     assert len(result) == len(workload)
 
 
@@ -58,6 +79,7 @@ def test_bench_flowsim_vectorized_engine(benchmark, kgraph, fig02_workload):
     workload, mapping = fig02_workload
     result = benchmark.pedantic(_run, args=(kgraph, workload, mapping, "engine"),
                                 rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events"] = int(result.meta["events"])
     assert len(result) == len(workload)
 
 
@@ -85,6 +107,68 @@ def test_flowsim_engine_speedup_and_equivalence(kgraph, fig02_workload, scale):
           f"engine {engine_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x")
     if scale.value != "tiny":
         assert speedup >= _SPEEDUP_FLOOR
+
+
+@pytest.fixture(scope="module")
+def incast_workload(kgraph, scale):
+    """Staggered multi-tenant incast: disjoint-sender hotspot groups, Poisson
+    arrivals of fixed-size flows (see ``_INCAST_SHAPE``)."""
+    hotspots, fanin, rate, reps = _INCAST_SHAPE[scale.value]
+    pattern = incast_pattern(kgraph.num_endpoints, num_hotspots=hotspots,
+                             fanin=fanin, rng=np.random.default_rng(0),
+                             disjoint_senders=True)
+    return poisson_workload(pattern, rate, reps / rate,
+                            rng=np.random.default_rng(1), fixed_size=256 * KIB)
+
+
+def _run_alloc(kgraph, workload, allocator):
+    stack = build_stack(kgraph, "ecmp", seed=0)
+    return simulate_workload(kgraph, stack.routing, workload,
+                             selector=stack.selector, transport=stack.transport,
+                             config=FlowSimConfig(allocator=allocator), seed=0)
+
+
+def test_bench_alloc_full(benchmark, kgraph, incast_workload):
+    result = benchmark.pedantic(_run_alloc, args=(kgraph, incast_workload, "full"),
+                                rounds=1, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events"] = int(result.meta["events"])
+    benchmark.extra_info["flows"] = len(result)
+    assert len(result) == len(incast_workload)
+
+
+def test_bench_alloc_incremental(benchmark, kgraph, incast_workload):
+    result = benchmark.pedantic(_run_alloc,
+                                args=(kgraph, incast_workload, "incremental"),
+                                rounds=1, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events"] = int(result.meta["events"])
+    benchmark.extra_info["flows"] = len(result)
+    assert len(result) == len(incast_workload)
+
+
+def test_alloc_incremental_speedup_and_agreement(kgraph, incast_workload, scale):
+    """Time both allocators on the staggered incast, pin the records, and (at
+    small/medium scale) assert the incremental event-rate speedup floor."""
+    _run_alloc(kgraph, incast_workload, "incremental")     # warm shared caches
+    start = time.perf_counter()
+    full = _run_alloc(kgraph, incast_workload, "full")
+    full_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    incremental = _run_alloc(kgraph, incast_workload, "incremental")
+    incremental_seconds = time.perf_counter() - start
+
+    assert full.meta["events"] == incremental.meta["events"]
+    for ref, inc in zip(full.records, incremental.records):
+        assert ref.flow_id == inc.flow_id
+        assert inc.completion_time == pytest.approx(ref.completion_time, rel=1e-6)
+
+    events = full.meta["events"]
+    speedup = full_seconds / max(incremental_seconds, 1e-9)
+    print(f"\nallocator {scale.value}: full {full_seconds * 1e3:.1f} ms "
+          f"({events / full_seconds:.0f} ev/s), incremental "
+          f"{incremental_seconds * 1e3:.1f} ms "
+          f"({events / incremental_seconds:.0f} ev/s), speedup {speedup:.2f}x")
+    if scale.value != "tiny":
+        assert speedup >= _ALLOC_SPEEDUP_FLOOR
 
 
 def test_bench_simulate_many_cell_sweep(benchmark, kgraph):

@@ -7,9 +7,9 @@ permutations, and a 4-point stencil), all randomly mapped.  The takeaway: for D 
 fewer than 1% of router pairs see four or more collisions, so three disjoint paths per
 router pair suffice; the clique needs many more.
 
-One random stream is shared across the topology loop (mappings and patterns draw from
-it in sequence), so this scenario has no independent per-family streams and is not
-splittable.
+Each family draws its mapping and patterns from its own ``(seed, family)`` stream
+(:meth:`ScenarioContext.rng`), so the scenario declares a ``topology_names`` split
+axis: a per-family grid cell reproduces exactly the rows of the full run.
 """
 
 from __future__ import annotations
@@ -20,23 +20,24 @@ from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build
 from repro.traffic.patterns import all_patterns
 
+#: Topology families of the split axis (paper labels live in ``_LABELS``).
+TOPOLOGY_NAMES = ("CLIQUE", "SF", "DF")
+
+_LABELS = {"CLIQUE": "Clique (D=1)", "SF": "Slim Fly (D=2)", "DF": "Dragonfly (D=3)"}
+
 
 def _plan(ctx: ScenarioContext):
     size_class = ctx.scale.size_class()
-    rng = ctx.rng()
-    topologies = {
-        "Clique (D=1)": build("CLIQUE", size_class),
-        "Slim Fly (D=2)": build("SF", size_class),
-        "Dragonfly (D=3)": build("DF", size_class),
-    }
-    for topo_name, topo in topologies.items():
+    for family in ctx.active(TOPOLOGY_NAMES):
+        topo = build(family, size_class)
+        rng = ctx.rng(family)
         n = topo.num_endpoints
         mapping = random_mapping(n, rng)
         patterns = all_patterns(n, topo.concentration, rng)
         for pattern_name, pattern in patterns.items():
             hist = collision_histogram(topo, pattern.pairs, mapping)
             yield {
-                "topology": topo_name,
+                "topology": _LABELS[family],
                 "pattern": pattern_name,
                 "max_collisions": max_collisions(hist),
                 "frac_pairs_ge4": round(fraction_with_at_least(hist, 4), 4),
@@ -50,6 +51,7 @@ SCENARIO = ScenarioSpec(
     title="Collision multiplicity per router pair under randomly mapped patterns",
     paper_reference="Figure 4",
     plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
     base_columns=("topology", "pattern", "max_collisions", "frac_pairs_ge4",
                   "frac_pairs_ge9", "router_pairs_with_traffic"),
     notes=(

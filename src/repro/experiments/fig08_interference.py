@@ -6,8 +6,9 @@ equivalents.  Takeaways: PI is small at l=2 (few paths exist, and they rarely ov
 peaks at l=3..4 (the hop counts most router pairs actually use), nearly vanishes at
 l=5, and is exactly zero for fat trees.
 
-All topologies sample 4-tuples from one shared random stream, so this scenario has
-no independent per-family streams and is not splittable.
+Each family samples its 4-tuples from its own ``(seed, family)`` stream
+(:meth:`ScenarioContext.rng`), so the scenario declares a ``topology_names`` split
+axis: a per-family grid cell reproduces exactly the rows of the full run.
 """
 
 from __future__ import annotations
@@ -18,26 +19,29 @@ from repro.diversity.interference import interference_distribution
 from repro.experiments.scenario import ScenarioContext, ScenarioSpec
 from repro.topologies import build, equivalent_jellyfish
 
+#: Topology families of the split axis (SF-JF is the Jellyfish twin of SF).
+TOPOLOGY_NAMES = ("SF", "SF-JF", "DF", "HX3", "FT3")
+
+
+def _build(family: str, size_class, seed: int):
+    """One family's topology (the Jellyfish twin derives from a fresh SF build)."""
+    if family == "SF-JF":
+        return equivalent_jellyfish(build("SF", size_class), seed=seed + 1)
+    return build(family, size_class)
+
 
 def _plan(ctx: ScenarioContext):
     size_class = ctx.scale.size_class()
     num_samples = ctx.scale.pick(40, 120, 250)
     ctx.meta["num_samples"] = num_samples
-    rng = ctx.rng()
-    sf = build("SF", size_class)
-    topologies = {
-        "SF": sf,
-        "SF-JF": equivalent_jellyfish(sf, seed=ctx.seed + 1),
-        "DF": build("DF", size_class),
-        "HX3": build("HX3", size_class),
-        "FT3": build("FT3", size_class),
-    }
-    for name, topo in topologies.items():
+    for family in ctx.active(TOPOLOGY_NAMES):
+        topo = _build(family, size_class, ctx.seed)
+        rng = ctx.rng(family)
         for length in (2, 3, 4, 5):
             values = interference_distribution(topo, length, num_samples=num_samples,
                                                rng=rng)
             yield {
-                "topology": name,
+                "topology": family,
                 "l": length,
                 "mean": round(float(values.mean()), 3),
                 "p999": float(np.percentile(values, 99.9)),
@@ -51,6 +55,7 @@ SCENARIO = ScenarioSpec(
     title="Path-interference distributions at l = 2..5",
     paper_reference="Figure 8",
     plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
     base_columns=("topology", "l", "mean", "p999", "frac_zero", "mean_frac_of_radix"),
     notes=(
         "Paper finding: most interference occurs at l=3 and l=4; FT3 shows zero PI due "

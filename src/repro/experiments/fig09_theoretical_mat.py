@@ -9,8 +9,10 @@ fat tree; PAST (single path) is the weakest.
 
 Instance sizes are scaled down relative to the paper (the LPs and SPAIN's
 precomputation grow quickly); the comparison is relative throughput per topology.
-Commodity subsampling shares one random stream across the topology loop, so this
-scenario is not splittable.
+Each family's worst-case matching and commodity subsampling draw from their own
+deterministic per-``(seed, family)`` streams, so the scenario declares a
+``topology_names`` split axis: a per-family grid cell reproduces exactly the rows
+of the full run.
 """
 
 from __future__ import annotations
@@ -29,6 +31,9 @@ from repro.traffic.worstcase import worst_case_pattern
 #: Equal layer budget for all layered schemes.
 NUM_LAYERS = 9
 
+#: Topology families of the split axis (SF-JF is the Jellyfish twin of SF).
+TOPOLOGY_NAMES = ("SF", "DF", "HX3", "XP", "FT3", "SF-JF")
+
 
 def _plan(ctx: ScenarioContext):
     size_class = ctx.scale.size_class()
@@ -42,19 +47,20 @@ def _plan(ctx: ScenarioContext):
         f"{max_commodities} commodities for LP tractability; the interference-minimising "
         "constructor prioritises the router pairs stressed by the pattern (the paper's "
         "M-bounded pair processing).")
-    rng = ctx.rng()
 
-    topo_names = ["SF", "DF", "HX3", "XP", "FT3"]
-    for name in topo_names + ["SF-JF"]:
+    for name in ctx.active(TOPOLOGY_NAMES):
         if name == "SF-JF":
             topo = equivalent_jellyfish(build("SF", size_class, seed=ctx.seed),
                                         seed=ctx.seed + 1)
         else:
             topo = build(name, size_class, seed=ctx.seed)
+        # per-family streams: the worst-case matching already used a fresh
+        # per-family generator; commodity subsampling now does too
         pattern = worst_case_pattern(topo, intensity=intensity, max_routers=max_routers,
                                      rng=np.random.default_rng(ctx.seed))
         commodities = commodities_from_pattern(topo, pattern,
-                                               max_commodities=max_commodities, rng=rng)
+                                               max_commodities=max_commodities,
+                                               rng=ctx.rng(name))
         spain_destinations = sorted({c.target for c in commodities})
         commodity_pairs = [(c.source, c.target) for c in commodities]
         random_cfg = FatPathsConfig(num_layers=NUM_LAYERS, rho=0.6, seed=ctx.seed)
@@ -89,6 +95,7 @@ SCENARIO = ScenarioSpec(
     title="LP maximum achievable throughput: FatPaths vs SPAIN/PAST/k-SP",
     paper_reference="Figure 9",
     plan=_plan,
+    topology_names=TOPOLOGY_NAMES,
     option_names=("intensity",),
     base_columns=("topology", "N", "commodities", "fatpaths_interference",
                   "fatpaths_random", "spain", "past", "ksp"),

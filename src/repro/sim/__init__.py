@@ -10,6 +10,9 @@
 * :mod:`repro.sim.engine` — the vectorized structure-of-arrays engine (default):
   pooled incidence, batched per-event sweeps, and the :func:`~repro.sim.engine.simulate_many`
   batched multi-cell API the simulation experiments run on.
+* :mod:`repro.sim.allocstate` — the engine's persistent allocation state: the pooled
+  flow/link incidence amended O(delta) per event, plus the opt-in dirty-component
+  incremental allocator (``FlowSimConfig(allocator="incremental")``).
 * :mod:`repro.sim.reference` — the original scalar event loop, preserved as the
   behavioural specification the engine is pinned against.
 * :mod:`repro.sim.packetsim` — a small-scale packet-level simulator with output queues,
@@ -22,12 +25,13 @@
 
 from repro.sim.engine import FlowEngine, SimCell, simulate_many
 from repro.sim.fairshare import max_min_fair_rates
-from repro.sim.flowsim import FlowSimConfig, FlowLevelSimulator, simulate_workload
+from repro.sim.flowsim import ALLOCATORS, FlowSimConfig, FlowLevelSimulator, simulate_workload
 from repro.sim.metrics import FlowRecord, SimulationResult, summarize_flows
 from repro.sim.packetsim import PacketSimConfig, PacketLevelSimulator
 from repro.sim.queueing import mg1_ps_fct, predict_fct_distribution
 
 __all__ = [
+    "ALLOCATORS",
     "max_min_fair_rates",
     "FlowEngine",
     "FlowSimConfig",

@@ -1,0 +1,549 @@
+"""Persistent allocation state of the flow engine (`repro.sim.allocstate`).
+
+Before this module, :class:`repro.sim.engine.FlowEngine` regathered the full pooled
+(link, flow) incidence of the active set (``active_incidence()``) and reran max-min
+progressive filling over *all* active flows at every arrival, completion and path
+switch — even though one event perturbs only a handful of links.  This module makes
+the per-event allocation cost proportional to what the event actually changed, in two
+layers:
+
+* :class:`AllocationState` — the pooled ``(entry_links, entry_slots)`` incidence kept
+  **alive across events** and amended O(delta): each flow owns one fixed segment of a
+  growing pool (sized for its longest candidate path, so path switches rewrite in
+  place), arrivals append, completions and switch slack mark entries *dead* by
+  pointing them at a sentinel slot.  Dead entries are float-exact no-ops for both the
+  progressive fill (they carry no live load) and the link-utilisation ``bincount``
+  (their weight is exactly ``0.0``), and live entries always sit in ascending
+  arrival order — so :class:`FullAllocator`, which refills everything each event over
+  this persistent state, is **bit-identical by construction** to the former
+  rebuild-per-event engine (and therefore to the scalar reference simulator).
+* :class:`IncrementalAllocator` — dirty-**component** refiltering behind
+  ``FlowSimConfig(allocator="incremental")``.  Connected components of the link–flow
+  incidence graph are tracked by a union-find over links, amended per event; on an
+  event only the components touched by the delta are refilled and every untouched
+  component keeps its cached rates and link utilisations.  Component-local filling is
+  mathematically max-min exact (components share no links), but its float
+  accumulation order differs from the global reference loop, so this allocator is
+  opt-in: ``tests/sim/test_alloc_incremental.py`` pins rate agreement to tight
+  tolerance, identical saturation sets and the bottleneck certificate on randomized
+  event sequences.  Union-find cannot split, so a tracked component is always a
+  *superset* (a union) of true components — refilling a union of true components is
+  still exact — and the allocator falls back to a full fill plus an exact component
+  rebuild (:func:`repro.sim.fairshare.incidence_components`) whenever accumulated
+  merges/removals make the tracked partition stale or the dirty delta stops being
+  local.
+
+:func:`_progressive_fill` (moved here from :mod:`repro.sim.engine`) is the shared
+filling kernel; both allocators and the engine's tests import it from either module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.simconfig import ALLOCATORS  # noqa: F401  (single source of truth)
+
+#: Smallest entry pool an :class:`AllocationState` keeps allocated.
+_MIN_POOL = 256
+
+
+# ------------------------------------------------------------ progressive filling
+def _progressive_fill(entry_links: np.ndarray, entry_flows: np.ndarray, num_flows: int,
+                      capacities: np.ndarray, epsilon: float = 1e-12,
+                      unfixed: Optional[np.ndarray] = None,
+                      compression: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                      ) -> np.ndarray:
+    """Max-min fair progressive filling over a pooled (link, flow) incidence.
+
+    Replicates :func:`repro.sim.fairshare.max_min_fair_rates` for the unweighted,
+    no-empty-path case the simulator produces, operating on entry arrays instead of a
+    freshly built ``scipy.sparse`` matrix.  Per-link loads are exact integer counts in
+    float64 and every per-round scalar (increment, remaining capacity, saturation
+    test) evaluates the same expressions as the reference, so the resulting rates are
+    bit-identical regardless of flow ordering.
+
+    ``unfixed`` optionally restricts the fill to a subset of flow indices (the
+    persistent-state callers pass the active-slot mask; entries of other flows are
+    *dead* and contribute no load).  It is copied, never mutated.  ``compression``
+    optionally passes the precomputed ``np.unique(entry_links, return_inverse=True)``
+    pair so callers that also need it (e.g. for utilisation scatter) pay it once.
+    """
+    rates = np.zeros(num_flows)
+    if entry_links.size == 0:
+        return rates
+    # compress to the links that actually carry entries: idle links never have load,
+    # so they can neither bound the increment nor saturate — dropping them changes
+    # nothing (the per-link floats below are identical), it only shrinks every
+    # per-round array from |links| to |touched links|
+    if compression is None:
+        touched, compressed = np.unique(entry_links, return_inverse=True)
+    else:
+        touched, compressed = compression
+    remaining = capacities[touched].astype(np.float64)
+    saturation_threshold = epsilon * remaining + epsilon   # constant across rounds
+    unfixed = np.ones(num_flows, dtype=bool) if unfixed is None else unfixed.copy()
+    # every productive round permanently saturates at least one touched link (its
+    # live load then stays zero), so `touched.size` bounds the round count — the
+    # compressed problem can never need `capacities.shape[0]` rounds
+    for _ in range(touched.size + 1):
+        if not unfixed.any():
+            break
+        live = unfixed[entry_flows]
+        load = np.bincount(compressed[live], minlength=touched.size)
+        active_links = load > 0
+        if not active_links.any():
+            break
+        increment = float((remaining[active_links] / load[active_links]).min())
+        if increment <= 0:
+            increment = 0.0
+        rates[unfixed] += increment
+        remaining = remaining - load * increment
+        saturated = active_links & (remaining <= saturation_threshold)
+        if not saturated.any():
+            # no link saturates (should not happen with finite capacities); freeze all
+            break
+        newly_fixed = np.zeros(num_flows, dtype=bool)
+        newly_fixed[entry_flows[saturated[compressed] & live]] = True
+        unfixed &= ~newly_fixed
+    return rates
+
+
+# ------------------------------------------------------------- persistent incidence
+class AllocationState:
+    """Pooled (link, slot) incidence of the active flows, amended across events.
+
+    Flow *slots* are arrival positions ``0..num_flows-1``; slot ``num_flows`` is the
+    sentinel that marks dead pool entries.  Each flow owns one contiguous pool
+    segment sized ``seg_cap[slot]`` (its longest candidate path plus the injection
+    and ejection links), written ``[inject, path links..., eject]``; the live prefix
+    has length ``seg_len[slot]`` and trailing slack entries are dead.  Segments are
+    allocated in arrival order and never move (except under :meth:`compact`, which
+    preserves ascending-slot order), so the pool's live entries are always exactly
+    the flow-major active incidence the engine used to regather every event.
+    """
+
+    def __init__(self, num_flows: int, num_links: int) -> None:
+        """Create an empty state for ``num_flows`` flow slots over ``num_links``."""
+        self.num_flows = num_flows
+        self.num_links = num_links
+        self.sentinel = num_flows
+        self.pool_links = np.zeros(_MIN_POOL, dtype=np.int64)
+        self.pool_slots = np.full(_MIN_POOL, self.sentinel, dtype=np.int64)
+        self.used = 0
+        self.live = 0
+        self.active_caps = 0
+        self.seg_start = np.zeros(num_flows, dtype=np.int64)
+        self.seg_cap = np.zeros(num_flows, dtype=np.int64)
+        self.seg_len = np.zeros(num_flows, dtype=np.int64)
+        #: ``unfixed`` initializer for slot-indexed fills (sentinel always False).
+        self.active_mask = np.zeros(num_flows + 1, dtype=bool)
+
+    def entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The pool's (links, slots) views, live and dead entries interleaved."""
+        return self.pool_links[:self.used], self.pool_slots[:self.used]
+
+    def live_entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The live (links, slots) entries only (a filtering copy, O(used))."""
+        links, slots = self.entries()
+        alive = slots != self.sentinel
+        return links[alive], slots[alive]
+
+    def flow_links(self, slot: int) -> np.ndarray:
+        """The current full link list of one active flow (a pool view)."""
+        start = int(self.seg_start[slot])
+        return self.pool_links[start:start + int(self.seg_len[slot])]
+
+    def _grow(self, need: int) -> None:
+        """Ensure pool capacity ``need`` (amortized doubling)."""
+        if need <= self.pool_links.size:
+            return
+        size = max(need, 2 * self.pool_links.size)
+        links = np.zeros(size, dtype=np.int64)
+        slots = np.full(size, self.sentinel, dtype=np.int64)
+        links[:self.used] = self.pool_links[:self.used]
+        slots[:self.used] = self.pool_slots[:self.used]
+        self.pool_links, self.pool_slots = links, slots
+
+    def add(self, slot: int, links: np.ndarray, capacity: int) -> None:
+        """Append ``slot``'s segment (``links`` live, ``capacity`` reserved)."""
+        capacity = max(int(capacity), len(links))
+        self._grow(self.used + capacity)
+        start = self.used
+        n = len(links)
+        self.pool_links[start:start + n] = links
+        self.pool_slots[start:start + n] = slot
+        self.pool_links[start + n:start + capacity] = 0
+        # trailing slack is pre-marked dead by _grow's sentinel fill
+        self.seg_start[slot] = start
+        self.seg_cap[slot] = capacity
+        self.seg_len[slot] = n
+        self.used += capacity
+        self.live += n
+        self.active_caps += capacity
+        self.active_mask[slot] = True
+
+    def remove(self, slot: int) -> None:
+        """Mark ``slot``'s entries dead (its links stay readable until compaction)."""
+        start = int(self.seg_start[slot])
+        n = int(self.seg_len[slot])
+        self.pool_slots[start:start + n] = self.sentinel
+        self.live -= n
+        self.active_caps -= int(self.seg_cap[slot])
+        self.active_mask[slot] = False
+
+    def replace_paths(self, slots: np.ndarray, inj: np.ndarray, ej: np.ndarray,
+                      mid_pool: np.ndarray, mid_starts: np.ndarray,
+                      mid_lens: np.ndarray) -> None:
+        """Rewrite the segments of ``slots`` to ``[inj, mids..., ej]`` in place.
+
+        ``mid_starts``/``mid_lens`` slice the candidate bank's ``mid_pool``; every
+        new path fits because segment capacities cover the longest candidate.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        starts = self.seg_start[slots]
+        caps = self.seg_cap[slots]
+        old_lens = self.seg_len[slots]
+        new_lens = mid_lens + 2
+        mid_total = int(mid_lens.sum())
+        if mid_total:
+            offsets = np.cumsum(mid_lens) - mid_lens
+            idx = np.arange(mid_total)
+            src = np.repeat(mid_starts - offsets, mid_lens) + idx
+            dst = np.repeat(starts + 1 - offsets, mid_lens) + idx
+            self.pool_links[dst] = mid_pool[src]
+            self.pool_slots[dst] = np.repeat(slots, mid_lens)
+        self.pool_links[starts] = inj
+        self.pool_slots[starts] = slots
+        self.pool_links[starts + new_lens - 1] = ej
+        self.pool_slots[starts + new_lens - 1] = slots
+        slack = caps - new_lens
+        slack_total = int(slack.sum())
+        if slack_total:
+            offsets = np.cumsum(slack) - slack
+            idx = np.arange(slack_total)
+            dst = np.repeat(starts + new_lens - offsets, slack) + idx
+            self.pool_links[dst] = 0
+            self.pool_slots[dst] = self.sentinel
+        self.seg_len[slots] = new_lens
+        self.live += int((new_lens - old_lens).sum())
+
+    def compact(self, order: np.ndarray) -> None:
+        """Rebuild the pool tightly over ``order`` (the ascending active slots)."""
+        order = np.asarray(order, dtype=np.int64)
+        caps = self.seg_cap[order]
+        lens = self.seg_len[order]
+        total = int(caps.sum())
+        size = max(_MIN_POOL, total)
+        links = np.zeros(size, dtype=np.int64)
+        slots = np.full(size, self.sentinel, dtype=np.int64)
+        new_starts = np.cumsum(caps) - caps
+        n_live = int(lens.sum())
+        if n_live:
+            offsets = np.cumsum(lens) - lens
+            idx = np.arange(n_live)
+            src = np.repeat(self.seg_start[order] - offsets, lens) + idx
+            dst = np.repeat(new_starts - offsets, lens) + idx
+            links[dst] = self.pool_links[src]
+            slots[dst] = np.repeat(order, lens)
+        self.pool_links, self.pool_slots = links, slots
+        self.seg_start[order] = new_starts
+        self.used = total
+        self.live = n_live
+
+    def maybe_compact(self, order: np.ndarray) -> bool:
+        """Compact when completed segments dominate the pool; True if compacted."""
+        if self.used > _MIN_POOL and self.used > 2 * max(self.active_caps, 32):
+            self.compact(order)
+            return True
+        return False
+
+
+def _full_fill(state: AllocationState, capacities: np.ndarray, line_rate: float,
+               active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+    """One full progressive fill over the persistent pool; returns link utilisation.
+
+    Dead entries are exact no-ops: their sentinel slot maps to an always-fixed
+    local index (no load) and their utilisation weight is exactly ``0.0``, so
+    rates *and* the utilisation ``bincount`` are bit-identical to a fill over a
+    freshly gathered active incidence.  Flow slots are relabelled to positions in
+    ``active`` (ascending, so ``searchsorted`` is exact) to keep the per-round
+    flow arrays O(|active|) instead of O(total flows).
+    """
+    entry_links, entry_slots = state.entries()
+    local = np.searchsorted(active, entry_slots)   # sentinel > every slot -> active.size
+    unfixed = np.ones(active.size + 1, dtype=bool)
+    unfixed[active.size] = False
+    fair = _progressive_fill(entry_links, local, active.size + 1, capacities,
+                             unfixed=unfixed)
+    np.minimum(fair, line_rate, out=fair)
+    rates_out[active] = fair[:active.size]
+    return np.bincount(entry_links, weights=fair[local] / capacities[entry_links],
+                       minlength=capacities.shape[0])
+
+
+# ------------------------------------------------------------------ full allocator
+class FullAllocator:
+    """Per-event full refill over the persistent incidence (reference-equivalent).
+
+    This is the default ``FlowSimConfig(allocator="full")`` path: the incidence is
+    amended O(delta) per event (the former per-event regather is gone) but every
+    recompute still fills all active flows, which keeps it bit-identical to the
+    scalar reference simulator.
+    """
+
+    name = "full"
+
+    def __init__(self, state: AllocationState, capacities: np.ndarray,
+                 line_rate: float) -> None:
+        """Bind the allocator to one run's state, capacities and line rate."""
+        self.state = state
+        self.capacities = capacities
+        self.line_rate = line_rate
+        self.link_util = np.zeros(capacities.shape[0])
+
+    def add(self, slot: int, links: np.ndarray, capacity: int) -> None:
+        """Record one arrival's segment."""
+        self.state.add(slot, links, capacity)
+
+    def remove(self, slot: int) -> None:
+        """Record one completion."""
+        self.state.remove(slot)
+
+    def switch(self, slots: np.ndarray, inj: np.ndarray, ej: np.ndarray,
+               mid_pool: np.ndarray, mid_starts: np.ndarray,
+               mid_lens: np.ndarray) -> None:
+        """Record path switches (in-place segment rewrites)."""
+        self.state.replace_paths(slots, inj, ej, mid_pool, mid_starts, mid_lens)
+
+    def idle(self) -> None:
+        """No active flows: all utilisations are zero."""
+        self.link_util[:] = 0.0
+
+    def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+        """Refill every active flow; returns the refilled slots (all of ``active``)."""
+        self.state.maybe_compact(active)
+        self.link_util = _full_fill(self.state, self.capacities, self.line_rate,
+                                    active, rates_out)
+        return active
+
+
+# ----------------------------------------------------------- incremental allocator
+class IncrementalAllocator:
+    """Dirty-component refiltering over the persistent incidence (opt-in).
+
+    A union-find over links tracks connected components of the link–flow incidence
+    graph; arrivals/switches union their flow's links, completions mark the flow's
+    component dirty.  :meth:`recompute` refills only the dirty components and keeps
+    every untouched component's cached rates and utilisations.  Tracked components
+    only ever merge (a superset of true components, which keeps component-local
+    filling exact); the partition is re-derived exactly — together with a full
+    fill — once accumulated removals/releases exceed ``max(16, |active| / 4)``
+    ops, and a plain full fill (tracker untouched) covers any event whose dirty
+    delta spans at least half the active set.
+    """
+
+    name = "incremental"
+
+    def __init__(self, state: AllocationState, capacities: np.ndarray,
+                 line_rate: float) -> None:
+        """Bind the allocator to one run's state, capacities and line rate."""
+        self.state = state
+        self.capacities = capacities
+        self.line_rate = line_rate
+        num_links = capacities.shape[0]
+        self.link_util = np.zeros(num_links)
+        self._parent = np.arange(num_links, dtype=np.int64)
+        self._members: Dict[int, List[int]] = {}     # root -> flow slots (may be stale)
+        self._comp_links: Dict[int, List[int]] = {}  # root -> links owned by the root
+        self._link_seen = np.zeros(num_links, dtype=bool)
+        self._dirty: set = set()
+        self._ops = 0
+        self._needs_full = True
+
+    # ------------------------------------------------------------- union-find
+    def _find(self, link: int) -> int:
+        """Root of ``link`` (path halving)."""
+        parent = self._parent
+        while parent[link] != link:
+            parent[link] = parent[parent[link]]
+            link = int(parent[link])
+        return int(link)
+
+    def _touch(self, link: int) -> int:
+        """Register ``link`` on first sight as its own singleton root; return root."""
+        if not self._link_seen[link]:
+            self._link_seen[link] = True
+            self._parent[link] = link
+            self._comp_links[link] = [link]
+            self._members.setdefault(link, [])
+            return link
+        return self._find(link)
+
+    def _union(self, ra: int, rb: int) -> int:
+        """Merge roots ``ra`` and ``rb`` (membership lists small-into-large)."""
+        if ra == rb:
+            return ra
+        size_a = len(self._members.get(ra, ())) + len(self._comp_links[ra])
+        size_b = len(self._members.get(rb, ())) + len(self._comp_links[rb])
+        if size_a < size_b:
+            ra, rb = rb, ra
+        # merges are *exact*: a new entry really does connect the two components,
+        # so unions never stale the tracked partition (only link releases do)
+        self._parent[rb] = ra
+        self._members.setdefault(ra, []).extend(self._members.pop(rb, []))
+        self._comp_links[ra].extend(self._comp_links.pop(rb))
+        return ra
+
+    def _merge_links(self, links: np.ndarray) -> int:
+        """Union all of one flow's links into a single root; return it."""
+        root = self._touch(int(links[0]))
+        for link in links[1:]:
+            root = self._union(root, self._touch(int(link)))
+        return root
+
+    # ------------------------------------------------------------ event deltas
+    def add(self, slot: int, links: np.ndarray, capacity: int) -> None:
+        """Record one arrival: append its segment, join its links' components."""
+        self.state.add(slot, links, capacity)
+        root = self._merge_links(links)
+        self._members.setdefault(root, []).append(slot)
+        self._dirty.add(root)
+
+    def remove(self, slot: int) -> None:
+        """Record one completion: entries go dead, its component is dirty."""
+        first = int(self.state.pool_links[int(self.state.seg_start[slot])])
+        self.state.remove(slot)
+        self._dirty.add(self._find(first))
+        # removal can split the true component; only a rebuild re-separates it
+        self._ops += 1
+
+    def switch(self, slots: np.ndarray, inj: np.ndarray, ej: np.ndarray,
+               mid_pool: np.ndarray, mid_starts: np.ndarray,
+               mid_lens: np.ndarray) -> None:
+        """Record path switches: rewrite segments, union new links into the roots."""
+        self.state.replace_paths(slots, inj, ej, mid_pool, mid_starts, mid_lens)
+        for slot in np.asarray(slots, dtype=np.int64):
+            # the flow's old links already share its root; new middle links may
+            # pull other components in (a merge) — all end up in one dirty root
+            self._dirty.add(self._merge_links(self.state.flow_links(int(slot))))
+            # the released old path may have been the only bridge inside the
+            # tracked component: a potential split, repaired at the next rebuild
+            self._ops += 1
+
+    def idle(self) -> None:
+        """No active flows: all utilisations are zero."""
+        self.link_util[:] = 0.0
+
+    # -------------------------------------------------------------- recompute
+    def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+        """Refill the dirty components (or fall back to a full fill + rebuild).
+
+        Returns the slots whose rates were recomputed this event — the engine
+        re-evaluates congestion episodes exactly for those.
+        """
+        if active.size == 0:
+            self.idle()
+            return active
+        # compaction moves segments, not (slot, link) structure: the tracker holds
+        self.state.maybe_compact(active)
+        dirty = {self._find(r) for r in self._dirty}
+        self._dirty.clear()
+        if self._needs_full or self._ops >= max(16, active.size // 4):
+            # accumulated link releases may have split true components the
+            # tracker still shows merged: full fill + exact re-derivation
+            return self._rebuild(active, rates_out)
+        dirty_members = sum(len(self._members.get(r, ())) for r in dirty)
+        if 2 * dirty_members >= active.size:
+            # the delta is not local — a full fill is no dearer than refilling
+            # most components one by one (tracked partition stays untouched)
+            self.link_util = _full_fill(self.state, self.capacities, self.line_rate,
+                                        active, rates_out)
+            return active
+        refilled = [self._refill_component(root, rates_out) for root in dirty]
+        refilled = [r for r in refilled if r.size]
+        if not refilled:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(refilled)
+
+    def _refill_component(self, root: int, rates_out: np.ndarray) -> np.ndarray:
+        """Component-local progressive fill; updates rates and the root's links."""
+        state = self.state
+        alive = [s for s in self._members.get(root, ()) if state.active_mask[s]]
+        self._members[root] = alive
+        comp_links = np.asarray(self._comp_links[root], dtype=np.int64)
+        if not alive:
+            self.link_util[comp_links] = 0.0
+            return np.empty(0, dtype=np.int64)
+        if len(alive) == 1:
+            # singleton component: the flow takes the minimum per-link capacity
+            # share (exactly what one filling round computes; ``counts`` covers
+            # paths that cross a link more than once), no incidence gather needed
+            slot = alive[0]
+            links, counts = np.unique(state.flow_links(slot), return_counts=True)
+            caps = self.capacities[links]
+            fair = min(float((caps / counts).min()), self.line_rate)
+            rates_out[slot] = fair
+            self.link_util[comp_links] = 0.0
+            self.link_util[links] = counts * fair / caps
+            return np.asarray(alive, dtype=np.int64)
+        member = np.asarray(alive, dtype=np.int64)
+        starts = state.seg_start[member]
+        lens = state.seg_len[member]
+        total = int(lens.sum())
+        offsets = np.cumsum(lens) - lens
+        idx = np.arange(total)
+        src = np.repeat(starts - offsets, lens) + idx
+        entry_links = state.pool_links[src]
+        entry_flows = np.repeat(np.arange(member.size), lens)
+        touched, compressed = np.unique(entry_links, return_inverse=True)
+        fair = _progressive_fill(entry_links, entry_flows, member.size, self.capacities,
+                                 compression=(touched, compressed))
+        np.minimum(fair, self.line_rate, out=fair)
+        rates_out[member] = fair
+        util = np.bincount(compressed, weights=fair[entry_flows]
+                           / self.capacities[entry_links], minlength=touched.size)
+        self.link_util[comp_links] = 0.0
+        self.link_util[touched] = util
+        return member
+
+    def _rebuild(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+        """Full fill + exact component re-derivation from the live incidence."""
+        self.link_util = _full_fill(self.state, self.capacities, self.line_rate,
+                                    active, rates_out)
+        from repro.sim.fairshare import incidence_components
+
+        self._parent = np.arange(self.capacities.shape[0], dtype=np.int64)
+        self._members = {}
+        self._comp_links = {}
+        self._link_seen[:] = False
+        links, slots = self.state.live_entries()
+        if links.size:
+            _, touched, link_labels, flows, flow_labels = \
+                incidence_components(links, slots)
+            order = np.argsort(link_labels, kind="stable")
+            link_groups = np.split(touched[order],
+                                   np.flatnonzero(np.diff(link_labels[order])) + 1)
+            forder = np.argsort(flow_labels, kind="stable")
+            flow_groups = np.split(flows[forder],
+                                   np.flatnonzero(np.diff(flow_labels[forder])) + 1)
+            for group_links, group_flows in zip(link_groups, flow_groups):
+                root = int(group_links[0])
+                self._parent[group_links] = root
+                self._link_seen[group_links] = True
+                self._comp_links[root] = group_links.tolist()
+                self._members[root] = group_flows.tolist()
+        self._ops = 0
+        self._needs_full = False
+        return active
+
+
+def make_allocator(name: str, num_flows: int, num_links: int, capacities: np.ndarray,
+                   line_rate: float):
+    """Construct the named allocator over a fresh :class:`AllocationState`."""
+    if name not in ALLOCATORS:
+        raise ValueError(f"unknown allocator {name!r}; available: {ALLOCATORS}")
+    state = AllocationState(num_flows, num_links)
+    cls = FullAllocator if name == "full" else IncrementalAllocator
+    return cls(state, capacities, line_rate)

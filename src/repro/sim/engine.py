@@ -14,10 +14,16 @@ What changes relative to the reference:
 * **Pooled incidence, amended incrementally** — candidate router paths are resolved
   once per (source router, target router) pair into a pooled link-index array shared
   across runs (:class:`CandidateBank`, one per routing scheme), instead of per
-  simulator instance; the per-event flow/link incidence is gathered from the pool with
-  one fancy-index expression and fed to a progressive-filling allocator that works
-  directly on the pooled view (:func:`_progressive_fill`) — no per-event
-  ``scipy.sparse`` matrix construction.
+  simulator instance; the per-event flow/link incidence itself is *persistent
+  state* (:class:`repro.sim.allocstate.AllocationState`): amended O(delta) on
+  arrival/completion/switch, never regathered, and fed to a progressive-filling
+  allocator that works directly on the pooled entry arrays
+  (:func:`repro.sim.allocstate._progressive_fill`) — no per-event ``scipy.sparse``
+  matrix construction.  ``FlowSimConfig(allocator="incremental")`` additionally
+  enables dirty-component refiltering: only the incidence components an event
+  touched are refilled, untouched components keep their cached rates (max-min
+  exact; float accumulation order differs from the reference, hence opt-in — see
+  :mod:`repro.sim.allocstate`).
 * **Batched path-switch evaluation** — flowlet/congestion switch *eligibility* is one
   boolean mask over the active set (segmented maxima of link utilisation over each
   flow's current path), and the eligible flows go through one batched selector call
@@ -52,6 +58,7 @@ import numpy as np
 from repro.core.loadbalance import FlowletSelector, PathSelector
 from repro.core.transport import TransportModel, ndp_transport
 from repro.kernels.cache import kernels_for
+from repro.sim.allocstate import _progressive_fill, make_allocator  # noqa: F401  (re-export)
 from repro.sim.metrics import FlowRecord, SimulationResult
 from repro.sim.reference import FlowLevelSimulator
 from repro.sim.simconfig import FlowSimConfig
@@ -111,10 +118,14 @@ class CandidateEntry:
     ``seg_start[c]:seg_start[c]+seg_len[c]`` slices the bank's pool to the link
     indices of candidate ``c`` (router links only — injection/ejection links are
     per-flow and added by the engine); ``lengths`` is the per-candidate hop count
-    exactly as the reference computes it (``max(1, len(path) - 1)``).
+    exactly as the reference computes it (``max(1, len(path) - 1)``); ``max_links``
+    is the full-path segment capacity (longest candidate plus injection/ejection) a
+    flow on this pair reserves in the persistent allocation state, so any later
+    path switch rewrites its segment in place.
     """
 
-    __slots__ = ("bank", "num_candidates", "lengths", "lengths_float", "seg_start", "seg_len")
+    __slots__ = ("bank", "num_candidates", "lengths", "lengths_float", "seg_start",
+                 "seg_len", "max_links")
 
     def __init__(self, bank: "CandidateBank", lengths: List[int],
                  seg_start: np.ndarray, seg_len: np.ndarray) -> None:
@@ -125,6 +136,7 @@ class CandidateEntry:
         self.lengths_float = np.asarray(lengths, dtype=np.float64)
         self.seg_start = seg_start
         self.seg_len = seg_len
+        self.max_links = int(seg_len.max()) + 2
 
 
 class CandidateBank:
@@ -194,52 +206,6 @@ def candidate_bank_for(routing, links: LinkSpace) -> CandidateBank:
         bank = CandidateBank(links)
         _BANKS[routing] = bank
     return bank
-
-
-# --------------------------------------------------------------- fair allocation
-def _progressive_fill(entry_links: np.ndarray, entry_flows: np.ndarray, num_flows: int,
-                      capacities: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
-    """Max-min fair progressive filling over a pooled (link, flow) incidence.
-
-    Replicates :func:`repro.sim.fairshare.max_min_fair_rates` for the unweighted,
-    no-empty-path case the simulator produces, operating on entry arrays instead of a
-    freshly built ``scipy.sparse`` matrix.  Per-link loads are exact integer counts in
-    float64 and every per-round scalar (increment, remaining capacity, saturation
-    test) evaluates the same expressions as the reference, so the resulting rates are
-    bit-identical regardless of flow ordering.
-    """
-    rates = np.zeros(num_flows)
-    if entry_links.size == 0:
-        return rates
-    # compress to the links that actually carry entries: idle links never have load,
-    # so they can neither bound the increment nor saturate — dropping them changes
-    # nothing (the per-link floats below are identical), it only shrinks every
-    # per-round array from |links| to |touched links|
-    touched, compressed = np.unique(entry_links, return_inverse=True)
-    remaining = capacities[touched].astype(np.float64)
-    saturation_threshold = epsilon * remaining + epsilon   # constant across rounds
-    unfixed = np.ones(num_flows, dtype=bool)
-    for _ in range(capacities.shape[0] + 1):
-        if not unfixed.any():
-            break
-        live = unfixed[entry_flows]
-        load = np.bincount(compressed[live], minlength=touched.size)
-        active_links = load > 0
-        if not active_links.any():
-            break
-        increment = float((remaining[active_links] / load[active_links]).min())
-        if increment <= 0:
-            increment = 0.0
-        rates[unfixed] += increment
-        remaining = remaining - load * increment
-        saturated = active_links & (remaining <= saturation_threshold)
-        if not saturated.any():
-            # no link saturates (should not happen with finite capacities); freeze all
-            break
-        newly_fixed = np.zeros(num_flows, dtype=bool)
-        newly_fixed[entry_flows[saturated[compressed] & live]] = True
-        unfixed &= ~newly_fixed
-    return rates
 
 
 def _segment_max(values: np.ndarray, pool: np.ndarray, starts: np.ndarray,
@@ -334,6 +300,10 @@ class FlowEngine:
         selector = self.selector
         bank = self.bank
         routing = self.routing
+        # persistent incidence + rate allocator (full: reference-equivalent refill
+        # over the persistent pool; incremental: dirty-component refiltering)
+        alloc = make_allocator(config.allocator, n, self.num_links, self.capacities,
+                               line_rate)
 
         def advance_to(new_time: float) -> None:
             """Transfer bytes on all active flows up to ``new_time`` (vectorized)."""
@@ -347,44 +317,24 @@ class FlowEngine:
             remaining[active] -= transferred
             bytes_since_switch[active] += transferred
 
-        def active_incidence() -> Tuple[np.ndarray, np.ndarray]:
-            """(link, flow) entry arrays of the active flows' current paths."""
-            # gather [inject, path links..., eject] per active flow from the pool,
-            # flow-major — the exact entry order of the reference's _full_links lists
-            middles = cand_len[active]
-            lens = middles + 2
-            total = int(lens.sum())
-            ends = np.cumsum(lens)
-            starts_out = ends - lens
-            links = np.empty(total, dtype=np.int64)
-            links[starts_out] = inj_link[active]
-            links[ends - 1] = ej_link[active]
-            mid_total = int(middles.sum())
-            if mid_total:
-                middle_mask = np.ones(total, dtype=bool)
-                middle_mask[starts_out] = False
-                middle_mask[ends - 1] = False
-                offsets = np.cumsum(middles) - middles
-                gather = np.repeat(cand_start[active] - offsets, middles) + np.arange(mid_total)
-                links[middle_mask] = bank.pool[gather]
-            flows = np.repeat(np.arange(active.size), lens)
-            return links, flows
-
         def recompute_rates() -> None:
-            """Max-min fair rates + link utilisation + congestion-episode edges."""
+            """Max-min fair rates + link utilisation + congestion-episode edges.
+
+            The allocator refills from the persistent incidence (no per-event
+            regather) and reports which slots it recomputed — all active ones for
+            ``allocator="full"``, only the dirty components' members for
+            ``allocator="incremental"``.  Congestion episodes are edge-triggered,
+            and an untouched component's rates are unchanged by construction, so
+            re-evaluating episodes exactly for the refilled slots is equivalent.
+            """
             if active.size == 0:
-                self._link_util[:] = 0.0
+                alloc.idle()
                 return
-            entry_links, entry_flows = active_incidence()
-            fair = _progressive_fill(entry_links, entry_flows, active.size, self.capacities)
-            np.minimum(fair, line_rate, out=fair)
-            rate[active] = fair
-            self._link_util = np.bincount(
-                entry_links, weights=fair[entry_flows] / self.capacities[entry_links],
-                minlength=self.num_links)
-            congested = fair < congestion_threshold
-            congestion_events[active] += congested & ~currently_congested[active]
-            currently_congested[active] = congested
+            refilled = alloc.recompute(active, rate)
+            if refilled.size:
+                congested = rate[refilled] < congestion_threshold
+                congestion_events[refilled] += congested & ~currently_congested[refilled]
+                currently_congested[refilled] = congested
 
         def maybe_switch_paths() -> None:
             """Flowlet/congestion path switching with one batched selector call."""
@@ -393,7 +343,7 @@ class FlowEngine:
             multi = active[num_candidates[active] > 1]
             if multi.size == 0:
                 return
-            current_congestion = _segment_max(self._link_util, bank.pool,
+            current_congestion = _segment_max(alloc.link_util, bank.pool,
                                               cand_start[multi], cand_len[multi])
             eligible = multi[(bytes_since_switch[multi] >= config.flowlet_bytes)
                              | (current_congestion >= 1.0)]
@@ -406,7 +356,7 @@ class FlowEngine:
             seg_starts = np.concatenate([e.seg_start for e in flow_entries])
             seg_lens = np.concatenate([e.seg_len for e in flow_entries])
             counts = num_candidates[eligible]
-            congestion_flat = _segment_max(self._link_util, bank.pool, seg_starts, seg_lens)
+            congestion_flat = _segment_max(alloc.link_util, bank.pool, seg_starts, seg_lens)
             width = int(counts.max())
             row_mask = np.arange(width) < counts[:, None]
             loads = np.full((eligible.size, width), np.inf)
@@ -422,6 +372,12 @@ class FlowEngine:
             flat = np.cumsum(counts) - counts + new_index
             cand_start[eligible] = seg_starts[flat]
             cand_len[eligible] = seg_lens[flat]
+            changed = eligible[switched]
+            if changed.size:
+                # amend the persistent incidence: switched segments are rewritten
+                # in place (capacity covers the longest candidate of the pair)
+                alloc.switch(changed, inj_link[changed], ej_link[changed], bank.pool,
+                             cand_start[changed], cand_len[changed])
 
         def make_record(a: int, completion_time: float) -> FlowRecord:
             """Assemble one flow's record (RTT + transport startup, as reference)."""
@@ -461,6 +417,14 @@ class FlowEngine:
                     num_candidates[a] = entry.num_candidates
                     cand_start[a] = entry.seg_start[index]
                     cand_len[a] = entry.seg_len[index]
+                    mid = int(entry.seg_len[index])
+                    full_links = np.empty(mid + 2, dtype=np.int64)
+                    full_links[0] = inj_link[a]
+                    if mid:
+                        s = int(entry.seg_start[index])
+                        full_links[1:-1] = bank.pool[s:s + mid]
+                    full_links[-1] = ej_link[a]
+                    alloc.add(a, full_links, entry.max_links)
                 active = np.concatenate([active, np.arange(first_new, arrival_idx)])
             else:
                 if completing is None:
@@ -468,6 +432,7 @@ class FlowEngine:
                 advance_to(completion_time)
                 now = completion_time
                 active = active[active != completing]
+                alloc.remove(completing)
                 records.append(make_record(completing, now))
             maybe_switch_paths()
             recompute_rates()
@@ -479,13 +444,15 @@ class FlowEngine:
             records.append(make_record(
                 a, now + remaining[a] / max(float(rate[a]), config.rate_epsilon)))
         records.sort(key=lambda r: r.flow_id)
+        self._link_util = alloc.link_util
         return SimulationResult(records=records, name=workload.name,
                                 meta={"topology": self.topology.name,
                                       "routing": getattr(self.routing, "name",
                                                          type(self.routing).__name__),
                                       "transport": self.transport.name,
                                       "events": events,
-                                      "engine": "engine"})
+                                      "engine": "engine",
+                                      "allocator": alloc.name})
 
 
 # ------------------------------------------------------------------ batched API

@@ -14,10 +14,11 @@ milliseconds (see the HPC guides: vectorise the hot loop).
 from __future__ import annotations
 
 from itertools import chain
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components
 
 
 def max_min_fair_rates(paths_links: Sequence[Sequence[int]], link_capacities: np.ndarray,
@@ -97,6 +98,83 @@ def max_min_fair_rates(paths_links: Sequence[Sequence[int]], link_capacities: np
         saturated_load = np.asarray(incidence[saturated].sum(axis=0)).ravel()
         unfixed = unfixed & ~(saturated_load > 0)
     return rates
+
+
+def incidence_components(entry_links: np.ndarray, entry_flows: np.ndarray
+                         ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Connected components of a (link, flow) incidence graph.
+
+    The incidence is given as parallel entry arrays (one entry per link a flow
+    crosses — the pooled form the vectorized engine maintains).  Two flows belong to
+    the same component iff they are connected through shared links; max-min fair
+    allocation decomposes exactly over these components (flows in different
+    components share no link), which is what lets the incremental allocator refill
+    only the components an event touched
+    (:class:`repro.sim.allocstate.IncrementalAllocator`).
+
+    Returns
+    -------
+    ``(num_components, touched_links, link_labels, flows, flow_labels)``:
+    ``touched_links``/``flows`` are the sorted distinct link/flow ids appearing in
+    the entries and ``link_labels``/``flow_labels`` their component labels in
+    ``0..num_components-1``.  Every component contains at least one link and one
+    flow by construction.
+    """
+    entry_links = np.asarray(entry_links, dtype=np.int64)
+    entry_flows = np.asarray(entry_flows, dtype=np.int64)
+    touched, link_idx = np.unique(entry_links, return_inverse=True)
+    flows, flow_idx = np.unique(entry_flows, return_inverse=True)
+    if touched.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return 0, touched, empty, flows, empty
+    n = touched.size + flows.size
+    bipartite = csr_matrix(
+        (np.ones(entry_links.size), (link_idx, touched.size + flow_idx)), shape=(n, n))
+    num_components, labels = connected_components(bipartite, directed=False)
+    return (num_components, touched, labels[:touched.size], flows,
+            labels[touched.size:])
+
+
+def bottleneck_certificate(entry_links: np.ndarray, entry_flows: np.ndarray,
+                           rates: np.ndarray, link_capacities: np.ndarray,
+                           rtol: float = 1e-9) -> np.ndarray:
+    """Flows violating the max-min optimality certificate (empty == certified).
+
+    A rate vector is max-min fair iff it is feasible (no link over capacity) and
+    every flow crosses a *bottleneck* link: a saturated link on which no other flow
+    receives a higher rate — raising the flow would then necessarily lower a flow
+    that is no faster.  The check is vectorized over the same entry arrays the
+    engine's allocators fill (``rates`` is indexed by the flow ids appearing in
+    ``entry_flows``) and is the acceptance gate of the incremental allocator's
+    property suite.
+
+    Returns the array of offending flow ids: flows on an over-capacity link or
+    without a bottleneck, within relative tolerance ``rtol``.
+    """
+    entry_links = np.asarray(entry_links, dtype=np.int64)
+    entry_flows = np.asarray(entry_flows, dtype=np.int64)
+    capacities = np.asarray(link_capacities, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    if entry_links.size == 0:
+        return np.empty(0, dtype=np.int64)
+    entry_rates = rates[entry_flows]
+    loads = np.bincount(entry_links, weights=entry_rates,
+                        minlength=capacities.shape[0])
+    link_max_rate = np.zeros(capacities.shape[0])
+    np.maximum.at(link_max_rate, entry_links, entry_rates)
+    slack = capacities * rtol + rtol
+    overloaded = loads > capacities + slack
+    saturated = loads >= capacities - slack
+    # per entry: does this entry sit on a bottleneck for its flow?
+    entry_ok = saturated[entry_links] & (entry_rates >= link_max_rate[entry_links]
+                                         - slack[entry_links])
+    flows = np.unique(entry_flows)
+    has_bottleneck = np.zeros(int(flows.max()) + 1, dtype=bool)
+    np.logical_or.at(has_bottleneck, entry_flows, entry_ok)
+    on_overloaded = np.zeros(int(flows.max()) + 1, dtype=bool)
+    np.logical_or.at(on_overloaded, entry_flows, overloaded[entry_links])
+    bad = ~has_bottleneck[flows] | on_overloaded[flows]
+    return flows[bad]
 
 
 def link_utilisation(paths_links: Sequence[Sequence[int]], rates: np.ndarray,

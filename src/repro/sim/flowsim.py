@@ -25,7 +25,12 @@ Two implementations provide these semantics:
 
 :func:`simulate_workload` dispatches between them via its ``engine`` parameter
 (``"engine"`` by default, ``"reference"`` as the escape hatch); batched sweeps should
-use :func:`repro.sim.engine.simulate_many`.
+use :func:`repro.sim.engine.simulate_many`.  Orthogonally,
+``FlowSimConfig(allocator=...)`` selects the engine's *rate allocator*: ``"full"``
+(default, bit-identical to the reference) refills every active flow each event over
+the persistent incidence, ``"incremental"`` refills only the incidence components
+the event touched (:mod:`repro.sim.allocstate`; engine-only — the reference rejects
+it).
 """
 
 from __future__ import annotations
@@ -37,11 +42,12 @@ from repro.core.transport import TransportModel
 from repro.sim.engine import ENGINES, FlowEngine, SimCell, simulate_many
 from repro.sim.metrics import SimulationResult
 from repro.sim.reference import FlowLevelSimulator
-from repro.sim.simconfig import FlowSimConfig
+from repro.sim.simconfig import ALLOCATORS, FlowSimConfig
 from repro.topologies.base import Topology
 from repro.traffic.flows import Workload
 
 __all__ = [
+    "ALLOCATORS",
     "ENGINES",
     "FlowEngine",
     "FlowLevelSimulator",
@@ -64,6 +70,9 @@ def simulate_workload(topology: Topology, routing, workload: Workload,
     ``engine`` selects the implementation: ``"engine"`` (default) runs the vectorized
     :class:`~repro.sim.engine.FlowEngine`, ``"reference"`` the scalar
     :class:`~repro.sim.reference.FlowLevelSimulator`.  Both produce identical records.
+    ``config.allocator`` selects the engine's rate allocator (``"full"`` stays
+    record-for-record identical to the reference; ``"incremental"`` is the
+    dirty-component refiltering opt-in, rejected by ``engine="reference"``).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")

@@ -63,6 +63,11 @@ class FlowLevelSimulator:
         self.selector = selector if selector is not None else FlowletSelector(seed=seed)
         self.transport = transport or ndp_transport()
         self.config = config or FlowSimConfig()
+        if self.config.allocator != "full":
+            raise ValueError(
+                "the scalar reference simulator only implements the 'full' "
+                f"allocator (got {self.config.allocator!r}); incremental "
+                "refiltering is an engine feature (repro.sim.allocstate)")
         self.rng = np.random.default_rng(seed)
 
         # Link index space: directed router links, then per-endpoint injection and

@@ -11,6 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Rate-allocation strategies of the vectorized engine (see
+#: :mod:`repro.sim.allocstate`): ``"full"`` refills every active flow each event
+#: (bit-identical to the scalar reference), ``"incremental"`` refills only the
+#: incidence components the event touched (max-min exact, float accumulation order
+#: differs — opt-in).  The scalar reference simulator implements only ``"full"``.
+ALLOCATORS = ("full", "incremental")
+
 
 @dataclass(frozen=True)
 class FlowSimConfig:
@@ -23,9 +30,13 @@ class FlowSimConfig:
     congestion_rate_fraction: float = 0.5  # "congested" = rate below this fraction of line rate
     rate_epsilon: float = 1.0            # bytes/s resolution for completion times
     max_events: int = 5_000_000
+    allocator: str = "full"              # engine rate allocator ("full" | "incremental")
 
     def __post_init__(self) -> None:
         if self.link_rate_bps <= 0:
             raise ValueError("link_rate_bps must be positive")
         if self.flowlet_bytes <= 0:
             raise ValueError("flowlet_bytes must be positive")
+        if self.allocator not in ALLOCATORS:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; available: {ALLOCATORS}")

@@ -183,7 +183,8 @@ def adversarial_offdiagonal(num_endpoints: int, concentration: int,
 
 
 def incast_pattern(num_endpoints: int, num_hotspots: int = 1, fanin: int = 16,
-                   rng: Optional[np.random.Generator] = None) -> TrafficPattern:
+                   rng: Optional[np.random.Generator] = None,
+                   disjoint_senders: bool = False) -> TrafficPattern:
     """Incast/hotspot: ``fanin`` distinct sources converge on each hot destination.
 
     Models the many-to-one aggregation step of partition/aggregate and parameter-
@@ -191,6 +192,14 @@ def incast_pattern(num_endpoints: int, num_hotspots: int = 1, fanin: int = 16,
     path diversity moves contention to the NIC and stresses tail FCT.  Hotspots and
     their senders are drawn without replacement from ``rng``; hotspots never send
     to themselves.
+
+    With ``disjoint_senders=True`` the sender sets of different hotspots are
+    additionally disjoint (one global draw without replacement), modelling
+    multi-tenant aggregation where jobs do not share machines.  Disjoint senders
+    keep the hotspot groups' injection links private, which is what makes the
+    link–flow incidence decompose into per-group components — the workload shape
+    the incremental allocator benchmark
+    (``benchmarks/test_bench_flowsim.py``) exercises.
     """
     _check_n(num_endpoints)
     if num_hotspots < 1:
@@ -200,16 +209,29 @@ def incast_pattern(num_endpoints: int, num_hotspots: int = 1, fanin: int = 16,
     if num_hotspots > num_endpoints:
         raise ValueError("more hotspots than endpoints")
     rng = rng or np.random.default_rng(0)
-    hotspots = rng.choice(num_endpoints, size=num_hotspots, replace=False)
     pairs: List[Tuple[int, int]] = []
-    for hot in hotspots:
-        hot = int(hot)
-        others = np.delete(np.arange(num_endpoints), hot)
-        senders = rng.choice(others, size=min(fanin, others.size), replace=False)
-        pairs.extend((int(s), hot) for s in senders)
+    if disjoint_senders:
+        need = num_hotspots + num_hotspots * fanin
+        if need > num_endpoints:
+            raise ValueError(
+                f"disjoint senders need {need} distinct endpoints, "
+                f"have {num_endpoints}")
+        draw = rng.permutation(num_endpoints)[:need]
+        hotspots = draw[:num_hotspots]
+        senders = draw[num_hotspots:].reshape(num_hotspots, fanin)
+        for hot, group in zip(hotspots, senders):
+            pairs.extend((int(s), int(hot)) for s in group)
+    else:
+        hotspots = rng.choice(num_endpoints, size=num_hotspots, replace=False)
+        for hot in hotspots:
+            hot = int(hot)
+            others = np.delete(np.arange(num_endpoints), hot)
+            senders = rng.choice(others, size=min(fanin, others.size), replace=False)
+            pairs.extend((int(s), hot) for s in senders)
     return TrafficPattern("incast", pairs,
                           meta={"hotspots": tuple(int(h) for h in hotspots),
-                                "fanin": int(fanin)})
+                                "fanin": int(fanin),
+                                "disjoint_senders": bool(disjoint_senders)})
 
 
 def broadcast_shuffle_pattern(num_endpoints: int, group_size: int = 4) -> TrafficPattern:

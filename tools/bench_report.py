@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Consolidate the flow-simulation benchmarks into the committed ``BENCH_flowsim.json``.
+
+Runs ``benchmarks/test_bench_flowsim.py`` under pytest-benchmark once per requested
+scale, parses the machine-readable output, and folds the numbers that track the
+simulator's performance trajectory across PRs into one committed JSON file:
+
+* ``fig02_permutation`` — scalar reference vs vectorized engine event rates on the
+  fig02-style randomly mapped permutation workload;
+* ``incast_staggered`` — ``allocator="full"`` vs ``allocator="incremental"`` event
+  rates on the staggered multi-tenant incast workload (the dirty-component
+  refiltering benchmark; see ``repro.sim.allocstate``).
+
+Existing scales in the output file are preserved, so partial regenerations (e.g.
+``--scales small`` only) never drop history.  Regenerate deliberately — like the
+golden rows — and commit the diff together with the change that explains it:
+
+Run:  PYTHONPATH=src python tools/bench_report.py --scales small medium
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO / "BENCH_flowsim.json"
+BENCH_FILE = "benchmarks/test_bench_flowsim.py"
+
+#: benchmark test name -> (report section, role key)
+BENCHMARKS = {
+    "test_bench_flowsim_reference_scalar": ("fig02_permutation", "reference"),
+    "test_bench_flowsim_vectorized_engine": ("fig02_permutation", "engine"),
+    "test_bench_alloc_full": ("incast_staggered", "full"),
+    "test_bench_alloc_incremental": ("incast_staggered", "incremental"),
+}
+
+#: section -> (baseline role, fast role) for the derived speedup.
+SPEEDUPS = {
+    "fig02_permutation": ("reference", "engine"),
+    "incast_staggered": ("full", "incremental"),
+}
+
+
+def run_benchmarks(scale: str) -> dict:
+    """Run the flowsim benchmark module at ``scale``; return pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["FATPATHS_BENCH_SCALE"] = scale
+        env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
+        command = [sys.executable, "-m", "pytest", BENCH_FILE, "--benchmark-only",
+                   "-q", f"--benchmark-json={out}"]
+        result = subprocess.run(command, cwd=REPO, env=env)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed at scale {scale!r}")
+        return json.loads(out.read_text())
+
+
+def consolidate(scale: str, bench_json: dict) -> dict:
+    """One scale's report entry from a pytest-benchmark JSON document."""
+    sections: dict = {}
+    for record in bench_json["benchmarks"]:
+        mapped = BENCHMARKS.get(record["name"])
+        if mapped is None:
+            continue
+        section, role = mapped
+        seconds = float(record["stats"]["mean"])
+        entry = sections.setdefault(section, {})
+        entry[f"{role}_seconds"] = round(seconds, 4)
+        events = record.get("extra_info", {}).get("events")
+        if events is not None:
+            entry.setdefault("events", int(events))
+            entry[f"{role}_events_per_second"] = round(int(events) / seconds, 1)
+    for section, (baseline, fast) in SPEEDUPS.items():
+        entry = sections.get(section, {})
+        base, quick = entry.get(f"{baseline}_seconds"), entry.get(f"{fast}_seconds")
+        if base and quick:
+            entry[f"{fast}_speedup"] = round(base / quick, 2)
+    return sections
+
+
+def main(argv=None) -> int:
+    """Regenerate the committed benchmark-trajectory file."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", nargs="+", default=["small"],
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    report = {"benchmark": "repro.sim flow simulator",
+              "source": BENCH_FILE, "scales": {}}
+    if args.out.exists():
+        report.update(json.loads(args.out.read_text()))
+    for scale in args.scales:
+        print(f"== running {BENCH_FILE} at scale {scale}")
+        report["scales"][scale] = consolidate(scale, run_benchmarks(scale))
+    report["updated"] = datetime.date.today().isoformat()
+    args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
