@@ -1,0 +1,14 @@
+"""Benchmark regenerating the link-failure/recovery registry scenario.
+
+Run ``pytest benchmarks/test_bench_failures.py --benchmark-only -s`` to execute and
+print the regenerated rows; set ``FATPATHS_BENCH_SCALE=small|medium`` for larger
+instances.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_bench_failures(benchmark, scale):
+    result = run_experiment_once(benchmark, "failures", scale)
+    print()
+    print(result.report())

@@ -58,7 +58,9 @@ import numpy as np
 from repro.core.loadbalance import FlowletSelector, PathSelector
 from repro.core.transport import TransportModel, ndp_transport
 from repro.kernels.cache import kernels_for
+from repro.kernels.dirtyregion import faulted_kernels
 from repro.sim.allocstate import _progressive_fill, make_allocator  # noqa: F401  (re-export)
+from repro.sim.faults import detour_router_path
 from repro.sim.metrics import FlowRecord, SimulationResult
 from repro.sim.reference import FlowLevelSimulator
 from repro.sim.simconfig import FlowSimConfig
@@ -222,6 +224,122 @@ def _segment_max(values: np.ndarray, pool: np.ndarray, starts: np.ndarray,
     return out
 
 
+# ------------------------------------------------------------------ fault state
+class _SurvivorView:
+    """Surviving-candidate view of one router pair under the current failed set."""
+
+    __slots__ = ("survivors", "count", "sstart", "slen", "lengths", "lengths_float")
+
+    def __init__(self, entry: CandidateEntry, survivors: np.ndarray) -> None:
+        """Precompute the survivor-indexed segment arrays of ``entry``."""
+        self.survivors = survivors            # ascending candidate indices
+        self.count = int(survivors.size)
+        self.sstart = entry.seg_start[survivors]
+        self.slen = entry.seg_len[survivors]
+        self.lengths = [entry.lengths[int(i)] for i in survivors]
+        self.lengths_float = entry.lengths_float[survivors]
+
+
+class _FaultRuntime:
+    """Per-run fault state of the engine: failed set, survivor views, detours.
+
+    Mirrors the reference spec (:mod:`repro.sim.faults`) with dirty-region
+    bookkeeping: survivor views are cached per router pair and, on a fault epoch,
+    only the views whose candidate links touch a *changed* edge are dropped
+    (``invalidated``); untouched pairs keep their views across epochs (``reuses``
+    vs ``refilters``).  Detour distances come from the dirty-region derived
+    kernels (:func:`repro.kernels.dirtyregion.faulted_kernels`) — BFS distances
+    are unique, so the backwalk builds exactly the reference's scalar-BFS detour.
+    """
+
+    def __init__(self, topology: Topology, links: LinkSpace, bank: CandidateBank) -> None:
+        """Empty fault state over one topology / link space / candidate bank."""
+        self.topology = topology
+        self.adjacency = topology.adjacency()
+        self.links = links
+        self.bank = bank
+        self.failed_edges: set = set()        # undirected (u < v) failed edges
+        self.failed_links: set = set()        # both directed link indices per edge
+        self.failed_mask = np.zeros(links.num_links, dtype=bool)
+        self.views: Dict[Tuple[int, int], _SurvivorView] = {}
+        self.link_pairs: Dict[int, List[Tuple[int, int]]] = {}
+        self.registered: set = set()
+        self.detour_rows: Dict[int, np.ndarray] = {}
+        self.refilters = 0
+        self.reuses = 0
+        self.invalidated = 0
+
+    def apply(self, deltas: Sequence[Tuple[str, Tuple[int, int]]]) -> bool:
+        """Apply one epoch's fail/restore deltas; True iff the failed set changed."""
+        changed: set = set()
+        for action, edge in deltas:
+            if action == "fail":
+                if edge not in self.failed_edges:
+                    self.failed_edges.add(edge)
+                    changed.add(edge)
+            elif edge in self.failed_edges:
+                self.failed_edges.discard(edge)
+                changed.add(edge)
+        if not changed:
+            return False
+        self.detour_rows.clear()
+        edge_index = self.links.edge_index
+        self.failed_links.clear()
+        self.failed_mask[:] = False
+        for u, v in self.failed_edges:
+            a, b = edge_index[(u, v)], edge_index[(v, u)]
+            self.failed_links.add(a)
+            self.failed_links.add(b)
+            self.failed_mask[a] = self.failed_mask[b] = True
+        # dirty-region invalidation: drop only the views a changed edge touches
+        dirty = set()
+        for u, v in changed:
+            for link in (edge_index[(u, v)], edge_index[(v, u)]):
+                dirty.update(self.link_pairs.get(link, ()))
+        for key in dirty:
+            if self.views.pop(key, None) is not None:
+                self.invalidated += 1
+        return True
+
+    def _register(self, key: Tuple[int, int], entry: CandidateEntry) -> None:
+        """Map every candidate link of ``key`` to the pair (once per pair)."""
+        if key in self.registered:
+            return
+        self.registered.add(key)
+        pool = self.bank.pool
+        for c in range(entry.num_candidates):
+            s, length = int(entry.seg_start[c]), int(entry.seg_len[c])
+            for link in pool[s:s + length]:
+                self.link_pairs.setdefault(int(link), []).append(key)
+
+    def view(self, key: Tuple[int, int], entry: CandidateEntry) -> _SurvivorView:
+        """The pair's survivor view under the current failed set (cached)."""
+        cached = self.views.get(key)
+        if cached is not None:
+            self.reuses += 1
+            return cached
+        self._register(key, entry)
+        pool = self.bank.pool
+        mask = self.failed_mask
+        survivors = np.fromiter(
+            (c for c in range(entry.num_candidates)
+             if not mask[pool[int(entry.seg_start[c]):
+                              int(entry.seg_start[c]) + int(entry.seg_len[c])]].any()),
+            dtype=np.int64)
+        made = _SurvivorView(entry, survivors)
+        self.refilters += 1
+        self.views[key] = made
+        return made
+
+    def detour(self, rs: int, rt: int) -> Optional[List[int]]:
+        """The deterministic detour router path rs -> rt on the surviving graph."""
+        row = self.detour_rows.get(rs)
+        if row is None:
+            row = faulted_kernels(self.topology, self.failed_edges).distances_from(rs)
+            self.detour_rows[rs] = row
+        return detour_router_path(self.adjacency, self.failed_edges, rs, rt, row)
+
+
 # ----------------------------------------------------------------------- engine
 class FlowEngine:
     """Vectorized flow-level simulation of one workload (reference-equivalent).
@@ -305,6 +423,23 @@ class FlowEngine:
         alloc = make_allocator(config.allocator, n, self.num_links, self.capacities,
                                line_rate)
 
+        # ---- fault state (mirrors the reference spec; see repro.sim.faults)
+        faults_on = config.faults is not None
+        fault_epochs = config.faults.resolve(self.topology) if faults_on else []
+        fault_idx = 0
+        fault_count = 0
+        reroutes = 0
+        stall_count = 0
+        order_dirty = False
+        if faults_on:
+            stalled = np.zeros(n, dtype=bool)
+            on_detour = np.zeros(n, dtype=bool)
+            record_hops = np.full(n, -1, dtype=np.int64)   # detour hops override
+            faultrt = _FaultRuntime(self.topology, self.links, bank)
+        else:
+            stalled = on_detour = record_hops = None
+            faultrt = None
+
         def advance_to(new_time: float) -> None:
             """Transfer bytes on all active flows up to ``new_time`` (vectorized)."""
             # byte accounting: same elementwise expressions as the reference loop
@@ -327,10 +462,11 @@ class FlowEngine:
             and an untouched component's rates are unchanged by construction, so
             re-evaluating episodes exactly for the refilled slots is equivalent.
             """
-            if active.size == 0:
+            alive = active if not faults_on else active[~stalled[active]]
+            if alive.size == 0:
                 alloc.idle()
                 return
-            refilled = alloc.recompute(active, rate)
+            refilled = alloc.recompute(alive, rate)
             if refilled.size:
                 congested = rate[refilled] < congestion_threshold
                 congestion_events[refilled] += congested & ~currently_congested[refilled]
@@ -379,10 +515,176 @@ class FlowEngine:
                 alloc.switch(changed, inj_link[changed], ej_link[changed], bank.pool,
                              cand_start[changed], cand_len[changed])
 
+        def maybe_switch_paths_faulted() -> None:
+            """Faulted-mode switch evaluation: batch over the survivor views.
+
+            Mirrors the reference's survivor-aware loop: stalled and detour flows
+            never switch, a pair with at most one surviving candidate is skipped,
+            and the batched selector call sees survivor-*position* indices, loads
+            and lengths — consuming the RNG exactly as per-flow calls would.
+            """
+            if active.size == 0:
+                return
+            cand = active[~stalled[active] & ~on_detour[active]
+                          & (num_candidates[active] > 1)]
+            if cand.size == 0:
+                return
+            views = [faultrt.view((int(src_router[a]), int(dst_router[a])),
+                                  entries[int(a)]) for a in cand]
+            keep = np.fromiter((v.count > 1 for v in views), dtype=bool,
+                               count=cand.size)
+            cand = cand[keep]
+            if cand.size == 0:
+                return
+            views = [v for v, k in zip(views, keep) if k]
+            current_congestion = _segment_max(alloc.link_util, bank.pool,
+                                              cand_start[cand], cand_len[cand])
+            elig = (bytes_since_switch[cand] >= config.flowlet_bytes) \
+                | (current_congestion >= 1.0)
+            eligible = cand[elig]
+            if eligible.size == 0:
+                return
+            views = [v for v, k in zip(views, elig) if k]
+            seg_starts = np.concatenate([v.sstart for v in views])
+            seg_lens = np.concatenate([v.slen for v in views])
+            counts = np.fromiter((v.count for v in views), dtype=np.int64,
+                                 count=eligible.size)
+            congestion_flat = _segment_max(alloc.link_util, bank.pool, seg_starts,
+                                           seg_lens)
+            width = int(counts.max())
+            row_mask = np.arange(width) < counts[:, None]
+            loads = np.full((eligible.size, width), np.inf)
+            loads[row_mask] = congestion_flat
+            lengths = np.full((eligible.size, width), np.inf)
+            lengths[row_mask] = np.concatenate([v.lengths_float for v in views])
+            currents = np.fromiter(
+                (np.searchsorted(v.survivors, path_index[a])
+                 for v, a in zip(views, eligible)), dtype=np.int64,
+                count=eligible.size)
+            new_pos = selector.next_path_batch(fid[eligible], currents, counts,
+                                               loads, lengths)
+            bytes_since_switch[eligible] = 0.0
+            new_index = np.fromiter(
+                (v.survivors[p] for v, p in zip(views, new_pos)), dtype=np.int64,
+                count=eligible.size)
+            switched = new_index != path_index[eligible]
+            path_index[eligible] = new_index
+            num_switches[eligible[switched]] += 1
+            flat = np.cumsum(counts) - counts + new_pos
+            cand_start[eligible] = seg_starts[flat]
+            cand_len[eligible] = seg_lens[flat]
+            changed = eligible[switched]
+            if changed.size:
+                alloc.switch(changed, inj_link[changed], ej_link[changed], bank.pool,
+                             cand_start[changed], cand_len[changed])
+
+        def alloc_add(a: int, seg_s: int, seg_l: int, capacity: int) -> None:
+            """(Re-)register slot ``a``'s full link segment with the allocator."""
+            full = np.empty(seg_l + 2, dtype=np.int64)
+            full[0] = inj_link[a]
+            if seg_l:
+                full[1:-1] = bank.pool[seg_s:seg_s + seg_l]
+            full[-1] = ej_link[a]
+            alloc.add(a, full, capacity)
+
+        def place_flow(a: int) -> None:
+            """Re-place one displaced flow (reference ``place``): survivors, else
+            detour, else stall — with O(delta) allocation amendments."""
+            nonlocal reroutes, stall_count, order_dirty
+            rs, rt = int(src_router[a]), int(dst_router[a])
+            entry = entries[a]
+            old_len = int(cand_len[a])
+            old_start = int(cand_start[a])
+            # copy before any detour append: bank.pool may reallocate under us
+            old_links = bank.pool[old_start:old_start + old_len].copy()
+            was_stalled = bool(stalled[a])
+            view = faultrt.view((rs, rt), entry)
+            if view.count:
+                pos = int(selector.initial_path(int(fid[a]), view.count,
+                                                path_lengths=view.lengths))
+                idx = int(view.survivors[pos])
+                new_start, new_len = int(entry.seg_start[idx]), int(entry.seg_len[idx])
+                path_index[a] = idx
+                on_detour[a] = False
+                record_hops[a] = -1
+            else:
+                detour = faultrt.detour(rs, rt)
+                if detour is None:
+                    # Disconnected: stall in place, drop out of the allocation.
+                    if not was_stalled:
+                        stalled[a] = True
+                        rate[a] = 0.0
+                        stall_count += 1
+                        alloc.remove(a)
+                    return
+                hops = max(1, len(detour) - 1)
+                # the selector is still consulted (one candidate): RNG alignment
+                selector.initial_path(int(fid[a]), 1, path_lengths=[hops])
+                new_start, new_len = bank._append(self.links.links_of_path(detour))
+                path_index[a] = 0
+                on_detour[a] = True
+                record_hops[a] = hops
+            stalled[a] = False
+            cand_start[a], cand_len[a] = new_start, new_len
+            new_links = bank.pool[new_start:new_start + new_len]
+            changed_path = new_len != old_len or bool((new_links != old_links).any())
+            if was_stalled:
+                alloc_add(a, new_start, new_len, max(entry.max_links, new_len + 2))
+                order_dirty = True
+            elif changed_path:
+                if new_len + 2 <= int(alloc.state.seg_cap[a]):
+                    slot = np.array([a], dtype=np.int64)
+                    alloc.switch(slot, inj_link[slot], ej_link[slot], bank.pool,
+                                 cand_start[slot], cand_len[slot])
+                else:   # detour longer than the reserved segment: move to the end
+                    alloc.remove(a)
+                    alloc_add(a, new_start, new_len, max(entry.max_links, new_len + 2))
+                    order_dirty = True
+            if changed_path:
+                num_switches[a] += 1
+                bytes_since_switch[a] = 0.0
+                reroutes += 1
+
+        def apply_fault_epoch(deltas: Sequence[Tuple[str, Tuple[int, int]]]) -> None:
+            """Apply one epoch and displace affected flows in arrival order.
+
+            The displacement loop is scalar on purpose: it consumes the selector
+            RNG per displaced flow exactly as the reference's dict-order loop
+            does.  Re-adds break the pool's ascending arrival order (which the
+            full allocator's float accumulation follows), so the epoch ends with
+            a compaction back to ascending order whenever one happened.
+            """
+            nonlocal fault_count, order_dirty
+            fault_count += 1
+            faultrt.apply(deltas)
+            order_dirty = False
+            for a in active:
+                a = int(a)
+                if src_router[a] == dst_router[a]:
+                    continue      # synthetic empty-link candidate: immune
+                if stalled[a]:
+                    needs = True  # always retry: a restore may have reconnected
+                else:
+                    s, length = int(cand_start[a]), int(cand_len[a])
+                    dead = bool(faultrt.failed_mask[bank.pool[s:s + length]].any())
+                    if on_detour[a]:
+                        needs = dead or faultrt.view(
+                            (int(src_router[a]), int(dst_router[a])),
+                            entries[a]).count > 0
+                    else:
+                        needs = dead
+                if needs:
+                    place_flow(a)
+            if order_dirty:
+                alloc.state.compact(active[~stalled[active]])
+
         def make_record(a: int, completion_time: float) -> FlowRecord:
             """Assemble one flow's record (RTT + transport startup, as reference)."""
             entry = entries[a]
-            hops = entry.lengths[int(path_index[a])]
+            if faults_on and record_hops[a] >= 0:
+                hops = int(record_hops[a])
+            else:
+                hops = entry.lengths[int(path_index[a])]
             rtt = 2 * (hops * config.per_hop_latency + config.host_latency)
             startup = self.transport.startup_delay(float(size[a]), rtt, config.link_rate_bps)
             return FlowRecord(
@@ -402,7 +704,14 @@ class FlowEngine:
             else:
                 completion_time, completing = np.inf, None
             next_arrival = start[arrival_idx] if arrival_idx < n else np.inf
-            if next_arrival <= completion_time:
+            next_fault = fault_epochs[fault_idx][0] if fault_idx < len(fault_epochs) else np.inf
+            if next_fault <= next_arrival and next_fault <= completion_time:
+                # fault epochs win time ties over arrivals and completions
+                advance_to(float(next_fault))
+                now = float(next_fault)
+                apply_fault_epoch(fault_epochs[fault_idx][1])
+                fault_idx += 1
+            elif next_arrival <= completion_time:
                 advance_to(float(next_arrival))
                 now = float(next_arrival)
                 first_new = arrival_idx
@@ -411,10 +720,44 @@ class FlowEngine:
                     arrival_idx += 1
                     entry = bank.entry(routing, int(src_router[a]), int(dst_router[a]))
                     entries[a] = entry
-                    index = selector.initial_path(int(fid[a]), entry.num_candidates,
-                                                  path_lengths=entry.lengths)
-                    path_index[a] = index
                     num_candidates[a] = entry.num_candidates
+                    if faults_on and faultrt.failed_links \
+                            and src_router[a] != dst_router[a]:
+                        view = faultrt.view((int(src_router[a]), int(dst_router[a])),
+                                            entry)
+                        if view.count:
+                            pos = int(selector.initial_path(
+                                int(fid[a]), view.count, path_lengths=view.lengths))
+                            index = int(view.survivors[pos])
+                        else:
+                            detour = faultrt.detour(int(src_router[a]),
+                                                    int(dst_router[a]))
+                            if detour is not None:
+                                hops = max(1, len(detour) - 1)
+                                selector.initial_path(int(fid[a]), 1,
+                                                      path_lengths=[hops])
+                                seg_s, seg_l = bank._append(
+                                    self.links.links_of_path(detour))
+                                path_index[a] = 0
+                                on_detour[a] = True
+                                record_hops[a] = hops
+                                cand_start[a], cand_len[a] = seg_s, seg_l
+                                alloc_add(a, seg_s, seg_l,
+                                          max(entry.max_links, seg_l + 2))
+                                continue
+                            # stalled on arrival: no selector draw is consumed,
+                            # no allocation; the flow waits for a restore
+                            stall_count += 1
+                            stalled[a] = True
+                            path_index[a] = 0
+                            cand_start[a] = entry.seg_start[0]
+                            cand_len[a] = entry.seg_len[0]
+                            continue
+                    else:
+                        index = selector.initial_path(int(fid[a]),
+                                                      entry.num_candidates,
+                                                      path_lengths=entry.lengths)
+                    path_index[a] = index
                     cand_start[a] = entry.seg_start[index]
                     cand_len[a] = entry.seg_len[index]
                     mid = int(entry.seg_len[index])
@@ -432,9 +775,13 @@ class FlowEngine:
                 advance_to(completion_time)
                 now = completion_time
                 active = active[active != completing]
-                alloc.remove(completing)
+                if not (faults_on and stalled[completing]):
+                    alloc.remove(completing)
                 records.append(make_record(completing, now))
-            maybe_switch_paths()
+            if faults_on and faultrt.failed_links:
+                maybe_switch_paths_faulted()
+            else:
+                maybe_switch_paths()
             recompute_rates()
 
         # drain any flows left when max_events was hit (same rate floor as the
@@ -445,14 +792,20 @@ class FlowEngine:
                 a, now + remaining[a] / max(float(rate[a]), config.rate_epsilon)))
         records.sort(key=lambda r: r.flow_id)
         self._link_util = alloc.link_util
-        return SimulationResult(records=records, name=workload.name,
-                                meta={"topology": self.topology.name,
-                                      "routing": getattr(self.routing, "name",
-                                                         type(self.routing).__name__),
-                                      "transport": self.transport.name,
-                                      "events": events,
-                                      "engine": "engine",
-                                      "allocator": alloc.name})
+        meta = {"topology": self.topology.name,
+                "routing": getattr(self.routing, "name", type(self.routing).__name__),
+                "transport": self.transport.name,
+                "events": events,
+                "engine": "engine",
+                "allocator": alloc.name}
+        if faults_on:
+            meta["fault_events"] = fault_count
+            meta["reroutes"] = reroutes
+            meta["stalls"] = stall_count
+            meta["candidate_refilters"] = faultrt.refilters
+            meta["candidate_reuses"] = faultrt.reuses
+            meta["candidate_invalidated"] = faultrt.invalidated
+        return SimulationResult(records=records, name=workload.name, meta=meta)
 
 
 # ------------------------------------------------------------------ batched API

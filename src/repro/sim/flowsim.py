@@ -31,6 +31,12 @@ use :func:`repro.sim.engine.simulate_many`.  Orthogonally,
 the persistent incidence, ``"incremental"`` refills only the incidence components
 the event touched (:mod:`repro.sim.allocstate`; engine-only — the reference rejects
 it).
+
+Dynamic topologies: ``FlowSimConfig(faults=FaultSchedule(...))`` injects link/switch
+failure and recovery events mid-run (:mod:`repro.sim.faults`; walkthrough in
+``docs/resilience.md``) — displaced flows are re-placed through the path selector
+with exact RNG-stream replay, and both implementations stay record-for-record
+identical on faulted runs.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from typing import Optional, Sequence
 from repro.core.loadbalance import PathSelector
 from repro.core.transport import TransportModel
 from repro.sim.engine import ENGINES, FlowEngine, SimCell, simulate_many
+from repro.sim.faults import FaultEvent, FaultSchedule, sample_link_faults
 from repro.sim.metrics import SimulationResult
 from repro.sim.reference import FlowLevelSimulator
 from repro.sim.simconfig import ALLOCATORS, FlowSimConfig
@@ -49,10 +56,13 @@ from repro.traffic.flows import Workload
 __all__ = [
     "ALLOCATORS",
     "ENGINES",
+    "FaultEvent",
+    "FaultSchedule",
     "FlowEngine",
     "FlowLevelSimulator",
     "FlowSimConfig",
     "SimCell",
+    "sample_link_faults",
     "simulate_many",
     "simulate_workload",
 ]

@@ -14,7 +14,12 @@ Semantics worth knowing when reading either implementation:
 * path switches are evaluated after every event, *before* rates are recomputed, so
   switching decisions read the link utilisation of the previous allocation;
 * the next completion is the active flow minimising ``now + remaining / max(rate,
-  rate_epsilon)``, ties broken towards the earliest-arrived flow.
+  rate_epsilon)``, ties broken towards the earliest-arrived flow;
+* fault epochs (``config.faults``, see :mod:`repro.sim.faults`) win time ties over
+  arrivals and completions, count as events, and displace affected flows in
+  ascending arrival order — re-placement through ``selector.initial_path`` over the
+  surviving candidates, deterministic detours when none survive, stalls (rate zero,
+  excluded from allocation) when the routers are disconnected.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import numpy as np
 from repro.core.loadbalance import FlowletSelector, PathSelector
 from repro.core.transport import TransportModel, ndp_transport
 from repro.sim.fairshare import max_min_fair_rates
+from repro.sim.faults import bfs_distances_subgraph, detour_router_path
 from repro.sim.metrics import FlowRecord, SimulationResult
 from repro.sim.simconfig import FlowSimConfig
 from repro.topologies.base import Topology
@@ -49,6 +55,8 @@ class _ActiveFlow:
     currently_congested: bool = False
     rate: float = 0.0
     hops_travelled: float = 0.0
+    on_detour: bool = False      # single synthetic candidate off the surviving graph
+    stalled: bool = False        # routers disconnected: rate zero until a restore
 
 
 class FlowLevelSimulator:
@@ -134,6 +142,118 @@ class FlowLevelSimulator:
         events = 0
         line_rate = self.config.link_rate_bps / 8.0
 
+        # ------------------------------------------------------------- faults
+        fault_epochs = (self.config.faults.resolve(self.topology)
+                        if self.config.faults is not None else [])
+        faults_on = self.config.faults is not None
+        fault_idx = 0
+        fault_events = 0
+        reroutes = 0
+        stalls = 0
+        failed_edges: set = set()        # undirected (u < v) failed edges
+        failed_links: set = set()        # both directed link indices per failed edge
+        fault_epoch_counter = [0]        # bumped whenever failed_edges changes
+        survivor_cache: Dict[Tuple[int, int], Tuple[int, List[int]]] = {}
+        detour_rows: Dict[Tuple[int, int], List[int]] = {}
+        adjacency = self.topology.adjacency() if faults_on else None
+
+        def survivors_of(rs: int, rt: int) -> List[int]:
+            """Indices of the (rs, rt) candidates whose links all survive."""
+            key = (rs, rt)
+            cached = survivor_cache.get(key)
+            if cached is not None and cached[0] == fault_epoch_counter[0]:
+                return cached[1]
+            links_lists = self._candidates(rs, rt)[1]
+            surv = [i for i, ll in enumerate(links_lists)
+                    if not any(link in failed_links for link in ll)]
+            survivor_cache[key] = (fault_epoch_counter[0], surv)
+            return surv
+
+        def detour_for(rs: int, rt: int) -> Optional[List[int]]:
+            """Minimal-index shortest router path rs -> rt on the surviving graph."""
+            key = (fault_epoch_counter[0], rs)
+            row = detour_rows.get(key)
+            if row is None:
+                row = bfs_distances_subgraph(adjacency, failed_edges, rs)
+                detour_rows[key] = row
+            return detour_router_path(adjacency, failed_edges, rs, rt, row)
+
+        def place(state: _ActiveFlow) -> None:
+            """Re-place one displaced flow: survivors, else detour, else stall."""
+            nonlocal reroutes, stalls
+            rs, rt = state.source_router, state.target_router
+            old_links = state.candidate_links[state.path_index]
+            surv = survivors_of(rs, rt)
+            if surv:
+                paths, links, lengths = self._candidates(rs, rt)
+                pos = self.selector.initial_path(
+                    state.flow.flow_id, len(surv),
+                    path_lengths=[lengths[i] for i in surv])
+                state.candidate_paths = paths
+                state.candidate_links = links
+                state.path_lengths = lengths
+                state.path_index = surv[pos]
+                state.on_detour = False
+                state.stalled = False
+            else:
+                detour = detour_for(rs, rt)
+                if detour is None:
+                    # Disconnected: stall in place (candidate arrays untouched so a
+                    # later restore can revive onto the original candidate set).
+                    if not state.stalled:
+                        state.stalled = True
+                        state.rate = 0.0
+                        stalls += 1
+                    return
+                hops = max(1, len(detour) - 1)
+                # The selector is still consulted (one candidate) so the RNG stream
+                # stays aligned with every other placement.
+                self.selector.initial_path(state.flow.flow_id, 1, path_lengths=[hops])
+                state.candidate_paths = [detour]
+                state.candidate_links = [self._links_of_router_path(detour)]
+                state.path_lengths = [hops]
+                state.path_index = 0
+                state.on_detour = True
+                state.stalled = False
+            new_links = state.candidate_links[state.path_index]
+            if new_links != old_links:
+                state.num_switches += 1
+                state.bytes_since_switch = 0.0
+                reroutes += 1
+
+        def apply_fault_epoch(deltas: Sequence[Tuple[str, Tuple[int, int]]]) -> None:
+            """Apply one epoch's fail/restore deltas and displace affected flows."""
+            nonlocal fault_events
+            fault_events += 1
+            before = set(failed_edges)
+            for action, edge in deltas:
+                if action == "fail":
+                    failed_edges.add(edge)
+                else:
+                    failed_edges.discard(edge)
+            if failed_edges != before:
+                fault_epoch_counter[0] += 1
+                failed_links.clear()
+                for u, v in failed_edges:
+                    failed_links.add(self._edge_index[(u, v)])
+                    failed_links.add(self._edge_index[(v, u)])
+            # Displacement in ascending arrival order (dict insertion order).
+            for state in active.values():
+                if state.source_router == state.target_router:
+                    continue      # synthetic empty-link candidate: immune
+                if state.stalled:
+                    needs = True  # always retry: a restore may have reconnected
+                elif state.on_detour:
+                    dead = any(link in failed_links
+                               for link in state.candidate_links[0])
+                    needs = dead or bool(survivors_of(state.source_router,
+                                                      state.target_router))
+                else:
+                    needs = any(link in failed_links
+                                for link in state.candidate_links[state.path_index])
+                if needs:
+                    place(state)
+
         def advance_to(new_time: float) -> None:
             """Transfer bytes on every active flow up to ``new_time``."""
             dt = new_time - now
@@ -150,10 +270,10 @@ class FlowLevelSimulator:
 
         def recompute_rates() -> None:
             """Max-min fair rates, link utilisation and congestion episodes."""
-            if not active:
+            states = [s for s in active.values() if not s.stalled]
+            if not states:
                 self._link_util[:] = 0.0
                 return
-            states = list(active.values())
             paths_links = [self._full_links(s, s.path_index) for s in states]
             rates = max_min_fair_rates(paths_links, self.capacities)
             self._link_util[:] = 0.0
@@ -172,15 +292,29 @@ class FlowLevelSimulator:
         def maybe_switch_paths() -> None:
             """Per-flow flowlet/congestion path switching via the selector."""
             for state in active.values():
-                if len(state.candidate_paths) <= 1:
+                if state.stalled or len(state.candidate_paths) <= 1:
                     continue
+                surv: Optional[List[int]] = None
+                if faults_on and failed_links:
+                    surv = survivors_of(state.source_router, state.target_router)
+                    if len(surv) <= 1:
+                        continue
                 congested = self._path_congestion(state, state.path_index) >= 1.0
                 if state.bytes_since_switch < self.config.flowlet_bytes and not congested:
                     continue
-                new_index = self.selector.next_path(
-                    state.flow.flow_id, state.path_index, len(state.candidate_paths),
-                    congestion=lambda i, s=state: self._path_congestion(s, i),
-                    path_lengths=state.path_lengths)
+                if surv is None:
+                    new_index = self.selector.next_path(
+                        state.flow.flow_id, state.path_index, len(state.candidate_paths),
+                        congestion=lambda i, s=state: self._path_congestion(s, i),
+                        path_lengths=state.path_lengths)
+                else:
+                    pos = surv.index(state.path_index)
+                    new_pos = self.selector.next_path(
+                        state.flow.flow_id, pos, len(surv),
+                        congestion=lambda i, s=state, sv=surv:
+                            self._path_congestion(s, sv[i]),
+                        path_lengths=[state.path_lengths[i] for i in surv])
+                    new_index = surv[new_pos]
                 state.bytes_since_switch = 0.0
                 if new_index != state.path_index:
                     state.path_index = new_index
@@ -200,7 +334,14 @@ class FlowLevelSimulator:
             events += 1
             completion_time, completing = next_completion()
             next_arrival = arrivals[arrival_idx].start_time if arrival_idx < len(arrivals) else np.inf
-            if next_arrival <= completion_time:
+            next_fault = fault_epochs[fault_idx][0] if fault_idx < len(fault_epochs) else np.inf
+            if next_fault <= next_arrival and next_fault <= completion_time:
+                # Fault epochs win time ties over arrivals and completions.
+                advance_to(next_fault)
+                now = next_fault
+                apply_fault_epoch(fault_epochs[fault_idx][1])
+                fault_idx += 1
+            elif next_arrival <= completion_time:
                 # process all arrivals at this timestamp
                 advance_to(next_arrival)
                 now = next_arrival
@@ -213,12 +354,44 @@ class FlowLevelSimulator:
                         paths, links, lengths = [[rs]], [[]], [1]
                     else:
                         paths, links, lengths = self._candidates(rs, rt)
-                    index = self.selector.initial_path(flow.flow_id, len(paths),
-                                                       path_lengths=lengths)
-                    state = _ActiveFlow(flow=flow, source_router=rs, target_router=rt,
-                                        candidate_paths=paths, candidate_links=links,
-                                        path_lengths=lengths, path_index=index,
-                                        remaining=flow.size_bytes)
+                    if faults_on and failed_links and rs != rt:
+                        surv = survivors_of(rs, rt)
+                        if surv:
+                            pos = self.selector.initial_path(
+                                flow.flow_id, len(surv),
+                                path_lengths=[lengths[i] for i in surv])
+                            state = _ActiveFlow(
+                                flow=flow, source_router=rs, target_router=rt,
+                                candidate_paths=paths, candidate_links=links,
+                                path_lengths=lengths, path_index=surv[pos],
+                                remaining=flow.size_bytes)
+                        else:
+                            detour = detour_for(rs, rt)
+                            if detour is not None:
+                                hops = max(1, len(detour) - 1)
+                                self.selector.initial_path(flow.flow_id, 1,
+                                                           path_lengths=[hops])
+                                state = _ActiveFlow(
+                                    flow=flow, source_router=rs, target_router=rt,
+                                    candidate_paths=[detour],
+                                    candidate_links=[self._links_of_router_path(detour)],
+                                    path_lengths=[hops], path_index=0,
+                                    remaining=flow.size_bytes, on_detour=True)
+                            else:
+                                # Stalled on arrival: no selector draw is consumed.
+                                stalls += 1
+                                state = _ActiveFlow(
+                                    flow=flow, source_router=rs, target_router=rt,
+                                    candidate_paths=paths, candidate_links=links,
+                                    path_lengths=lengths, path_index=0,
+                                    remaining=flow.size_bytes, stalled=True)
+                    else:
+                        index = self.selector.initial_path(flow.flow_id, len(paths),
+                                                           path_lengths=lengths)
+                        state = _ActiveFlow(flow=flow, source_router=rs, target_router=rt,
+                                            candidate_paths=paths, candidate_links=links,
+                                            path_lengths=lengths, path_index=index,
+                                            remaining=flow.size_bytes)
                     active[flow.flow_id] = state
             else:
                 if completing is None:
@@ -236,13 +409,16 @@ class FlowLevelSimulator:
             records.append(self._record(state, now + state.remaining
                                         / max(state.rate, self.config.rate_epsilon)))
         records.sort(key=lambda r: r.flow_id)
-        return SimulationResult(records=records, name=workload.name,
-                                meta={"topology": self.topology.name,
-                                      "routing": getattr(self.routing, "name",
-                                                         type(self.routing).__name__),
-                                      "transport": self.transport.name,
-                                      "events": events,
-                                      "engine": "reference"})
+        meta = {"topology": self.topology.name,
+                "routing": getattr(self.routing, "name", type(self.routing).__name__),
+                "transport": self.transport.name,
+                "events": events,
+                "engine": "reference"}
+        if faults_on:
+            meta["fault_events"] = fault_events
+            meta["reroutes"] = reroutes
+            meta["stalls"] = stalls
+        return SimulationResult(records=records, name=workload.name, meta=meta)
 
     # ---------------------------------------------------------------- records
     def _record(self, state: _ActiveFlow, completion_time: float) -> FlowRecord:

@@ -10,6 +10,9 @@ vectorized kernels).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.faults import FaultSchedule
 
 #: Rate-allocation strategies of the vectorized engine (see
 #: :mod:`repro.sim.allocstate`): ``"full"`` refills every active flow each event
@@ -31,6 +34,9 @@ class FlowSimConfig:
     rate_epsilon: float = 1.0            # bytes/s resolution for completion times
     max_events: int = 5_000_000
     allocator: str = "full"              # engine rate allocator ("full" | "incremental")
+    #: Optional link/switch failure-and-recovery schedule (see
+    #: :mod:`repro.sim.faults`); ``None`` runs on a static topology.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.link_rate_bps <= 0:
@@ -40,3 +46,5 @@ class FlowSimConfig:
         if self.allocator not in ALLOCATORS:
             raise ValueError(
                 f"unknown allocator {self.allocator!r}; available: {ALLOCATORS}")
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise TypeError("faults must be a repro.sim.faults.FaultSchedule or None")

@@ -209,6 +209,25 @@ class TestRegistryScenarios:
             assert by_key[(topo, "fatpaths")]["fct_p99_ms"] <= \
                 by_key[(topo, "ecmp")]["fct_p99_ms"] * 1.05
 
+    def test_failures_reroutes_and_degradation(self):
+        result = result_of("failures")
+        assert {r["stack"] for r in result.rows} == {"fatpaths", "ndp", "ecmp"}
+        # the fault machinery is stack-independent, so every stack on a topology
+        # sees the same schedule (same sampled links) and the same flow count
+        by_topo = {}
+        for row in result.rows:
+            by_topo.setdefault(row["topology"], []).append(row)
+        for rows in by_topo.values():
+            assert len({r["failed_links"] for r in rows}) == len(
+                {r["fail_fraction"] for r in rows})
+            assert len({r["flows"] for r in rows}) == 1
+        for row in result.rows:
+            assert row["failed_links"] >= 1
+            assert row["reroutes"] >= 0 and row["stalls"] >= 0
+            assert row["fct_p99_ms"] >= row["fct_p50_ms"]
+        # the outage must actually displace someone somewhere in the sweep
+        assert sum(r["reroutes"] + r["stalls"] for r in result.rows) > 0
+
     def test_shuffle_fatpaths_competitive(self):
         result = result_of("shuffle")
         assert {r["stack"] for r in result.rows} == {"fatpaths", "ndp", "letflow"}

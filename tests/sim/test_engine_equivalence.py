@@ -11,6 +11,7 @@ from repro.core.loadbalance import EcmpSelector, FlowletSelector
 from repro.experiments.simcommon import STACKS, build_stack
 from repro.routing import EcmpRouting
 from repro.sim.engine import SimCell, simulate_many
+from repro.sim.faults import FaultSchedule, sample_link_faults
 from repro.sim.flowsim import FlowSimConfig, simulate_workload
 from repro.topologies import comparable_configurations, star
 from repro.topologies.configs import SizeClass
@@ -207,3 +208,95 @@ class TestSimulateMany:
         other = candidate_bank_for(SlottedRouting(), links)
         assert bank is not other
         assert bank.links is links
+
+
+class TestFaultedRuns:
+    """The equivalence grid extended to fault schedules: link outages, switch
+    outages (forcing stalls and revivals) and never-restored failures must keep
+    the engine record-for-record identical to the scalar reference, including
+    the fault meta counters."""
+
+    @staticmethod
+    def _fault_meta_equal(reference, engine):
+        for key in ("fault_events", "reroutes", "stalls"):
+            assert reference.meta[key] == engine.meta[key]
+
+    @pytest.mark.parametrize("stack_name", STACKS)
+    @pytest.mark.parametrize("topo_name", TOPOLOGY_NAMES)
+    def test_link_outage_with_restore(self, topologies, workloads, topo_name,
+                                      stack_name):
+        """A sampled fraction of links fails mid-transfer and is restored later."""
+        topo = topologies[topo_name]
+        schedule = sample_link_faults(topo, 0.1, 0.0004, 0.0012,
+                                      np.random.default_rng(11))
+        config = FlowSimConfig(faults=schedule)
+        reference, engine = run_both(topo, stack_name,
+                                     workloads[topo_name]["uniform"], config=config)
+        assert_equivalent(reference, engine)
+        self._fault_meta_equal(reference, engine)
+        # at least the fail epoch fires; the restore may land after the last
+        # completion, in which case neither implementation processes it
+        assert reference.meta["fault_events"] >= 1
+
+    @pytest.mark.parametrize("stack_name", ["fatpaths", "ndp", "ecmp", "letflow"])
+    def test_switch_outage_forces_stalls(self, topologies, stack_name):
+        """Killing a whole switch mid-run disconnects some pairs entirely: flows
+        stall (rate zero, out of the allocation) and revive on restore."""
+        topo = topologies["SF"]
+        rng = np.random.default_rng(4)
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints, rng).subsample(0.5, rng),
+            512 * 1024)
+        dur = 512 * 1024 / (10e9 / 8) * 4
+        config = FlowSimConfig(
+            faults=FaultSchedule.switch_outage([0], 0.3 * dur, 0.6 * dur))
+        reference, engine = run_both(topo, stack_name, workload, config=config)
+        assert_equivalent(reference, engine)
+        self._fault_meta_equal(reference, engine)
+        assert reference.meta["stalls"] > 0
+
+    def test_no_restore_drains_identically(self, topologies, workloads):
+        """Failures that never heal: displaced flows finish on detours (or stay
+        stalled until the max-events drain) the same way in both implementations."""
+        topo = topologies["HX3"]
+        schedule = FaultSchedule.switch_outage([1], 0.0003)
+        config = FlowSimConfig(faults=schedule)
+        reference, engine = run_both(topo, "fatpaths", workloads["HX3"]["uniform"],
+                                     config=config)
+        assert_equivalent(reference, engine)
+        self._fault_meta_equal(reference, engine)
+
+    def test_zero_impact_schedule_matches_unfaulted(self, topologies, workloads):
+        """A schedule whose outage window opens after the last completion leaves
+        every record identical to the never-faulted run (RNG-stream parity)."""
+        topo = topologies["SF"]
+        schedule = FaultSchedule.link_outage([(0, 1)], 10.0, 20.0)
+        plain_ref, plain_eng = run_both(topo, "fatpaths",
+                                        workloads["SF"]["uniform"])
+        fault_ref, fault_eng = run_both(topo, "fatpaths",
+                                        workloads["SF"]["uniform"],
+                                        config=FlowSimConfig(faults=schedule))
+        assert_equivalent(plain_ref, fault_eng)
+        assert_equivalent(fault_ref, plain_eng)
+        assert fault_ref.meta["reroutes"] == 0
+        assert fault_ref.meta["stalls"] == 0
+
+    def test_incremental_allocator_under_faults(self, topologies, workloads):
+        """The dirty-component allocator survives fault-driven removals/revivals
+        and still matches the scalar reference."""
+        topo = topologies["SF"]
+        schedule = sample_link_faults(topo, 0.1, 0.0004, 0.0012,
+                                      np.random.default_rng(11))
+        stack = build_stack(topo, "fatpaths", seed=0)
+        reference = simulate_workload(
+            topo, stack.routing, workloads["SF"]["uniform"],
+            selector=stack.selector, transport=stack.transport,
+            config=FlowSimConfig(faults=schedule), seed=0, engine="reference")
+        stack2 = build_stack(topo, "fatpaths", seed=0)
+        engine = simulate_workload(
+            topo, stack2.routing, workloads["SF"]["uniform"],
+            selector=stack2.selector, transport=stack2.transport,
+            config=FlowSimConfig(faults=schedule, allocator="incremental"),
+            seed=0, engine="engine")
+        assert_equivalent(reference, engine)
+        self._fault_meta_equal(reference, engine)

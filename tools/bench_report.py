@@ -9,7 +9,11 @@ simulator's performance trajectory across PRs into one committed JSON file:
   fig02-style randomly mapped permutation workload;
 * ``incast_staggered`` — ``allocator="full"`` vs ``allocator="incremental"`` event
   rates on the staggered multi-tenant incast workload (the dirty-component
-  refiltering benchmark; see ``repro.sim.allocstate``).
+  refiltering benchmark; see ``repro.sim.allocstate``);
+* ``fault_recovery`` — cold kernel rebuild vs dirty-region derivation
+  (``PathCache.mutated``) of a 5%-degraded topology's routing kernels, the cost a
+  fault epoch pays mid-run (see ``repro.kernels.dirtyregion`` and
+  ``docs/resilience.md``).
 
 Existing scales in the output file are preserved, so partial regenerations (e.g.
 ``--scales small`` only) never drop history.  Regenerate deliberately — like the
@@ -39,12 +43,15 @@ BENCHMARKS = {
     "test_bench_flowsim_vectorized_engine": ("fig02_permutation", "engine"),
     "test_bench_alloc_full": ("incast_staggered", "full"),
     "test_bench_alloc_incremental": ("incast_staggered", "incremental"),
+    "test_bench_recovery_cold_rebuild": ("fault_recovery", "rebuild"),
+    "test_bench_recovery_dirty_region": ("fault_recovery", "derived"),
 }
 
 #: section -> (baseline role, fast role) for the derived speedup.
 SPEEDUPS = {
     "fig02_permutation": ("reference", "engine"),
     "incast_staggered": ("full", "incremental"),
+    "fault_recovery": ("rebuild", "derived"),
 }
 
 

@@ -9,7 +9,10 @@ through :func:`repro.experiments.scenario.normalized_rows` — the same helper t
 test compares with, so the two sides can never drift.
 
 Only rerun this script when a row change is *intended* (new experiment, deliberate
-semantic change); commit the diff together with the change that explains it.
+semantic change); commit the diff together with the change that explains it.  The
+script prints a diff summary against the existing fixture — which scenarios were
+added, removed or changed, and their row counts — so an unintended drift is visible
+before it is committed (regen workflow: ``docs/experiments.md``).
 
 Run:  PYTHONPATH=src python tools/make_golden_rows.py
 """
@@ -27,17 +30,47 @@ GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "experiments" /
 SEED = 0
 
 
+def diff_summary(before: dict, after: dict) -> list:
+    """Human-readable per-scenario differences between two golden fixtures."""
+    lines = []
+    for name in sorted(set(before) | set(after)):
+        if name not in before:
+            lines.append(f"  + {name}: new scenario ({len(after[name])} rows)")
+        elif name not in after:
+            lines.append(f"  - {name}: removed ({len(before[name])} rows)")
+        elif before[name] != after[name]:
+            changed = sum(1 for old, new in zip(before[name], after[name])
+                          if old != new)
+            changed += abs(len(before[name]) - len(after[name]))
+            lines.append(f"  ~ {name}: {changed} of {len(after[name])} rows differ "
+                         f"(was {len(before[name])} rows)")
+    return lines
+
+
 def main() -> None:
-    """Run every experiment at tiny scale and write the normalized-row fixture."""
+    """Run every experiment at tiny scale and rewrite the normalized-row fixture,
+    printing a diff summary against the previous fixture instead of silently
+    replacing it."""
+    previous = {}
+    if GOLDEN_PATH.exists():
+        with GOLDEN_PATH.open() as fh:
+            previous = json.load(fh)
     golden = {}
     for name in sorted(registry()):
         result = run_experiment(name, scale="tiny", seed=SEED)
         golden[name] = normalized_rows(result.rows)
         print(f"{name:8s} {len(result.rows)} rows")
+    changes = diff_summary(previous, golden)
+    if not changes:
+        print("no changes against the existing fixture; nothing rewritten")
+        return
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     with GOLDEN_PATH.open("w") as fh:
         json.dump(golden, fh, indent=1, sort_keys=True)
         fh.write("\n")
+    print("changed scenarios:")
+    for line in changes:
+        print(line)
     print(f"wrote {GOLDEN_PATH}")
 
 
