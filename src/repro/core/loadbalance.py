@@ -135,6 +135,9 @@ class FlowletSelector(PathSelector):
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        # single-row fast-path memo: id(path_lengths row) -> (row object, lengths
+        # list, shortest-candidate indices); the strong reference pins the id
+        self._row_memo: dict = {}
 
     def _weights(self, num_paths: int, path_lengths: Optional[Sequence[int]]) -> np.ndarray:
         if path_lengths is None or self.length_bias <= 0:
@@ -192,6 +195,9 @@ class FlowletSelector(PathSelector):
         per-flow float reduction whose padded batch form could round differently, so
         it falls back to the base class's scalar loop.
         """
+        if len(currents) == 1:
+            return self._next_path_row(loads, path_lengths, num_paths, flow_ids,
+                                       currents)
         currents = np.asarray(currents, dtype=np.int64)
         if self.adaptive:
             acceptable = loads < self.congestion_threshold
@@ -219,6 +225,82 @@ class FlowletSelector(PathSelector):
         cdf /= cdf[:, -1][:, None]
         return (cdf <= uniforms[:, None]).sum(axis=1).astype(np.int64)
 
+    def _next_path_row(self, loads, path_lengths, num_paths, flow_ids, currents):
+        """Single-row fast path of :meth:`next_path_batch` (same draws, plain Python).
+
+        The packet engine re-picks paths one flow at a time, so this hot shape
+        skips the row-wise numpy machinery while consuming the identical RNG
+        stream: one bounded-integer draw (adaptive) or one uniform double plus the
+        sequential-cumsum CDF inversion (non-adaptive, unbiased).  Padded columns
+        (``+inf`` loads/lengths) are never acceptable and never minimal, exactly
+        as in the batched formulas.
+        """
+        if self.adaptive:
+            lrow = loads[0]
+            if not isinstance(lrow, list):
+                lrow = lrow.tolist()
+            threshold = self.congestion_threshold
+            acceptable = [load < threshold for load in lrow]
+            memo = self._row_memo
+            key = id(path_lengths)
+            got = memo.get(key)
+            if got is None or got[0] is not path_lengths:
+                lens = np.asarray(path_lengths)[0].tolist()
+                finite = [length for length in lens if length != float("inf")]
+                best = min(finite)
+                got = (path_lengths, lens,
+                       [i for i, length in enumerate(lens) if length == best], {})
+                memo[key] = got
+            if False not in acceptable:
+                # every path acceptable (the flowlet-boundary call): the pool is
+                # the precomputed shortest set
+                cands = got[2]
+            elif True in acceptable:
+                hot = acceptable.index(False)
+                if False not in acceptable[hot + 1:]:
+                    # exactly one congested path (the engine's one-hot NACK
+                    # signal): pool memoised per congested index
+                    pools = got[3]
+                    cands = pools.get(hot)
+                    if cands is None:
+                        lens = got[1]
+                        best = min(length for i, length in enumerate(lens)
+                                   if i != hot and length != float("inf"))
+                        cands = [i for i, length in enumerate(lens)
+                                 if i != hot and length == best]
+                        pools[hot] = cands
+                else:
+                    # prefer the shortest path among the uncongested candidates
+                    lens = got[1]
+                    best = min(length for length, ok in zip(lens, acceptable)
+                               if ok)
+                    cands = [i for i, (length, ok)
+                             in enumerate(zip(lens, acceptable))
+                             if ok and length == best]
+            else:
+                # everything congested: move to the least-loaded path
+                least = min(lrow)
+                cands = [i for i, load in enumerate(lrow) if load == least]
+            draw = int(self._rng.integers(0, len(cands)))
+            return np.array([cands[draw]], dtype=np.int64)
+        if self.length_bias > 0:
+            return PathSelector.next_path_batch(self, flow_ids, currents, num_paths,
+                                                loads, path_lengths)
+        n = int(num_paths[0])
+        uniform = float(self._rng.random(1)[0])
+        weight = 1.0 / n
+        acc = 0.0
+        partials = []
+        for _ in range(n):
+            acc += weight
+            partials.append(acc)
+        total = acc
+        index = 0
+        for partial in partials:
+            if partial / total <= uniform:
+                index += 1
+        return np.array([index], dtype=np.int64)
+
 
 @dataclass
 class PacketSpraySelector(PathSelector):
@@ -240,6 +322,11 @@ class PacketSpraySelector(PathSelector):
 
     def next_path_batch(self, flow_ids, currents, num_paths, loads, path_lengths):
         """Vectorized spraying: one bounded-integer draw per flow, in row order."""
+        if len(currents) == 1:
+            # single-row fast path (the packet engine's per-event shape): the
+            # scalar draw consumes the stream exactly like a 1-element bound array
+            return np.array([self._rng.integers(0, int(num_paths[0]))],
+                            dtype=np.int64)
         return self._rng.integers(0, np.asarray(num_paths, dtype=np.int64))
 
     def spray_weights(self, num_paths, path_lengths=None):

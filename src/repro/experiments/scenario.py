@@ -82,6 +82,7 @@ SCENARIO_MODULES: Dict[str, str] = {
     "fig19": "repro.experiments.fig19_edge_density",
     "fig20": "repro.experiments.fig20_flow_arrival",
     "failures": "repro.experiments.failures",
+    "fidelity": "repro.experiments.fidelity",
     "incast": "repro.experiments.incast_hotspot",
     "shuffle": "repro.experiments.broadcast_shuffle",
     "tab01": "repro.experiments.tab01_scheme_comparison",

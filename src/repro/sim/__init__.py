@@ -15,9 +15,11 @@
   incremental allocator (``FlowSimConfig(allocator="incremental")``).
 * :mod:`repro.sim.reference` — the original scalar event loop, preserved as the
   behavioural specification the engine is pinned against.
-* :mod:`repro.sim.packetsim` — a small-scale packet-level simulator with output queues,
+* :mod:`repro.sim.packetsim` — the packet-level simulation entry point: output queues,
   NDP-style payload trimming and receiver-driven pulls, exercising the purified
-  transport mechanics directly.
+  transport mechanics directly.  Dispatches between the vectorized
+  :mod:`repro.sim.packetengine` (default) and the scalar
+  :mod:`repro.sim.packetsim_reference` it is pinned against.
 * :mod:`repro.sim.queueing` — M/G/1 processor-sharing predictions used as the reference
   model in Figure 15.
 * :mod:`repro.sim.metrics` — flow-completion-time / throughput summaries.
@@ -27,7 +29,13 @@ from repro.sim.engine import FlowEngine, SimCell, simulate_many
 from repro.sim.fairshare import max_min_fair_rates
 from repro.sim.flowsim import ALLOCATORS, FlowSimConfig, FlowLevelSimulator, simulate_workload
 from repro.sim.metrics import FlowRecord, SimulationResult, summarize_flows
-from repro.sim.packetsim import PacketSimConfig, PacketLevelSimulator
+from repro.sim.packetsim import (
+    PACKET_ENGINES,
+    PacketEngine,
+    PacketLevelSimulator,
+    PacketSimConfig,
+    simulate_packets,
+)
 from repro.sim.queueing import mg1_ps_fct, predict_fct_distribution
 
 __all__ = [
@@ -42,8 +50,11 @@ __all__ = [
     "FlowRecord",
     "SimulationResult",
     "summarize_flows",
+    "PACKET_ENGINES",
+    "PacketEngine",
     "PacketSimConfig",
     "PacketLevelSimulator",
+    "simulate_packets",
     "mg1_ps_fct",
     "predict_fct_distribution",
 ]

@@ -1,10 +1,12 @@
-"""Shared configuration of the flow-level simulators.
+"""Shared configuration of the flow-level and packet-level simulators.
 
-Both the scalar reference simulator (:mod:`repro.sim.reference`) and the vectorized
-engine (:mod:`repro.sim.engine`) consume the same :class:`FlowSimConfig`; keeping it in
-its own module lets either implementation be imported without pulling in the other
-(mirroring how :mod:`repro.kernels` separates the scalar specifications from the
-vectorized kernels).
+Both the scalar reference simulators (:mod:`repro.sim.reference`,
+:mod:`repro.sim.packetsim_reference`) and the vectorized engines
+(:mod:`repro.sim.engine`, :mod:`repro.sim.packetengine`) consume the same frozen
+config dataclasses (:class:`FlowSimConfig`, :class:`PacketSimConfig`); keeping them
+in their own module lets either implementation be imported without pulling in the
+other (mirroring how :mod:`repro.kernels` separates the scalar specifications from
+the vectorized kernels).
 """
 
 from __future__ import annotations
@@ -48,3 +50,33 @@ class FlowSimConfig:
                 f"unknown allocator {self.allocator!r}; available: {ALLOCATORS}")
         if self.faults is not None and not isinstance(self.faults, FaultSchedule):
             raise TypeError("faults must be a repro.sim.faults.FaultSchedule or None")
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """Packet-simulator parameters (defaults per §VII-A6)."""
+
+    link_rate_bps: float = 10e9
+    packet_bytes: int = 9000                  # jumbo frames
+    header_bytes: int = 64
+    queue_packets: int = 8                    # shallow buffers
+    window_packets: int = 8                   # sender congestion window
+    per_hop_latency: float = 1e-6
+    host_latency: float = 1e-6
+    flowlet_packets: int = 8                  # packets per flowlet before re-picking a path
+    rto: float = 500e-6                       # retransmission timeout for non-NDP transports
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.packet_bytes <= self.header_bytes:
+            raise ValueError("packet_bytes must exceed header_bytes")
+        if self.queue_packets < 1 or self.window_packets < 1:
+            raise ValueError("queue and window must hold at least one packet")
+        if self.link_rate_bps <= 0:
+            raise ValueError("link_rate_bps must be positive")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.per_hop_latency <= 0 or self.host_latency <= 0:
+            raise ValueError("per_hop_latency and host_latency must be positive")
+        if self.flowlet_packets < 1:
+            raise ValueError("flowlet_packets must hold at least one packet")

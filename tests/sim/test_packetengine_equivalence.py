@@ -1,0 +1,268 @@
+"""Packet engine/reference equivalence: the vectorized packet engine must reproduce
+the scalar packet simulator *record for record* — every FlowRecord field, every meta
+counter and the full per-link serialisation schedule bit-identically — across every
+simcommon stack (both transports), multiple topologies, and the simulator's edge
+paths (same-router flows, single-path routings, sprayed flows, the max-events
+truncation that forces the strict fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import EcmpSelector, FlowletSelector
+from repro.experiments.simcommon import STACKS, build_stack
+from repro.routing import EcmpRouting
+from repro.sim.packetengine import PacketEngine
+from repro.sim.packetsim import PACKET_ENGINES, simulate_packets
+from repro.sim.packetsim_reference import PacketLevelSimulator, _Link
+from repro.sim.simconfig import PacketSimConfig
+from repro.topologies import comparable_configurations, star
+from repro.topologies.configs import SizeClass
+from repro.traffic.flows import Flow, Workload, poisson_workload, uniform_size_workload
+from repro.traffic.patterns import random_permutation
+
+
+TOPOLOGY_NAMES = ("SF", "FT3")
+
+
+def assert_equivalent(reference, engine):
+    """Bit-identical record-for-record comparison (no tolerances: the packet engine
+    replays the reference's float expressions exactly)."""
+    assert len(reference) == len(engine)
+    assert reference.meta == engine.meta
+    assert reference.records == engine.records
+
+
+def run_both(topology, stack_name, workload, config=None, seed=0):
+    """One workload under freshly built identical stacks on both implementations."""
+    results = []
+    for engine in ("reference", "engine"):
+        stack = build_stack(topology, stack_name, seed=seed)
+        results.append(simulate_packets(
+            topology, stack.routing, workload, selector=stack.selector,
+            transport=stack.transport, config=config, seed=seed, engine=engine))
+    return results
+
+
+@pytest.fixture(scope="module")
+def topologies():
+    return comparable_configurations(SizeClass.TINY, topologies=list(TOPOLOGY_NAMES),
+                                     seed=0)
+
+
+@pytest.fixture(scope="module")
+def workloads(topologies):
+    out = {}
+    for name, topo in topologies.items():
+        rng = np.random.default_rng(0)
+        pattern = random_permutation(topo.num_endpoints, rng).subsample(0.2, rng)
+        out[name] = {
+            "uniform": uniform_size_workload(pattern, 96 * 1024),
+            "poisson": poisson_workload(pattern, 2000.0, 0.001,
+                                        rng=np.random.default_rng(2),
+                                        fixed_size=64 * 1024),
+        }
+    return out
+
+
+class TestAllStacks:
+    """The acceptance grid: every simcommon stack (both transports) on two
+    topology families."""
+
+    @pytest.mark.parametrize("stack_name", STACKS)
+    @pytest.mark.parametrize("topo_name", TOPOLOGY_NAMES)
+    def test_uniform_workload(self, topologies, workloads, topo_name, stack_name):
+        reference, engine = run_both(topologies[topo_name], stack_name,
+                                     workloads[topo_name]["uniform"])
+        assert_equivalent(reference, engine)
+
+    @pytest.mark.parametrize("stack_name", ["fatpaths", "fatpaths_tcp", "ndp"])
+    @pytest.mark.parametrize("topo_name", TOPOLOGY_NAMES)
+    def test_poisson_arrivals(self, topologies, workloads, topo_name, stack_name):
+        reference, engine = run_both(topologies[topo_name], stack_name,
+                                     workloads[topo_name]["poisson"])
+        assert_equivalent(reference, engine)
+
+
+class TestSerializationTrace:
+    """Beyond the records: the full per-link serialisation schedule must match
+    element for element (same links, same departure floats, same order)."""
+
+    @pytest.mark.parametrize("stack_name", ["fatpaths", "fatpaths_tcp", "ndp"])
+    def test_trace_identical(self, topologies, workloads, stack_name, monkeypatch):
+        topo = topologies["SF"]
+        workload = workloads["SF"]["uniform"]
+
+        stack = build_stack(topo, stack_name, seed=0)
+        ref_sim = PacketLevelSimulator(topo, stack.routing, selector=stack.selector,
+                                       transport=stack.transport, seed=0)
+        ref_trace = []
+        index_of = {id(link): i for i, link in enumerate(ref_sim.links)}
+        orig = _Link.serialize
+
+        def spying_serialize(self, now, size_bytes):
+            departure, arrival = orig(self, now, size_bytes)
+            ref_trace.append((index_of[id(self)], departure))
+            return departure, arrival
+
+        monkeypatch.setattr(_Link, "serialize", spying_serialize)
+        ref_result = ref_sim.run(workload)
+        monkeypatch.setattr(_Link, "serialize", orig)
+
+        stack2 = build_stack(topo, stack_name, seed=0)
+        eng_sim = PacketEngine(topo, stack2.routing, selector=stack2.selector,
+                               transport=stack2.transport, seed=0)
+        eng_sim.trace = []
+        eng_result = eng_sim.run(workload)
+
+        assert_equivalent(ref_result, eng_result)
+        assert eng_sim.trace == ref_trace
+
+    def test_final_link_state_identical(self, topologies, workloads):
+        """The engine's flat link arrays end bit-identical to the reference's
+        per-link objects (occupancy drains flushed, reservations matched)."""
+        topo = topologies["SF"]
+        workload = workloads["SF"]["uniform"]
+        stack = build_stack(topo, "ndp", seed=0)
+        ref_sim = PacketLevelSimulator(topo, stack.routing, selector=stack.selector,
+                                       transport=stack.transport, seed=0)
+        ref_result = ref_sim.run(workload)
+        stack2 = build_stack(topo, "ndp", seed=0)
+        eng_sim = PacketEngine(topo, stack2.routing, selector=stack2.selector,
+                               transport=stack2.transport, seed=0)
+        eng_result = eng_sim.run(workload)
+        assert_equivalent(ref_result, eng_result)
+        state = eng_sim.final_link_state
+        assert state["next_free"] == [link.next_free for link in ref_sim.links]
+        assert state["queued"] == [link.queued for link in ref_sim.links]
+        assert state["trims"] == [link.trims for link in ref_sim.links]
+        assert state["drops"] == [link.drops for link in ref_sim.links]
+
+
+class TestEdgePaths:
+    def test_same_router_flows(self, topologies):
+        """Endpoints on one router take the synthetic single-hop candidate."""
+        topo = topologies["SF"]
+        workload = Workload([Flow(0.0, 0, 1, 256 * 1024), Flow(0.0, 2, 40, 512 * 1024)])
+        reference, engine = run_both(topo, "fatpaths", workload)
+        assert_equivalent(reference, engine)
+        assert reference.records[0].path_hops == 1
+
+    def test_single_path_flows(self, topologies):
+        """A max_paths=1 routing never offers alternatives, so no switches happen."""
+        topo = topologies["SF"]
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints,
+                               np.random.default_rng(1)).subsample(0.2,
+                                                                   np.random.default_rng(2)),
+            64 * 1024)
+        results = []
+        for engine in ("reference", "engine"):
+            routing = EcmpRouting(topo, max_paths=1, seed=0)
+            results.append(simulate_packets(topo, routing, workload,
+                                            selector=FlowletSelector(seed=0),
+                                            seed=0, engine=engine))
+        assert_equivalent(*results)
+        assert all(r.num_path_switches == 0 for r in results[1].records)
+
+    def test_sprayed_flows_on_star(self):
+        """Packet-spray selector on a crossbar (NDP's home turf)."""
+        topo = star(12)
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints, np.random.default_rng(3)),
+            128 * 1024)
+        reference, engine = run_both(topo, "ndp", workload)
+        assert_equivalent(reference, engine)
+
+    def test_ecmp_selector_static_paths(self, topologies):
+        """Hash-based selector: no RNG at all, still pinned."""
+        topo = topologies["FT3"]
+        workload = uniform_size_workload(
+            random_permutation(topo.num_endpoints,
+                               np.random.default_rng(7)).subsample(0.3,
+                                                                   np.random.default_rng(8)),
+            256 * 1024)
+        results = []
+        for engine in ("reference", "engine"):
+            routing = EcmpRouting(topo, max_paths=8, seed=0)
+            results.append(simulate_packets(topo, routing, workload,
+                                            selector=EcmpSelector(seed=0),
+                                            seed=0, engine=engine))
+        assert_equivalent(*results)
+
+
+class TestMaxEventsDrain:
+    """Truncation semantics depend on the exact pop sequence, which the fast loop's
+    lazy dequeues cannot reproduce — these runs must detect the budget crossing,
+    rewind the selector RNG and replay under the strict single-heap loop."""
+
+    @pytest.mark.parametrize("budget", [3, 50, 500, 2000])
+    @pytest.mark.parametrize("stack_name", ["fatpaths", "fatpaths_tcp", "ndp"])
+    def test_truncated_runs_match(self, topologies, workloads, stack_name, budget):
+        config = PacketSimConfig(max_events=budget)
+        reference, engine = run_both(topologies["SF"], stack_name,
+                                     workloads["SF"]["uniform"], config=config)
+        assert_equivalent(reference, engine)
+        assert reference.meta["events"] == budget
+        # every flow still produces a record (open flows close at the drain time)
+        assert len(reference) == len(workloads["SF"]["uniform"])
+
+    def test_truncated_trace_is_rewound(self, topologies, workloads):
+        """The fast loop's partial trace must be discarded before the strict replay
+        so the recorded schedule has no duplicated prefix."""
+        topo = topologies["SF"]
+        workload = workloads["SF"]["uniform"]
+        stack = build_stack(topo, "fatpaths", seed=0)
+        eng_sim = PacketEngine(topo, stack.routing, selector=stack.selector,
+                               transport=stack.transport,
+                               config=PacketSimConfig(max_events=500), seed=0)
+        eng_sim.trace = []
+        eng_sim.run(workload)
+
+        stack2 = build_stack(topo, "fatpaths", seed=0)
+        strict_sim = PacketEngine(topo, stack2.routing, selector=stack2.selector,
+                                  transport=stack2.transport,
+                                  config=PacketSimConfig(max_events=500), seed=0)
+        strict_sim.trace = []
+        strict_sim._run_strict(workload)
+        assert eng_sim.trace == strict_sim.trace
+
+
+class TestDispatch:
+    def test_unknown_engine_rejected(self, topologies, workloads):
+        with pytest.raises(ValueError, match="warp-drive"):
+            simulate_packets(topologies["SF"], None, workloads["SF"]["uniform"],
+                             engine="warp-drive")
+
+    def test_engine_names_exported(self):
+        assert PACKET_ENGINES == ("engine", "reference")
+
+    def test_default_engine_is_vectorized(self, topologies, workloads):
+        """simulate_packets() without `engine=` runs the PacketEngine and matches
+        an explicit reference run."""
+        topo = topologies["SF"]
+        stack = build_stack(topo, "ecmp", seed=0)
+        default = simulate_packets(topo, stack.routing, workloads["SF"]["uniform"],
+                                   selector=stack.selector,
+                                   transport=stack.transport, seed=0)
+        stack2 = build_stack(topo, "ecmp", seed=0)
+        reference = simulate_packets(topo, stack2.routing,
+                                     workloads["SF"]["uniform"],
+                                     selector=stack2.selector,
+                                     transport=stack2.transport, seed=0,
+                                     engine="reference")
+        assert_equivalent(reference, default)
+
+    def test_fast_and_strict_loops_agree(self, topologies, workloads):
+        """The engine's own strict loop (the truncation fallback) reproduces the
+        fast loop exactly on untruncated runs."""
+        topo = topologies["SF"]
+        workload = workloads["SF"]["uniform"]
+        stack = build_stack(topo, "fatpaths", seed=0)
+        fast_sim = PacketEngine(topo, stack.routing, selector=stack.selector,
+                                transport=stack.transport, seed=0)
+        fast = fast_sim.run(workload)
+        stack2 = build_stack(topo, "fatpaths", seed=0)
+        strict_sim = PacketEngine(topo, stack2.routing, selector=stack2.selector,
+                                  transport=stack2.transport, seed=0)
+        strict = strict_sim._run_strict(workload)
+        assert_equivalent(strict, fast)

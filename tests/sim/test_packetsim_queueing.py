@@ -8,6 +8,7 @@ from repro.core.fatpaths import FatPathsRouting
 from repro.core.loadbalance import EcmpSelector, FlowletSelector
 from repro.core.transport import ndp_transport, tcp_transport
 from repro.routing import EcmpRouting
+from repro.sim.packetengine import PacketEngine
 from repro.sim.packetsim import PacketLevelSimulator, PacketSimConfig
 from repro.sim.queueing import mg1_ps_fct, offered_load, predict_fct_distribution
 from repro.topologies import slim_fly, star
@@ -87,6 +88,101 @@ class TestPacketSim:
             PacketSimConfig(packet_bytes=32, header_bytes=64)
         with pytest.raises(ValueError):
             PacketSimConfig(queue_packets=0)
+
+
+class TestConfigValidation:
+    """Every PacketSimConfig parameter rejects its degenerate values."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"packet_bytes": 64, "header_bytes": 64},
+        {"queue_packets": 0},
+        {"window_packets": 0},
+        {"link_rate_bps": 0.0},
+        {"link_rate_bps": -1e9},
+        {"rto": 0.0},
+        {"per_hop_latency": 0.0},
+        {"host_latency": -1e-6},
+        {"flowlet_packets": 0},
+    ])
+    def test_rejects_degenerate(self, kwargs):
+        with pytest.raises(ValueError):
+            PacketSimConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        cfg = PacketSimConfig()
+        assert cfg.packet_bytes > cfg.header_bytes
+        assert cfg.queue_packets >= 1 and cfg.window_packets >= 1
+
+
+class TestPacketInvariants:
+    """Property checks on the engine's post-run counters and serialisation trace:
+    packet conservation, bounded queues, the priority lane, the sender window and
+    monotone per-link reservations."""
+
+    @pytest.fixture(scope="class")
+    def incast(self, sf):
+        """An NDP incast that overflows the destination router's queues."""
+        p = sf.concentration
+        routing = EcmpRouting(sf, seed=0)
+        flows = [Flow(0.0, e * p, 30 * p, 512 * 1024) for e in range(1, 8)]
+        sim = PacketEngine(sf, routing, selector=EcmpSelector(),
+                           transport=ndp_transport(), seed=0)
+        sim.trace = []
+        result = sim.run(Workload(flows))
+        return sim, result
+
+    def test_conservation(self, incast):
+        """Every flow completes, and the per-flow congestion counters add up to
+        the global trim/drop totals — no event is lost or double-counted."""
+        _, result = incast
+        assert all(r.completion_time > r.start_time for r in result.records)
+        assert (sum(r.congestion_events for r in result.records)
+                == result.meta["total_trims"] + result.meta["total_drops"])
+
+    def test_queue_occupancy_bounded(self, incast):
+        """Non-priority admissions never observe more than queue_packets queued."""
+        sim, _ = incast
+        assert 0 < sim.last_stats["max_queued"] <= sim.config.queue_packets
+
+    def test_priority_headers_bypass_full_queues(self, incast):
+        """Trimmed headers are admitted past full queues (the priority lane)."""
+        sim, result = incast
+        assert result.meta["total_trims"] > 0
+        assert sim.last_stats["priority_bypass"] > 0
+
+    def test_window_bounds_in_flight(self, incast):
+        """No header-preserving flow ever exceeds the configured sender window."""
+        sim, _ = incast
+        assert max(sim.last_stats["max_in_flight"]) <= sim.config.window_packets
+
+    def test_serialization_monotone_per_link(self, incast):
+        """Each link's departure reservations are nondecreasing: serialisations
+        never overlap on one link."""
+        sim, _ = incast
+        assert sim.trace
+        last = {}
+        for link, departure in sim.trace:
+            assert departure >= last.get(link, 0.0)
+            last[link] = departure
+
+    def test_final_occupancy_drains_to_zero(self, incast):
+        """After the run every queue has drained (all drains flushed)."""
+        sim, _ = incast
+        assert all(q == 0 for q in sim.final_link_state["queued"])
+
+    def test_tcp_window_and_drops(self, sf):
+        """The TCP path: drops happen, flows still finish via RTOs, and the
+        queue bound holds without a priority lane."""
+        p = sf.concentration
+        routing = EcmpRouting(sf, seed=0)
+        flows = [Flow(0.0, e * p, 30 * p, 256 * 1024) for e in range(1, 8)]
+        sim = PacketEngine(sf, routing, selector=EcmpSelector(),
+                           transport=tcp_transport(), seed=0)
+        result = sim.run(Workload(flows))
+        assert result.meta["total_drops"] > 0
+        assert all(r.completion_time > r.start_time for r in result.records)
+        assert sim.last_stats["max_queued"] <= sim.config.queue_packets
+        assert sim.last_stats["priority_bypass"] == 0
 
 
 class TestQueueingModel:

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Consolidate the flow-simulation benchmarks into the committed ``BENCH_flowsim.json``.
+"""Consolidate the simulation benchmarks into the committed ``BENCH_flowsim.json``.
 
-Runs ``benchmarks/test_bench_flowsim.py`` under pytest-benchmark once per requested
-scale, parses the machine-readable output, and folds the numbers that track the
-simulator's performance trajectory across PRs into one committed JSON file:
+Runs ``benchmarks/test_bench_flowsim.py`` and ``benchmarks/test_bench_packetsim.py``
+under pytest-benchmark once per requested scale, parses the machine-readable output,
+and folds the numbers that track the simulators' performance trajectory across PRs
+into one committed JSON file:
 
 * ``fig02_permutation`` — scalar reference vs vectorized engine event rates on the
   fig02-style randomly mapped permutation workload;
@@ -13,7 +14,9 @@ simulator's performance trajectory across PRs into one committed JSON file:
 * ``fault_recovery`` — cold kernel rebuild vs dirty-region derivation
   (``PathCache.mutated``) of a 5%-degraded topology's routing kernels, the cost a
   fault epoch pays mid-run (see ``repro.kernels.dirtyregion`` and
-  ``docs/resilience.md``).
+  ``docs/resilience.md``);
+* ``packet_incast`` — scalar reference vs vectorized packet engine
+  (:mod:`repro.sim.packetengine`) event rates on the deep-incast workload.
 
 Existing scales in the output file are preserved, so partial regenerations (e.g.
 ``--scales small`` only) never drop history.  Regenerate deliberately — like the
@@ -35,7 +38,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO / "BENCH_flowsim.json"
-BENCH_FILE = "benchmarks/test_bench_flowsim.py"
+BENCH_FILES = ("benchmarks/test_bench_flowsim.py", "benchmarks/test_bench_packetsim.py")
 
 #: benchmark test name -> (report section, role key)
 BENCHMARKS = {
@@ -45,6 +48,8 @@ BENCHMARKS = {
     "test_bench_alloc_incremental": ("incast_staggered", "incremental"),
     "test_bench_recovery_cold_rebuild": ("fault_recovery", "rebuild"),
     "test_bench_recovery_dirty_region": ("fault_recovery", "derived"),
+    "test_bench_packetsim_reference_scalar": ("packet_incast", "reference"),
+    "test_bench_packetsim_vectorized_engine": ("packet_incast", "engine"),
 }
 
 #: section -> (baseline role, fast role) for the derived speedup.
@@ -52,22 +57,29 @@ SPEEDUPS = {
     "fig02_permutation": ("reference", "engine"),
     "incast_staggered": ("full", "incremental"),
     "fault_recovery": ("rebuild", "derived"),
+    "packet_incast": ("reference", "engine"),
 }
 
 
 def run_benchmarks(scale: str) -> dict:
-    """Run the flowsim benchmark module at ``scale``; return pytest-benchmark JSON."""
-    with tempfile.TemporaryDirectory() as tmp:
-        out = Path(tmp) / "bench.json"
-        env = dict(os.environ)
-        env["FATPATHS_BENCH_SCALE"] = scale
-        env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
-        command = [sys.executable, "-m", "pytest", BENCH_FILE, "--benchmark-only",
-                   "-q", f"--benchmark-json={out}"]
-        result = subprocess.run(command, cwd=REPO, env=env)
-        if result.returncode != 0:
-            raise SystemExit(f"benchmark run failed at scale {scale!r}")
-        return json.loads(out.read_text())
+    """Run the simulation benchmark modules at ``scale``; return the merged
+    pytest-benchmark JSON records."""
+    merged = {"benchmarks": []}
+    for bench_file in BENCH_FILES:
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "bench.json"
+            env = dict(os.environ)
+            env["FATPATHS_BENCH_SCALE"] = scale
+            env["PYTHONPATH"] = (f"{REPO / 'src'}{os.pathsep}"
+                                 + env.get("PYTHONPATH", ""))
+            command = [sys.executable, "-m", "pytest", bench_file,
+                       "--benchmark-only", "-q", f"--benchmark-json={out}"]
+            result = subprocess.run(command, cwd=REPO, env=env)
+            if result.returncode != 0:
+                raise SystemExit(
+                    f"benchmark run {bench_file} failed at scale {scale!r}")
+            merged["benchmarks"].extend(json.loads(out.read_text())["benchmarks"])
+    return merged
 
 
 def consolidate(scale: str, bench_json: dict) -> dict:
@@ -101,13 +113,17 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
-    report = {"benchmark": "repro.sim flow simulator",
-              "source": BENCH_FILE, "scales": {}}
+    report = {"benchmark": "repro.sim simulators",
+              "source": list(BENCH_FILES), "scales": {}}
     if args.out.exists():
         report.update(json.loads(args.out.read_text()))
+    report["benchmark"] = "repro.sim simulators"
+    report["source"] = list(BENCH_FILES)
     for scale in args.scales:
-        print(f"== running {BENCH_FILE} at scale {scale}")
-        report["scales"][scale] = consolidate(scale, run_benchmarks(scale))
+        print(f"== running {', '.join(BENCH_FILES)} at scale {scale}")
+        existing = report["scales"].get(scale, {})
+        existing.update(consolidate(scale, run_benchmarks(scale)))
+        report["scales"][scale] = existing
     report["updated"] = datetime.date.today().isoformat()
     args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
