@@ -1,0 +1,134 @@
+"""Streaming-service benchmark: sustained event rate over an open-ended stream.
+
+The service benchmark answers the question the batch benchmarks cannot: what does
+the streaming layer (:mod:`repro.sim.stream`) sustain on an *open-ended* arrival
+process, and does its memory stay bounded while the arrival count grows?  A lazy
+Poisson stream (:func:`repro.traffic.streams.poisson_flow_stream`) over randomly
+drawn permutation pairs feeds an ECMP stack (static hashing — the cheapest
+selector, isolating the service overhead, mirroring the allocator benchmark's
+choice) with the incremental allocator on the scale-dependent Slim Fly; the
+stream is never materialised.  Per ``FATPATHS_BENCH_SCALE`` the stream carries
+20k (tiny), 200k (small) or one million (medium) arrivals — the acceptance run:
+peak active-set/slot/pool sizes must stay proportional to the flows in flight,
+not to the arrivals.
+
+Two gates hold at small/medium scale: a conservative absolute sustained-rate
+floor (catches accidental per-event scans over retired state), and an overhead
+ceiling against the batch engine on the same materialised workload (the service
+may not cost more than ``_OVERHEAD_CEILING`` times the batch run it wraps).
+``tools/bench_report.py`` folds the sustained numbers into the committed
+``BENCH_flowsim.json`` (``stream_sustained`` section).
+
+Run ``pytest benchmarks/test_bench_stream.py --benchmark-only -s``; set
+``FATPATHS_BENCH_SCALE=small|medium`` for the larger streams.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.simcommon import build_stack
+from repro.sim.flowsim import (
+    FlowSimConfig,
+    StreamConfig,
+    StreamSimulator,
+    simulate_workload,
+)
+from repro.traffic.flows import Workload
+from repro.traffic.patterns import random_permutation
+from repro.traffic.streams import poisson_flow_stream
+
+KIB = 1024
+
+#: Arrivals per FATPATHS_BENCH_SCALE; medium is the 10^6-arrival acceptance run.
+_ARRIVALS = {"tiny": 20_000, "small": 200_000, "medium": 1_000_000}
+
+#: Per-pair Poisson arrival rate (1/s).  Concurrency is set by rate x pair count
+#: x service time, so it tracks the topology scale, never the stream length.
+_PAIR_RATE = 2000.0
+
+#: Absolute sustained-rate floor (events/sec) asserted at small/medium — set far
+#: below the measured rate so only pathological regressions (per-event work that
+#: scales with *retired* flows) trip it on slow CI machines.
+_RATE_FLOOR = 500.0
+
+#: Streaming overhead ceiling versus the batch engine on the same workload: the
+#: service adds window accounting and compaction, not a different asymptotic.
+_OVERHEAD_CEILING = 2.0
+
+
+def _pattern(kgraph):
+    rng = np.random.default_rng(0)
+    return random_permutation(kgraph.num_endpoints, rng).subsample(0.5, rng)
+
+
+def _stream(pattern, arrivals):
+    return poisson_flow_stream(pattern, _PAIR_RATE, rng=np.random.default_rng(1),
+                               max_flows=arrivals, fixed_size=64 * KIB)
+
+
+def _service(kgraph):
+    stack = build_stack(kgraph, "ecmp", seed=0)
+    return StreamSimulator(kgraph, stack.routing, selector=stack.selector,
+                           transport=stack.transport, seed=0,
+                           config=FlowSimConfig(allocator="incremental"),
+                           stream_config=StreamConfig(window=0.05),
+                           record_sink=lambda record: None)
+
+
+def _assert_bounded(summary, arrivals):
+    """The acceptance bound: peaks track the in-flight population, not the stream."""
+    assert summary["completions"] == arrivals
+    assert summary["peak_slots"] < arrivals / 10
+    assert summary["peak_pool"] < arrivals / 10
+    assert summary["slot_compactions"] > 0
+
+
+def test_bench_stream_sustained(benchmark, kgraph, scale):
+    arrivals = _ARRIVALS[scale.value]
+    pattern = _pattern(kgraph)
+
+    def run():
+        return _service(kgraph).run(_stream(pattern, arrivals))
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["events"] = int(summary["events"])
+    benchmark.extra_info["arrivals"] = int(summary["arrivals"])
+    benchmark.extra_info["peak_active"] = int(summary["peak_active"])
+    benchmark.extra_info["peak_slots"] = int(summary["peak_slots"])
+    benchmark.extra_info["events_per_second"] = round(summary["events"] / seconds, 1)
+    _assert_bounded(summary, arrivals)
+
+
+def test_stream_sustained_rate_floor(kgraph, scale):
+    """Time the service against the batch engine on identical arrivals and (at
+    small/medium scale) assert the sustained-rate floor and overhead ceiling."""
+    arrivals = _ARRIVALS[scale.value]
+    pattern = _pattern(kgraph)
+    flows = list(_stream(pattern, arrivals))
+
+    start = time.perf_counter()
+    summary = _service(kgraph).run(iter(flows))
+    stream_seconds = time.perf_counter() - start
+    rate = summary["events"] / stream_seconds
+    _assert_bounded(summary, arrivals)
+
+    stack = build_stack(kgraph, "ecmp", seed=0)
+    start = time.perf_counter()
+    batch = simulate_workload(kgraph, stack.routing, Workload(list(flows)),
+                              selector=stack.selector, transport=stack.transport,
+                              config=FlowSimConfig(allocator="incremental"), seed=0)
+    batch_seconds = time.perf_counter() - start
+    assert len(batch) == arrivals
+
+    overhead = stream_seconds / max(batch_seconds, 1e-9)
+    print(f"\nstream {scale.value}: {arrivals} arrivals, "
+          f"{summary['events']} events in {stream_seconds:.1f} s "
+          f"({rate:,.0f} events/s), peak_active {summary['peak_active']}, "
+          f"peak_slots {summary['peak_slots']}; "
+          f"batch {batch_seconds:.1f} s, overhead {overhead:.2f}x")
+    if scale.value != "tiny":
+        assert rate >= _RATE_FLOOR
+        assert overhead <= _OVERHEAD_CEILING

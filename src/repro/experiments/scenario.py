@@ -85,6 +85,7 @@ SCENARIO_MODULES: Dict[str, str] = {
     "fidelity": "repro.experiments.fidelity",
     "incast": "repro.experiments.incast_hotspot",
     "shuffle": "repro.experiments.broadcast_shuffle",
+    "steady": "repro.experiments.steady_state",
     "tab01": "repro.experiments.tab01_scheme_comparison",
     "tab04": "repro.experiments.tab04_diversity_summary",
     "tab05": "repro.experiments.tab05_topologies",

@@ -20,14 +20,26 @@
   transport mechanics directly.  Dispatches between the vectorized
   :mod:`repro.sim.packetengine` (default) and the scalar
   :mod:`repro.sim.packetsim_reference` it is pinned against.
+* :mod:`repro.sim.stream` — the streaming service layer over the flow engine:
+  open-ended arrival streams with bounded memory (periodic slot/pool/bank
+  compaction), checkpoint/restore, and windowed steady-state metrics
+  (walkthrough in ``docs/streaming.md``).
 * :mod:`repro.sim.queueing` — M/G/1 processor-sharing predictions used as the reference
   model in Figure 15.
-* :mod:`repro.sim.metrics` — flow-completion-time / throughput summaries.
+* :mod:`repro.sim.metrics` — flow-completion-time / throughput summaries, plus the
+  streaming P²/reservoir estimators the service layer feeds incrementally.
 """
 
 from repro.sim.engine import FlowEngine, SimCell, simulate_many
 from repro.sim.fairshare import max_min_fair_rates
-from repro.sim.flowsim import ALLOCATORS, FlowSimConfig, FlowLevelSimulator, simulate_workload
+from repro.sim.flowsim import (
+    ALLOCATORS,
+    FlowLevelSimulator,
+    FlowSimConfig,
+    StreamConfig,
+    StreamSimulator,
+    simulate_workload,
+)
 from repro.sim.metrics import FlowRecord, SimulationResult, summarize_flows
 from repro.sim.packetsim import (
     PACKET_ENGINES,
@@ -45,6 +57,8 @@ __all__ = [
     "FlowSimConfig",
     "FlowLevelSimulator",
     "SimCell",
+    "StreamConfig",
+    "StreamSimulator",
     "simulate_many",
     "simulate_workload",
     "FlowRecord",

@@ -48,6 +48,12 @@ from repro.sim.simconfig import ALLOCATORS  # noqa: F401  (single source of trut
 #: Smallest entry pool an :class:`AllocationState` keeps allocated.
 _MIN_POOL = 256
 
+#: Slot id that marks dead pool entries.  A fixed constant above every real slot
+#: (rather than the historical ``num_flows``) so the slot arrays can :meth:`~AllocationState.grow`
+#: under the streaming driver without renumbering dead entries; ``searchsorted``
+#: relabelling still maps it past every active slot, exactly as before.
+_DEAD_SLOT = 2 ** 62
+
 
 # ------------------------------------------------------------ progressive filling
 def _progressive_fill(entry_links: np.ndarray, entry_flows: np.ndarray, num_flows: int,
@@ -114,8 +120,9 @@ def _progressive_fill(entry_links: np.ndarray, entry_flows: np.ndarray, num_flow
 class AllocationState:
     """Pooled (link, slot) incidence of the active flows, amended across events.
 
-    Flow *slots* are arrival positions ``0..num_flows-1``; slot ``num_flows`` is the
-    sentinel that marks dead pool entries.  Each flow owns one contiguous pool
+    Flow *slots* are arrival positions ``0..num_flows-1``; the fixed out-of-range
+    slot ``_DEAD_SLOT`` is the sentinel that marks dead pool entries.  Each flow
+    owns one contiguous pool
     segment sized ``seg_cap[slot]`` (its longest candidate path plus the injection
     and ejection links), written ``[inject, path links..., eject]``; the live prefix
     has length ``seg_len[slot]`` and trailing slack entries are dead.  Segments are
@@ -128,7 +135,8 @@ class AllocationState:
         """Create an empty state for ``num_flows`` flow slots over ``num_links``."""
         self.num_flows = num_flows
         self.num_links = num_links
-        self.sentinel = num_flows
+        self.sentinel = _DEAD_SLOT
+        self.compactions = 0
         self.pool_links = np.zeros(_MIN_POOL, dtype=np.int64)
         self.pool_slots = np.full(_MIN_POOL, self.sentinel, dtype=np.int64)
         self.used = 0
@@ -139,6 +147,27 @@ class AllocationState:
         self.seg_len = np.zeros(num_flows, dtype=np.int64)
         #: ``unfixed`` initializer for slot-indexed fills (sentinel always False).
         self.active_mask = np.zeros(num_flows + 1, dtype=bool)
+
+    def grow(self, num_flows: int) -> None:
+        """Extend the slot arrays to ``num_flows`` slots (streaming ingestion).
+
+        Dead pool entries keep the fixed sentinel, so only the per-slot arrays
+        move; existing segments and the pool itself are untouched.
+        """
+        if num_flows <= self.num_flows:
+            return
+        seg_start = np.zeros(num_flows, dtype=np.int64)
+        seg_cap = np.zeros(num_flows, dtype=np.int64)
+        seg_len = np.zeros(num_flows, dtype=np.int64)
+        mask = np.zeros(num_flows + 1, dtype=bool)
+        n = self.num_flows
+        seg_start[:n] = self.seg_start
+        seg_cap[:n] = self.seg_cap
+        seg_len[:n] = self.seg_len
+        mask[:n] = self.active_mask[:n]
+        self.seg_start, self.seg_cap, self.seg_len = seg_start, seg_cap, seg_len
+        self.active_mask = mask
+        self.num_flows = num_flows
 
     def entries(self) -> Tuple[np.ndarray, np.ndarray]:
         """The pool's (links, slots) views, live and dead entries interleaved."""
@@ -251,6 +280,7 @@ class AllocationState:
         self.seg_start[order] = new_starts
         self.used = total
         self.live = n_live
+        self.compactions += 1
 
     def maybe_compact(self, order: np.ndarray) -> bool:
         """Compact when completed segments dominate the pool; True if compacted."""
@@ -320,6 +350,15 @@ class FullAllocator:
     def idle(self) -> None:
         """No active flows: all utilisations are zero."""
         self.link_util[:] = 0.0
+
+    def rebind(self, state: AllocationState, old_to_new: Dict[int, int]) -> None:
+        """Adopt a renumbered state (the streaming driver's slot compaction).
+
+        Link utilisations are per-link and unaffected by slot renumbering; the
+        new state carries the accumulated compaction count forward.
+        """
+        state.compactions += self.state.compactions
+        self.state = state
 
     def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
         """Refill every active flow; returns the refilled slots (all of ``active``)."""
@@ -435,6 +474,19 @@ class IncrementalAllocator:
     def idle(self) -> None:
         """No active flows: all utilisations are zero."""
         self.link_util[:] = 0.0
+
+    def rebind(self, state: AllocationState, old_to_new: Dict[int, int]) -> None:
+        """Adopt a renumbered state: remap the tracked components' member slots.
+
+        The union-find itself is link-indexed and survives renumbering
+        untouched; member slot lists are rewritten through ``old_to_new``
+        (retired slots simply drop out — the same filtering
+        :meth:`_refill_component` applies via ``active_mask``).
+        """
+        state.compactions += self.state.compactions
+        self.state = state
+        self._members = {root: [old_to_new[s] for s in slots if s in old_to_new]
+                         for root, slots in self._members.items()}
 
     # -------------------------------------------------------------- recompute
     def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,7 +59,7 @@ from repro.core.loadbalance import FlowletSelector, PathSelector
 from repro.core.transport import TransportModel, ndp_transport
 from repro.kernels.cache import kernels_for
 from repro.kernels.dirtyregion import faulted_kernels
-from repro.sim.allocstate import _progressive_fill, make_allocator  # noqa: F401  (re-export)
+from repro.sim.allocstate import AllocationState, _progressive_fill, make_allocator  # noqa: F401  (re-export)
 from repro.sim.faults import detour_router_path
 from repro.sim.metrics import FlowRecord, SimulationResult
 from repro.sim.reference import FlowLevelSimulator
@@ -340,6 +340,715 @@ class _FaultRuntime:
         return detour_router_path(self.adjacency, self.failed_edges, rs, rt, row)
 
 
+# ------------------------------------------------------------------ engine core
+class EngineCore:
+    """Mutable state plus per-event operations of one vectorized simulation run.
+
+    Owns the structure-of-arrays flow state, the persistent allocation state, the
+    fault runtime and the event counters of a single run.  Two drivers share it:
+
+    * :meth:`FlowEngine.run` — the batch driver: ingests the whole (sorted)
+      workload once, steps until every flow is admitted and finished, drains;
+      record-for-record identical to the scalar reference simulator.
+    * :class:`repro.sim.stream.StreamSimulator` — the streaming driver: ingests
+      open-ended arrival chunks (:meth:`ensure_capacity` doubles the arrays),
+      steps up to a horizon, and periodically renumbers live slots
+      (:meth:`compact_slots`) so memory stays proportional to the *active* set.
+
+    Slots are arrival positions.  The ``active`` array is ascending, and —
+    because ingestion appends in start-time order and slot compaction renumbers
+    order-preservingly — ascending slot order *is* arrival order: the invariant
+    both the full allocator's float accumulation (``searchsorted`` relabelling in
+    :func:`repro.sim.allocstate._full_fill`) and the selector RNG stream (batched
+    calls consume draws in arrival order) rely on.
+    """
+
+    def __init__(self, sim: "FlowEngine", capacity: int,
+                 sink: Callable[[FlowRecord], None]) -> None:
+        """Bind one run's state to ``sim``'s stack; completed records go to ``sink``."""
+        self.topology = sim.topology
+        self.routing = sim.routing
+        self.selector = sim.selector
+        self.transport = sim.transport
+        self.config = config = sim.config
+        self.links = sim.links
+        self.bank = sim.bank
+        self.capacities = sim.capacities
+        self.num_links = sim.num_links
+        self.sink = sink
+        self.line_rate = config.link_rate_bps / 8.0
+        self.congestion_threshold = config.congestion_rate_fraction * self.line_rate
+        self._routers: Optional[np.ndarray] = None
+        self._remap: Optional[np.ndarray] = None
+
+        capacity = max(int(capacity), 0)
+        self.capacity = capacity
+        self.count = 0          # flows ingested so far
+        self.admit_idx = 0      # next slot to admit at its arrival event
+        self.fid = np.zeros(capacity, dtype=np.int64)
+        self.start = np.zeros(capacity)
+        self.src = np.zeros(capacity, dtype=np.int64)
+        self.dst = np.zeros(capacity, dtype=np.int64)
+        self.size = np.zeros(capacity)
+        self.src_router = np.zeros(capacity, dtype=np.int64)
+        self.dst_router = np.zeros(capacity, dtype=np.int64)
+        self.inj_link = np.zeros(capacity, dtype=np.int64)
+        self.ej_link = np.zeros(capacity, dtype=np.int64)
+        self.remaining = np.zeros(capacity)
+        self.rate = np.zeros(capacity)
+        self.bytes_since_switch = np.zeros(capacity)
+        self.num_switches = np.zeros(capacity, dtype=np.int64)
+        self.congestion_events = np.zeros(capacity, dtype=np.int64)
+        self.currently_congested = np.zeros(capacity, dtype=bool)
+        self.path_index = np.zeros(capacity, dtype=np.int64)
+        self.num_candidates = np.zeros(capacity, dtype=np.int64)
+        self.cand_start = np.zeros(capacity, dtype=np.int64)
+        self.cand_len = np.zeros(capacity, dtype=np.int64)
+        self.entries: List[Optional[CandidateEntry]] = [None] * capacity
+
+        self.active = np.empty(0, dtype=np.int64)   # arrival positions, ascending
+        self.now = 0.0
+        self.events = 0
+        # persistent incidence + rate allocator (full: reference-equivalent refill
+        # over the persistent pool; incremental: dirty-component refiltering)
+        self.alloc = make_allocator(config.allocator, capacity, self.num_links,
+                                    self.capacities, self.line_rate)
+
+        # ---- fault state (mirrors the reference spec; see repro.sim.faults)
+        self.faults_on = config.faults is not None
+        self.fault_epochs = config.faults.resolve(sim.topology) if self.faults_on else []
+        self.fault_idx = 0
+        self.fault_count = 0
+        self.reroutes = 0
+        self.stall_count = 0
+        self.order_dirty = False
+        if self.faults_on:
+            self.stalled = np.zeros(capacity, dtype=bool)
+            self.on_detour = np.zeros(capacity, dtype=bool)
+            self.record_hops = np.full(capacity, -1, dtype=np.int64)  # detour hops
+            self.faultrt: Optional[_FaultRuntime] = _FaultRuntime(
+                sim.topology, self.links, self.bank)
+        else:
+            self.stalled = self.on_detour = self.record_hops = None
+            self.faultrt = None
+
+    # -------------------------------------------------------------- ingestion
+    def set_mapping(self, mapping: Optional[Sequence[int]]) -> None:
+        """Install the optional endpoint remap applied to every ingested flow."""
+        self._remap = None if mapping is None else np.asarray(mapping, dtype=np.int64)
+
+    def ensure_capacity(self, need: int) -> None:
+        """Grow every slot-indexed array to hold ``need`` slots (amortized doubling)."""
+        if need <= self.capacity:
+            return
+        new = max(need, 2 * self.capacity, 64)
+        count = self.count
+        for name in ("fid", "src", "dst", "src_router", "dst_router", "inj_link",
+                     "ej_link", "num_switches", "congestion_events", "path_index",
+                     "num_candidates", "cand_start", "cand_len"):
+            old = getattr(self, name)
+            arr = np.zeros(new, dtype=np.int64)
+            arr[:count] = old[:count]
+            setattr(self, name, arr)
+        for name in ("start", "size", "remaining", "rate", "bytes_since_switch"):
+            old = getattr(self, name)
+            arr = np.zeros(new)
+            arr[:count] = old[:count]
+            setattr(self, name, arr)
+        congested = np.zeros(new, dtype=bool)
+        congested[:count] = self.currently_congested[:count]
+        self.currently_congested = congested
+        if self.faults_on:
+            for name in ("stalled", "on_detour"):
+                old = getattr(self, name)
+                arr = np.zeros(new, dtype=bool)
+                arr[:count] = old[:count]
+                setattr(self, name, arr)
+            hops = np.full(new, -1, dtype=np.int64)
+            hops[:count] = self.record_hops[:count]
+            self.record_hops = hops
+        self.entries.extend([None] * (new - len(self.entries)))
+        self.alloc.state.grow(new)
+        self.capacity = new
+
+    def ingest(self, flows: Sequence) -> None:
+        """Append ``flows`` (start-time ordered) at the tail of the slot arrays."""
+        k = len(flows)
+        if k == 0:
+            return
+        base = self.count
+        self.ensure_capacity(base + k)
+        end = base + k
+        start = np.fromiter((f.start_time for f in flows), dtype=np.float64, count=k)
+        if (k > 1 and bool((np.diff(start) < 0).any())) \
+                or (base and start[0] < self.start[base - 1]):
+            raise ValueError("arrival stream must be ordered by start time")
+        src = np.fromiter((f.source for f in flows), dtype=np.int64, count=k)
+        dst = np.fromiter((f.destination for f in flows), dtype=np.int64, count=k)
+        size = np.fromiter((f.size_bytes for f in flows), dtype=np.float64, count=k)
+        if self._remap is not None:
+            src, dst = self._remap[src], self._remap[dst]
+        if src.min() < 0 or dst.min() < 0 or \
+                max(src.max(), dst.max()) >= self.links.num_endpoints:
+            raise ValueError("workload references an endpoint out of range")
+        if self._routers is None:
+            self._routers = self.topology.endpoint_router_array()
+        self.fid[base:end] = np.fromiter((f.flow_id for f in flows),
+                                         dtype=np.int64, count=k)
+        self.start[base:end] = start
+        self.src[base:end] = src
+        self.dst[base:end] = dst
+        self.size[base:end] = size
+        self.src_router[base:end] = self._routers[src]
+        self.dst_router[base:end] = self._routers[dst]
+        self.inj_link[base:end] = self.links.inject_base + src
+        self.ej_link[base:end] = self.links.eject_base + dst
+        self.remaining[base:end] = size
+        self.count = end
+
+    def next_pending_start(self) -> float:
+        """Start time of the earliest not-yet-admitted flow (inf if none)."""
+        if self.admit_idx < self.count:
+            return float(self.start[self.admit_idx])
+        return np.inf
+
+    # ------------------------------------------------------------- event step
+    def step(self, until: float = np.inf, strict: bool = False) -> bool:
+        """Process the earliest pending event (fault epoch, arrival or completion).
+
+        Returns ``False`` — and consumes nothing — when no event is pending or
+        the earliest one lies strictly beyond ``until``.  Events exactly at
+        ``until`` run unless ``strict``: the streaming driver advances strictly
+        below the next not-yet-ingested arrival's start, so that after the
+        arrival is ingested the batch tie-break order (fault >= arrival >=
+        completion at equal times) is reproduced exactly.  Tie-breaking matches
+        the reference loop: fault epochs win time ties over arrivals, arrivals
+        win over completions.
+        """
+        active = self.active
+        config = self.config
+        if active.size:
+            horizon = self.now + self.remaining[active] \
+                / np.maximum(self.rate[active], config.rate_epsilon)
+            k = int(np.argmin(horizon))   # first minimum = earliest-arrived, as reference
+            completion_time = float(horizon[k])
+            completing: Optional[int] = int(active[k])
+        else:
+            completion_time, completing = np.inf, None
+        next_arrival = self.next_pending_start()
+        next_fault = (self.fault_epochs[self.fault_idx][0]
+                      if self.fault_idx < len(self.fault_epochs) else np.inf)
+        earliest = min(next_fault, next_arrival, completion_time)
+        if earliest == np.inf or earliest > until or (strict and earliest >= until):
+            return False
+        self.events += 1
+        if next_fault <= next_arrival and next_fault <= completion_time:
+            # fault epochs win time ties over arrivals and completions
+            self.advance_to(float(next_fault))
+            self.now = float(next_fault)
+            self.apply_fault_epoch(self.fault_epochs[self.fault_idx][1])
+            self.fault_idx += 1
+        elif next_arrival <= completion_time:
+            self.advance_to(float(next_arrival))
+            self.now = float(next_arrival)
+            self.admit_pending()
+        else:
+            self.advance_to(completion_time)
+            self.now = completion_time
+            self.active = active[active != completing]
+            if not (self.faults_on and self.stalled[completing]):
+                self.alloc.remove(completing)
+            self.sink(self.make_record(completing, self.now))
+        if self.faults_on and self.faultrt.failed_links:
+            self.maybe_switch_paths_faulted()
+        else:
+            self.maybe_switch_paths()
+        self.recompute_rates()
+        return True
+
+    def advance_to(self, new_time: float) -> None:
+        """Transfer bytes on all active flows up to ``new_time`` (vectorized)."""
+        # byte accounting: same elementwise expressions as the reference loop
+        dt = new_time - self.now
+        active = self.active
+        if dt <= 0 or active.size == 0:
+            return
+        remaining = self.remaining
+        r = self.rate[active]
+        transferred = np.where(np.isfinite(r), r * dt, remaining[active])
+        np.minimum(transferred, remaining[active], out=transferred)
+        remaining[active] -= transferred
+        self.bytes_since_switch[active] += transferred
+
+    def admit_pending(self) -> None:
+        """Admit every ingested flow with ``start <= now`` (one arrival event)."""
+        now = self.now
+        bank, routing, selector = self.bank, self.routing, self.selector
+        faultrt = self.faultrt
+        src_router, dst_router = self.src_router, self.dst_router
+        first_new = self.admit_idx
+        while self.admit_idx < self.count and self.start[self.admit_idx] <= now:
+            a = self.admit_idx
+            self.admit_idx += 1
+            entry = bank.entry(routing, int(src_router[a]), int(dst_router[a]))
+            self.entries[a] = entry
+            self.num_candidates[a] = entry.num_candidates
+            if self.faults_on and faultrt.failed_links \
+                    and src_router[a] != dst_router[a]:
+                view = faultrt.view((int(src_router[a]), int(dst_router[a])), entry)
+                if view.count:
+                    pos = int(selector.initial_path(
+                        int(self.fid[a]), view.count, path_lengths=view.lengths))
+                    index = int(view.survivors[pos])
+                else:
+                    detour = faultrt.detour(int(src_router[a]), int(dst_router[a]))
+                    if detour is not None:
+                        hops = max(1, len(detour) - 1)
+                        selector.initial_path(int(self.fid[a]), 1,
+                                              path_lengths=[hops])
+                        seg_s, seg_l = bank._append(self.links.links_of_path(detour))
+                        self.path_index[a] = 0
+                        self.on_detour[a] = True
+                        self.record_hops[a] = hops
+                        self.cand_start[a], self.cand_len[a] = seg_s, seg_l
+                        self.alloc_add(a, seg_s, seg_l,
+                                       max(entry.max_links, seg_l + 2))
+                        continue
+                    # stalled on arrival: no selector draw is consumed,
+                    # no allocation; the flow waits for a restore
+                    self.stall_count += 1
+                    self.stalled[a] = True
+                    self.path_index[a] = 0
+                    self.cand_start[a] = entry.seg_start[0]
+                    self.cand_len[a] = entry.seg_len[0]
+                    continue
+            else:
+                index = selector.initial_path(int(self.fid[a]), entry.num_candidates,
+                                              path_lengths=entry.lengths)
+            self.path_index[a] = index
+            self.cand_start[a] = entry.seg_start[index]
+            self.cand_len[a] = entry.seg_len[index]
+            mid = int(entry.seg_len[index])
+            full_links = np.empty(mid + 2, dtype=np.int64)
+            full_links[0] = self.inj_link[a]
+            if mid:
+                s = int(entry.seg_start[index])
+                full_links[1:-1] = bank.pool[s:s + mid]
+            full_links[-1] = self.ej_link[a]
+            self.alloc.add(a, full_links, entry.max_links)
+        self.active = np.concatenate([self.active,
+                                      np.arange(first_new, self.admit_idx)])
+
+    def recompute_rates(self) -> None:
+        """Max-min fair rates + link utilisation + congestion-episode edges.
+
+        The allocator refills from the persistent incidence (no per-event
+        regather) and reports which slots it recomputed — all active ones for
+        ``allocator="full"``, only the dirty components' members for
+        ``allocator="incremental"``.  Congestion episodes are edge-triggered,
+        and an untouched component's rates are unchanged by construction, so
+        re-evaluating episodes exactly for the refilled slots is equivalent.
+        """
+        active = self.active
+        alive = active if not self.faults_on else active[~self.stalled[active]]
+        if alive.size == 0:
+            self.alloc.idle()
+            return
+        refilled = self.alloc.recompute(alive, self.rate)
+        if refilled.size:
+            congested = self.rate[refilled] < self.congestion_threshold
+            self.congestion_events[refilled] += \
+                congested & ~self.currently_congested[refilled]
+            self.currently_congested[refilled] = congested
+
+    def maybe_switch_paths(self) -> None:
+        """Flowlet/congestion path switching with one batched selector call."""
+        active = self.active
+        if active.size == 0:
+            return
+        num_candidates, cand_start, cand_len = \
+            self.num_candidates, self.cand_start, self.cand_len
+        bank, config = self.bank, self.config
+        multi = active[num_candidates[active] > 1]
+        if multi.size == 0:
+            return
+        current_congestion = _segment_max(self.alloc.link_util, bank.pool,
+                                          cand_start[multi], cand_len[multi])
+        eligible = multi[(self.bytes_since_switch[multi] >= config.flowlet_bytes)
+                         | (current_congestion >= 1.0)]
+        if eligible.size == 0:
+            return
+        # batched switch evaluation: per-candidate congestion for every eligible
+        # flow in one segmented sweep, then one batched selector call whose RNG
+        # consumption matches per-flow calls in arrival order exactly
+        path_index = self.path_index
+        flow_entries = [self.entries[int(a)] for a in eligible]
+        seg_starts = np.concatenate([e.seg_start for e in flow_entries])
+        seg_lens = np.concatenate([e.seg_len for e in flow_entries])
+        counts = num_candidates[eligible]
+        congestion_flat = _segment_max(self.alloc.link_util, bank.pool,
+                                       seg_starts, seg_lens)
+        width = int(counts.max())
+        row_mask = np.arange(width) < counts[:, None]
+        loads = np.full((eligible.size, width), np.inf)
+        loads[row_mask] = congestion_flat
+        lengths = np.full((eligible.size, width), np.inf)
+        lengths[row_mask] = np.concatenate([e.lengths_float for e in flow_entries])
+        new_index = self.selector.next_path_batch(self.fid[eligible],
+                                                  path_index[eligible],
+                                                  counts, loads, lengths)
+        self.bytes_since_switch[eligible] = 0.0
+        switched = new_index != path_index[eligible]
+        path_index[eligible] = new_index
+        self.num_switches[eligible[switched]] += 1
+        flat = np.cumsum(counts) - counts + new_index
+        cand_start[eligible] = seg_starts[flat]
+        cand_len[eligible] = seg_lens[flat]
+        changed = eligible[switched]
+        if changed.size:
+            # amend the persistent incidence: switched segments are rewritten
+            # in place (capacity covers the longest candidate of the pair)
+            self.alloc.switch(changed, self.inj_link[changed], self.ej_link[changed],
+                              bank.pool, cand_start[changed], cand_len[changed])
+
+    def maybe_switch_paths_faulted(self) -> None:
+        """Faulted-mode switch evaluation: batch over the survivor views.
+
+        Mirrors the reference's survivor-aware loop: stalled and detour flows
+        never switch, a pair with at most one surviving candidate is skipped,
+        and the batched selector call sees survivor-*position* indices, loads
+        and lengths — consuming the RNG exactly as per-flow calls would.
+        """
+        active = self.active
+        if active.size == 0:
+            return
+        faultrt, bank, config = self.faultrt, self.bank, self.config
+        path_index, cand_start, cand_len = \
+            self.path_index, self.cand_start, self.cand_len
+        src_router, dst_router = self.src_router, self.dst_router
+        cand = active[~self.stalled[active] & ~self.on_detour[active]
+                      & (self.num_candidates[active] > 1)]
+        if cand.size == 0:
+            return
+        views = [faultrt.view((int(src_router[a]), int(dst_router[a])),
+                              self.entries[int(a)]) for a in cand]
+        keep = np.fromiter((v.count > 1 for v in views), dtype=bool,
+                           count=cand.size)
+        cand = cand[keep]
+        if cand.size == 0:
+            return
+        views = [v for v, k in zip(views, keep) if k]
+        current_congestion = _segment_max(self.alloc.link_util, bank.pool,
+                                          cand_start[cand], cand_len[cand])
+        elig = (self.bytes_since_switch[cand] >= config.flowlet_bytes) \
+            | (current_congestion >= 1.0)
+        eligible = cand[elig]
+        if eligible.size == 0:
+            return
+        views = [v for v, k in zip(views, elig) if k]
+        seg_starts = np.concatenate([v.sstart for v in views])
+        seg_lens = np.concatenate([v.slen for v in views])
+        counts = np.fromiter((v.count for v in views), dtype=np.int64,
+                             count=eligible.size)
+        congestion_flat = _segment_max(self.alloc.link_util, bank.pool, seg_starts,
+                                       seg_lens)
+        width = int(counts.max())
+        row_mask = np.arange(width) < counts[:, None]
+        loads = np.full((eligible.size, width), np.inf)
+        loads[row_mask] = congestion_flat
+        lengths = np.full((eligible.size, width), np.inf)
+        lengths[row_mask] = np.concatenate([v.lengths_float for v in views])
+        currents = np.fromiter(
+            (np.searchsorted(v.survivors, path_index[a])
+             for v, a in zip(views, eligible)), dtype=np.int64,
+            count=eligible.size)
+        new_pos = self.selector.next_path_batch(self.fid[eligible], currents,
+                                                counts, loads, lengths)
+        self.bytes_since_switch[eligible] = 0.0
+        new_index = np.fromiter(
+            (v.survivors[p] for v, p in zip(views, new_pos)), dtype=np.int64,
+            count=eligible.size)
+        switched = new_index != path_index[eligible]
+        path_index[eligible] = new_index
+        self.num_switches[eligible[switched]] += 1
+        flat = np.cumsum(counts) - counts + new_pos
+        cand_start[eligible] = seg_starts[flat]
+        cand_len[eligible] = seg_lens[flat]
+        changed = eligible[switched]
+        if changed.size:
+            self.alloc.switch(changed, self.inj_link[changed], self.ej_link[changed],
+                              bank.pool, cand_start[changed], cand_len[changed])
+
+    # ------------------------------------------------------------ fault events
+    def alloc_add(self, a: int, seg_s: int, seg_l: int, capacity: int) -> None:
+        """(Re-)register slot ``a``'s full link segment with the allocator."""
+        full = np.empty(seg_l + 2, dtype=np.int64)
+        full[0] = self.inj_link[a]
+        if seg_l:
+            full[1:-1] = self.bank.pool[seg_s:seg_s + seg_l]
+        full[-1] = self.ej_link[a]
+        self.alloc.add(a, full, capacity)
+
+    def place_flow(self, a: int) -> None:
+        """Re-place one displaced flow (reference ``place``): survivors, else
+        detour, else stall — with O(delta) allocation amendments."""
+        bank, faultrt, selector = self.bank, self.faultrt, self.selector
+        alloc = self.alloc
+        rs, rt = int(self.src_router[a]), int(self.dst_router[a])
+        entry = self.entries[a]
+        old_len = int(self.cand_len[a])
+        old_start = int(self.cand_start[a])
+        # copy before any detour append: bank.pool may reallocate under us
+        old_links = bank.pool[old_start:old_start + old_len].copy()
+        was_stalled = bool(self.stalled[a])
+        view = faultrt.view((rs, rt), entry)
+        if view.count:
+            pos = int(selector.initial_path(int(self.fid[a]), view.count,
+                                            path_lengths=view.lengths))
+            idx = int(view.survivors[pos])
+            new_start, new_len = int(entry.seg_start[idx]), int(entry.seg_len[idx])
+            self.path_index[a] = idx
+            self.on_detour[a] = False
+            self.record_hops[a] = -1
+        else:
+            detour = faultrt.detour(rs, rt)
+            if detour is None:
+                # Disconnected: stall in place, drop out of the allocation.
+                if not was_stalled:
+                    self.stalled[a] = True
+                    self.rate[a] = 0.0
+                    self.stall_count += 1
+                    alloc.remove(a)
+                return
+            hops = max(1, len(detour) - 1)
+            # the selector is still consulted (one candidate): RNG alignment
+            selector.initial_path(int(self.fid[a]), 1, path_lengths=[hops])
+            new_start, new_len = bank._append(self.links.links_of_path(detour))
+            self.path_index[a] = 0
+            self.on_detour[a] = True
+            self.record_hops[a] = hops
+        self.stalled[a] = False
+        self.cand_start[a], self.cand_len[a] = new_start, new_len
+        new_links = bank.pool[new_start:new_start + new_len]
+        changed_path = new_len != old_len or bool((new_links != old_links).any())
+        if was_stalled:
+            self.alloc_add(a, new_start, new_len, max(entry.max_links, new_len + 2))
+            self.order_dirty = True
+        elif changed_path:
+            if new_len + 2 <= int(alloc.state.seg_cap[a]):
+                slot = np.array([a], dtype=np.int64)
+                alloc.switch(slot, self.inj_link[slot], self.ej_link[slot],
+                             bank.pool, self.cand_start[slot], self.cand_len[slot])
+            else:   # detour longer than the reserved segment: move to the end
+                alloc.remove(a)
+                self.alloc_add(a, new_start, new_len,
+                               max(entry.max_links, new_len + 2))
+                self.order_dirty = True
+        if changed_path:
+            self.num_switches[a] += 1
+            self.bytes_since_switch[a] = 0.0
+            self.reroutes += 1
+
+    def apply_fault_epoch(self, deltas: Sequence[Tuple[str, Tuple[int, int]]]) -> None:
+        """Apply one epoch and displace affected flows in arrival order.
+
+        The displacement loop is scalar on purpose: it consumes the selector
+        RNG per displaced flow exactly as the reference's dict-order loop
+        does.  Re-adds break the pool's ascending arrival order (which the
+        full allocator's float accumulation follows), so the epoch ends with
+        a compaction back to ascending order whenever one happened.
+        """
+        faultrt, bank = self.faultrt, self.bank
+        self.fault_count += 1
+        faultrt.apply(deltas)
+        self.order_dirty = False
+        for a in self.active:
+            a = int(a)
+            if self.src_router[a] == self.dst_router[a]:
+                continue      # synthetic empty-link candidate: immune
+            if self.stalled[a]:
+                needs = True  # always retry: a restore may have reconnected
+            else:
+                s, length = int(self.cand_start[a]), int(self.cand_len[a])
+                dead = bool(faultrt.failed_mask[bank.pool[s:s + length]].any())
+                if self.on_detour[a]:
+                    needs = dead or faultrt.view(
+                        (int(self.src_router[a]), int(self.dst_router[a])),
+                        self.entries[a]).count > 0
+                else:
+                    needs = dead
+            if needs:
+                self.place_flow(a)
+        if self.order_dirty:
+            self.alloc.state.compact(self.active[~self.stalled[self.active]])
+
+    # ---------------------------------------------------------------- records
+    def make_record(self, a: int, completion_time: float) -> FlowRecord:
+        """Assemble one flow's record (RTT + transport startup, as reference)."""
+        config = self.config
+        entry = self.entries[a]
+        if self.faults_on and self.record_hops[a] >= 0:
+            hops = int(self.record_hops[a])
+        else:
+            hops = entry.lengths[int(self.path_index[a])]
+        rtt = 2 * (hops * config.per_hop_latency + config.host_latency)
+        startup = self.transport.startup_delay(float(self.size[a]), rtt,
+                                               config.link_rate_bps)
+        return FlowRecord(
+            flow_id=int(self.fid[a]), source=int(self.src[a]),
+            destination=int(self.dst[a]),
+            size_bytes=float(self.size[a]), start_time=float(self.start[a]),
+            completion_time=float(completion_time + rtt / 2 + startup),
+            path_hops=hops, num_path_switches=int(self.num_switches[a]),
+            congestion_events=int(self.congestion_events[a]))
+
+    def drain_record(self, a: int) -> FlowRecord:
+        """The record a still-active flow would get if drained right now
+        (the ``max_events`` truncation path, same rate floor as the reference)."""
+        a = int(a)
+        horizon = self.now + self.remaining[a] / max(float(self.rate[a]),
+                                                     self.config.rate_epsilon)
+        return self.make_record(a, horizon)
+
+    def meta(self) -> Dict[str, object]:
+        """The run's meta dict (event/fault/allocator counters)."""
+        meta: Dict[str, object] = {
+            "topology": self.topology.name,
+            "routing": getattr(self.routing, "name", type(self.routing).__name__),
+            "transport": self.transport.name,
+            "events": self.events,
+            "engine": "engine",
+            "allocator": self.alloc.name,
+            "pool_compactions": self.alloc.state.compactions}
+        if self.faults_on:
+            meta["fault_events"] = self.fault_count
+            meta["reroutes"] = self.reroutes
+            meta["stalls"] = self.stall_count
+            meta["candidate_refilters"] = self.faultrt.refilters
+            meta["candidate_reuses"] = self.faultrt.reuses
+            meta["candidate_invalidated"] = self.faultrt.invalidated
+        return meta
+
+    # ------------------------------------------------------- streaming support
+    def compact_slots(self) -> int:
+        """Renumber live slots to a dense prefix (arrival order preserved).
+
+        Retired (completed) slots are dropped: active slots become ``0..a-1``
+        and not-yet-admitted slots ``a..a+p-1`` in the same relative order, so
+        both engine invariants survive — ascending slot order is still arrival
+        order, and the allocation pool (rebuilt segment-by-segment in the new
+        order) keeps exactly the live entries a batch run that never saw the
+        retired flows would hold.  Stalled flows keep no allocation segment
+        (they re-add on revival), matching their pre-compaction state.  Returns
+        the number of retired slots dropped.
+
+        Only the streaming driver calls this; the batch driver's slot space is
+        its workload's arrival order and never shrinks.
+        """
+        active = self.active
+        pending = np.arange(self.admit_idx, self.count, dtype=np.int64)
+        keep = np.concatenate([active, pending])
+        dropped = self.count - keep.size
+        if dropped == 0:
+            return 0
+        count = keep.size
+        capacity = max(64, count)
+        # gather the live allocation segments before any array moves (old ids)
+        state = self.alloc.state
+        segs: List[Optional[Tuple[np.ndarray, int]]] = []
+        for a in active:
+            a = int(a)
+            if self.faults_on and self.stalled[a]:
+                segs.append(None)   # stalled: no live allocation until revived
+            else:
+                segs.append((state.flow_links(a).copy(), int(state.seg_cap[a])))
+        for name in ("fid", "src", "dst", "src_router", "dst_router", "inj_link",
+                     "ej_link", "num_switches", "congestion_events", "path_index",
+                     "num_candidates", "cand_start", "cand_len"):
+            old = getattr(self, name)
+            arr = np.zeros(capacity, dtype=np.int64)
+            arr[:count] = old[keep]
+            setattr(self, name, arr)
+        for name in ("start", "size", "remaining", "rate", "bytes_since_switch"):
+            old = getattr(self, name)
+            arr = np.zeros(capacity)
+            arr[:count] = old[keep]
+            setattr(self, name, arr)
+        congested = np.zeros(capacity, dtype=bool)
+        congested[:count] = self.currently_congested[keep]
+        self.currently_congested = congested
+        if self.faults_on:
+            for name in ("stalled", "on_detour"):
+                old = getattr(self, name)
+                arr = np.zeros(capacity, dtype=bool)
+                arr[:count] = old[keep]
+                setattr(self, name, arr)
+            hops = np.full(capacity, -1, dtype=np.int64)
+            hops[:count] = self.record_hops[keep]
+            self.record_hops = hops
+        entries = [self.entries[int(s)] for s in keep]
+        entries.extend([None] * (capacity - count))
+        self.entries = entries
+        # rebuild the allocation state over the new slot ids, in the new order
+        new_state = AllocationState(capacity, self.num_links)
+        for new_slot, seg in enumerate(segs):
+            if seg is not None:
+                links, cap = seg
+                new_state.add(new_slot, links, cap)
+        self.alloc.rebind(new_state,
+                          {int(old): i for i, old in enumerate(keep)})
+        self.active = np.arange(active.size, dtype=np.int64)
+        self.admit_idx = active.size
+        self.count = count
+        self.capacity = capacity
+        return dropped
+
+    def reclaim_bank(self) -> int:
+        """Drop dead detour segments from the candidate bank pool.
+
+        Only valid when the bank is private to this run (the streaming driver's
+        bank) — pair-candidate segments move, so every ``seg_start`` and the
+        per-flow ``cand_start`` offsets are rewritten, and the fault runtime's
+        survivor views (which cache segment offsets) are invalidated.  Shared
+        batch-mode banks must never be reclaimed.  Returns pool entries freed.
+        """
+        bank = self.bank
+        old_pool = bank.pool
+        pieces: List[np.ndarray] = []
+        pos = 0
+        for entry in bank.entries.values():
+            seg_start, seg_len = entry.seg_start, entry.seg_len
+            for c in range(entry.num_candidates):
+                s, length = int(seg_start[c]), int(seg_len[c])
+                pieces.append(old_pool[s:s + length])
+                seg_start[c] = pos
+                pos += length
+        if self.faults_on:
+            for a in self.active:
+                a = int(a)
+                if self.on_detour[a]:
+                    s, length = int(self.cand_start[a]), int(self.cand_len[a])
+                    pieces.append(old_pool[s:s + length])
+                    self.cand_start[a] = pos
+                    pos += length
+        freed = bank.used - pos
+        new_pool = np.zeros(max(256, pos), dtype=np.int64)
+        if pos:
+            new_pool[:pos] = np.concatenate(pieces)
+        bank.pool = new_pool
+        bank.used = pos
+        # re-point every admitted non-detour flow at its entry's moved segment
+        for a in self.active:
+            a = int(a)
+            if not self.faults_on or not self.on_detour[a]:
+                entry = self.entries[a]
+                self.cand_start[a] = entry.seg_start[int(self.path_index[a])]
+        if self.faultrt is not None:
+            # survivor views cache seg_start copies; next use refilters them
+            self.faultrt.views.clear()
+        return freed
+
+
 # ----------------------------------------------------------------------- engine
 class FlowEngine:
     """Vectorized flow-level simulation of one workload (reference-equivalent).
@@ -371,441 +1080,26 @@ class FlowEngine:
         """Simulate ``workload`` and return per-flow records.
 
         ``mapping`` optionally remaps endpoints (randomized workload mapping).
+        The whole workload is ingested up front and driven through one
+        :class:`EngineCore` (the streaming driver in :mod:`repro.sim.stream`
+        shares the same core, feeding it incrementally instead).
         """
         arrivals = workload.sorted_by_start()
-        n = len(arrivals)
-        config = self.config
-        line_rate = config.link_rate_bps / 8.0
-        congestion_threshold = config.congestion_rate_fraction * line_rate
-
-        # ---- structure-of-arrays flow state, indexed by arrival position
-        fid = np.fromiter((f.flow_id for f in arrivals), dtype=np.int64, count=n)
-        start = np.fromiter((f.start_time for f in arrivals), dtype=np.float64, count=n)
-        src = np.fromiter((f.source for f in arrivals), dtype=np.int64, count=n)
-        dst = np.fromiter((f.destination for f in arrivals), dtype=np.int64, count=n)
-        size = np.fromiter((f.size_bytes for f in arrivals), dtype=np.float64, count=n)
-        if mapping is not None and n:
-            remap = np.asarray(mapping, dtype=np.int64)
-            src, dst = remap[src], remap[dst]
-        if n:
-            if src.min() < 0 or dst.min() < 0 or \
-                    max(src.max(), dst.max()) >= self.links.num_endpoints:
-                raise ValueError("workload references an endpoint out of range")
-            routers = self.topology.endpoint_router_array()
-            src_router, dst_router = routers[src], routers[dst]
-        else:
-            src_router = dst_router = np.empty(0, dtype=np.int64)
-        inj_link = self.links.inject_base + src
-        ej_link = self.links.eject_base + dst
-
-        remaining = size.copy()
-        rate = np.zeros(n)
-        bytes_since_switch = np.zeros(n)
-        num_switches = np.zeros(n, dtype=np.int64)
-        congestion_events = np.zeros(n, dtype=np.int64)
-        currently_congested = np.zeros(n, dtype=bool)
-        path_index = np.zeros(n, dtype=np.int64)
-        num_candidates = np.zeros(n, dtype=np.int64)
-        cand_start = np.zeros(n, dtype=np.int64)
-        cand_len = np.zeros(n, dtype=np.int64)
-        entries: List[Optional[CandidateEntry]] = [None] * n
-
         records: List[FlowRecord] = []
-        active = np.empty(0, dtype=np.int64)   # arrival positions, ascending
-        arrival_idx = 0
-        now = 0.0
-        events = 0
-        selector = self.selector
-        bank = self.bank
-        routing = self.routing
-        # persistent incidence + rate allocator (full: reference-equivalent refill
-        # over the persistent pool; incremental: dirty-component refiltering)
-        alloc = make_allocator(config.allocator, n, self.num_links, self.capacities,
-                               line_rate)
-
-        # ---- fault state (mirrors the reference spec; see repro.sim.faults)
-        faults_on = config.faults is not None
-        fault_epochs = config.faults.resolve(self.topology) if faults_on else []
-        fault_idx = 0
-        fault_count = 0
-        reroutes = 0
-        stall_count = 0
-        order_dirty = False
-        if faults_on:
-            stalled = np.zeros(n, dtype=bool)
-            on_detour = np.zeros(n, dtype=bool)
-            record_hops = np.full(n, -1, dtype=np.int64)   # detour hops override
-            faultrt = _FaultRuntime(self.topology, self.links, bank)
-        else:
-            stalled = on_detour = record_hops = None
-            faultrt = None
-
-        def advance_to(new_time: float) -> None:
-            """Transfer bytes on all active flows up to ``new_time`` (vectorized)."""
-            # byte accounting: same elementwise expressions as the reference loop
-            dt = new_time - now
-            if dt <= 0 or active.size == 0:
-                return
-            r = rate[active]
-            transferred = np.where(np.isfinite(r), r * dt, remaining[active])
-            np.minimum(transferred, remaining[active], out=transferred)
-            remaining[active] -= transferred
-            bytes_since_switch[active] += transferred
-
-        def recompute_rates() -> None:
-            """Max-min fair rates + link utilisation + congestion-episode edges.
-
-            The allocator refills from the persistent incidence (no per-event
-            regather) and reports which slots it recomputed — all active ones for
-            ``allocator="full"``, only the dirty components' members for
-            ``allocator="incremental"``.  Congestion episodes are edge-triggered,
-            and an untouched component's rates are unchanged by construction, so
-            re-evaluating episodes exactly for the refilled slots is equivalent.
-            """
-            alive = active if not faults_on else active[~stalled[active]]
-            if alive.size == 0:
-                alloc.idle()
-                return
-            refilled = alloc.recompute(alive, rate)
-            if refilled.size:
-                congested = rate[refilled] < congestion_threshold
-                congestion_events[refilled] += congested & ~currently_congested[refilled]
-                currently_congested[refilled] = congested
-
-        def maybe_switch_paths() -> None:
-            """Flowlet/congestion path switching with one batched selector call."""
-            if active.size == 0:
-                return
-            multi = active[num_candidates[active] > 1]
-            if multi.size == 0:
-                return
-            current_congestion = _segment_max(alloc.link_util, bank.pool,
-                                              cand_start[multi], cand_len[multi])
-            eligible = multi[(bytes_since_switch[multi] >= config.flowlet_bytes)
-                             | (current_congestion >= 1.0)]
-            if eligible.size == 0:
-                return
-            # batched switch evaluation: per-candidate congestion for every eligible
-            # flow in one segmented sweep, then one batched selector call whose RNG
-            # consumption matches per-flow calls in arrival order exactly
-            flow_entries = [entries[int(a)] for a in eligible]
-            seg_starts = np.concatenate([e.seg_start for e in flow_entries])
-            seg_lens = np.concatenate([e.seg_len for e in flow_entries])
-            counts = num_candidates[eligible]
-            congestion_flat = _segment_max(alloc.link_util, bank.pool, seg_starts, seg_lens)
-            width = int(counts.max())
-            row_mask = np.arange(width) < counts[:, None]
-            loads = np.full((eligible.size, width), np.inf)
-            loads[row_mask] = congestion_flat
-            lengths = np.full((eligible.size, width), np.inf)
-            lengths[row_mask] = np.concatenate([e.lengths_float for e in flow_entries])
-            new_index = selector.next_path_batch(fid[eligible], path_index[eligible],
-                                                 counts, loads, lengths)
-            bytes_since_switch[eligible] = 0.0
-            switched = new_index != path_index[eligible]
-            path_index[eligible] = new_index
-            num_switches[eligible[switched]] += 1
-            flat = np.cumsum(counts) - counts + new_index
-            cand_start[eligible] = seg_starts[flat]
-            cand_len[eligible] = seg_lens[flat]
-            changed = eligible[switched]
-            if changed.size:
-                # amend the persistent incidence: switched segments are rewritten
-                # in place (capacity covers the longest candidate of the pair)
-                alloc.switch(changed, inj_link[changed], ej_link[changed], bank.pool,
-                             cand_start[changed], cand_len[changed])
-
-        def maybe_switch_paths_faulted() -> None:
-            """Faulted-mode switch evaluation: batch over the survivor views.
-
-            Mirrors the reference's survivor-aware loop: stalled and detour flows
-            never switch, a pair with at most one surviving candidate is skipped,
-            and the batched selector call sees survivor-*position* indices, loads
-            and lengths — consuming the RNG exactly as per-flow calls would.
-            """
-            if active.size == 0:
-                return
-            cand = active[~stalled[active] & ~on_detour[active]
-                          & (num_candidates[active] > 1)]
-            if cand.size == 0:
-                return
-            views = [faultrt.view((int(src_router[a]), int(dst_router[a])),
-                                  entries[int(a)]) for a in cand]
-            keep = np.fromiter((v.count > 1 for v in views), dtype=bool,
-                               count=cand.size)
-            cand = cand[keep]
-            if cand.size == 0:
-                return
-            views = [v for v, k in zip(views, keep) if k]
-            current_congestion = _segment_max(alloc.link_util, bank.pool,
-                                              cand_start[cand], cand_len[cand])
-            elig = (bytes_since_switch[cand] >= config.flowlet_bytes) \
-                | (current_congestion >= 1.0)
-            eligible = cand[elig]
-            if eligible.size == 0:
-                return
-            views = [v for v, k in zip(views, elig) if k]
-            seg_starts = np.concatenate([v.sstart for v in views])
-            seg_lens = np.concatenate([v.slen for v in views])
-            counts = np.fromiter((v.count for v in views), dtype=np.int64,
-                                 count=eligible.size)
-            congestion_flat = _segment_max(alloc.link_util, bank.pool, seg_starts,
-                                           seg_lens)
-            width = int(counts.max())
-            row_mask = np.arange(width) < counts[:, None]
-            loads = np.full((eligible.size, width), np.inf)
-            loads[row_mask] = congestion_flat
-            lengths = np.full((eligible.size, width), np.inf)
-            lengths[row_mask] = np.concatenate([v.lengths_float for v in views])
-            currents = np.fromiter(
-                (np.searchsorted(v.survivors, path_index[a])
-                 for v, a in zip(views, eligible)), dtype=np.int64,
-                count=eligible.size)
-            new_pos = selector.next_path_batch(fid[eligible], currents, counts,
-                                               loads, lengths)
-            bytes_since_switch[eligible] = 0.0
-            new_index = np.fromiter(
-                (v.survivors[p] for v, p in zip(views, new_pos)), dtype=np.int64,
-                count=eligible.size)
-            switched = new_index != path_index[eligible]
-            path_index[eligible] = new_index
-            num_switches[eligible[switched]] += 1
-            flat = np.cumsum(counts) - counts + new_pos
-            cand_start[eligible] = seg_starts[flat]
-            cand_len[eligible] = seg_lens[flat]
-            changed = eligible[switched]
-            if changed.size:
-                alloc.switch(changed, inj_link[changed], ej_link[changed], bank.pool,
-                             cand_start[changed], cand_len[changed])
-
-        def alloc_add(a: int, seg_s: int, seg_l: int, capacity: int) -> None:
-            """(Re-)register slot ``a``'s full link segment with the allocator."""
-            full = np.empty(seg_l + 2, dtype=np.int64)
-            full[0] = inj_link[a]
-            if seg_l:
-                full[1:-1] = bank.pool[seg_s:seg_s + seg_l]
-            full[-1] = ej_link[a]
-            alloc.add(a, full, capacity)
-
-        def place_flow(a: int) -> None:
-            """Re-place one displaced flow (reference ``place``): survivors, else
-            detour, else stall — with O(delta) allocation amendments."""
-            nonlocal reroutes, stall_count, order_dirty
-            rs, rt = int(src_router[a]), int(dst_router[a])
-            entry = entries[a]
-            old_len = int(cand_len[a])
-            old_start = int(cand_start[a])
-            # copy before any detour append: bank.pool may reallocate under us
-            old_links = bank.pool[old_start:old_start + old_len].copy()
-            was_stalled = bool(stalled[a])
-            view = faultrt.view((rs, rt), entry)
-            if view.count:
-                pos = int(selector.initial_path(int(fid[a]), view.count,
-                                                path_lengths=view.lengths))
-                idx = int(view.survivors[pos])
-                new_start, new_len = int(entry.seg_start[idx]), int(entry.seg_len[idx])
-                path_index[a] = idx
-                on_detour[a] = False
-                record_hops[a] = -1
-            else:
-                detour = faultrt.detour(rs, rt)
-                if detour is None:
-                    # Disconnected: stall in place, drop out of the allocation.
-                    if not was_stalled:
-                        stalled[a] = True
-                        rate[a] = 0.0
-                        stall_count += 1
-                        alloc.remove(a)
-                    return
-                hops = max(1, len(detour) - 1)
-                # the selector is still consulted (one candidate): RNG alignment
-                selector.initial_path(int(fid[a]), 1, path_lengths=[hops])
-                new_start, new_len = bank._append(self.links.links_of_path(detour))
-                path_index[a] = 0
-                on_detour[a] = True
-                record_hops[a] = hops
-            stalled[a] = False
-            cand_start[a], cand_len[a] = new_start, new_len
-            new_links = bank.pool[new_start:new_start + new_len]
-            changed_path = new_len != old_len or bool((new_links != old_links).any())
-            if was_stalled:
-                alloc_add(a, new_start, new_len, max(entry.max_links, new_len + 2))
-                order_dirty = True
-            elif changed_path:
-                if new_len + 2 <= int(alloc.state.seg_cap[a]):
-                    slot = np.array([a], dtype=np.int64)
-                    alloc.switch(slot, inj_link[slot], ej_link[slot], bank.pool,
-                                 cand_start[slot], cand_len[slot])
-                else:   # detour longer than the reserved segment: move to the end
-                    alloc.remove(a)
-                    alloc_add(a, new_start, new_len, max(entry.max_links, new_len + 2))
-                    order_dirty = True
-            if changed_path:
-                num_switches[a] += 1
-                bytes_since_switch[a] = 0.0
-                reroutes += 1
-
-        def apply_fault_epoch(deltas: Sequence[Tuple[str, Tuple[int, int]]]) -> None:
-            """Apply one epoch and displace affected flows in arrival order.
-
-            The displacement loop is scalar on purpose: it consumes the selector
-            RNG per displaced flow exactly as the reference's dict-order loop
-            does.  Re-adds break the pool's ascending arrival order (which the
-            full allocator's float accumulation follows), so the epoch ends with
-            a compaction back to ascending order whenever one happened.
-            """
-            nonlocal fault_count, order_dirty
-            fault_count += 1
-            faultrt.apply(deltas)
-            order_dirty = False
-            for a in active:
-                a = int(a)
-                if src_router[a] == dst_router[a]:
-                    continue      # synthetic empty-link candidate: immune
-                if stalled[a]:
-                    needs = True  # always retry: a restore may have reconnected
-                else:
-                    s, length = int(cand_start[a]), int(cand_len[a])
-                    dead = bool(faultrt.failed_mask[bank.pool[s:s + length]].any())
-                    if on_detour[a]:
-                        needs = dead or faultrt.view(
-                            (int(src_router[a]), int(dst_router[a])),
-                            entries[a]).count > 0
-                    else:
-                        needs = dead
-                if needs:
-                    place_flow(a)
-            if order_dirty:
-                alloc.state.compact(active[~stalled[active]])
-
-        def make_record(a: int, completion_time: float) -> FlowRecord:
-            """Assemble one flow's record (RTT + transport startup, as reference)."""
-            entry = entries[a]
-            if faults_on and record_hops[a] >= 0:
-                hops = int(record_hops[a])
-            else:
-                hops = entry.lengths[int(path_index[a])]
-            rtt = 2 * (hops * config.per_hop_latency + config.host_latency)
-            startup = self.transport.startup_delay(float(size[a]), rtt, config.link_rate_bps)
-            return FlowRecord(
-                flow_id=int(fid[a]), source=int(src[a]), destination=int(dst[a]),
-                size_bytes=float(size[a]), start_time=float(start[a]),
-                completion_time=float(completion_time + rtt / 2 + startup),
-                path_hops=hops, num_path_switches=int(num_switches[a]),
-                congestion_events=int(congestion_events[a]))
-
-        while (arrival_idx < n or active.size) and events < config.max_events:
-            events += 1
-            if active.size:
-                horizon = now + remaining[active] / np.maximum(rate[active], config.rate_epsilon)
-                k = int(np.argmin(horizon))    # first minimum = earliest-arrived, as reference
-                completion_time = float(horizon[k])
-                completing: Optional[int] = int(active[k])
-            else:
-                completion_time, completing = np.inf, None
-            next_arrival = start[arrival_idx] if arrival_idx < n else np.inf
-            next_fault = fault_epochs[fault_idx][0] if fault_idx < len(fault_epochs) else np.inf
-            if next_fault <= next_arrival and next_fault <= completion_time:
-                # fault epochs win time ties over arrivals and completions
-                advance_to(float(next_fault))
-                now = float(next_fault)
-                apply_fault_epoch(fault_epochs[fault_idx][1])
-                fault_idx += 1
-            elif next_arrival <= completion_time:
-                advance_to(float(next_arrival))
-                now = float(next_arrival)
-                first_new = arrival_idx
-                while arrival_idx < n and start[arrival_idx] <= now:
-                    a = arrival_idx
-                    arrival_idx += 1
-                    entry = bank.entry(routing, int(src_router[a]), int(dst_router[a]))
-                    entries[a] = entry
-                    num_candidates[a] = entry.num_candidates
-                    if faults_on and faultrt.failed_links \
-                            and src_router[a] != dst_router[a]:
-                        view = faultrt.view((int(src_router[a]), int(dst_router[a])),
-                                            entry)
-                        if view.count:
-                            pos = int(selector.initial_path(
-                                int(fid[a]), view.count, path_lengths=view.lengths))
-                            index = int(view.survivors[pos])
-                        else:
-                            detour = faultrt.detour(int(src_router[a]),
-                                                    int(dst_router[a]))
-                            if detour is not None:
-                                hops = max(1, len(detour) - 1)
-                                selector.initial_path(int(fid[a]), 1,
-                                                      path_lengths=[hops])
-                                seg_s, seg_l = bank._append(
-                                    self.links.links_of_path(detour))
-                                path_index[a] = 0
-                                on_detour[a] = True
-                                record_hops[a] = hops
-                                cand_start[a], cand_len[a] = seg_s, seg_l
-                                alloc_add(a, seg_s, seg_l,
-                                          max(entry.max_links, seg_l + 2))
-                                continue
-                            # stalled on arrival: no selector draw is consumed,
-                            # no allocation; the flow waits for a restore
-                            stall_count += 1
-                            stalled[a] = True
-                            path_index[a] = 0
-                            cand_start[a] = entry.seg_start[0]
-                            cand_len[a] = entry.seg_len[0]
-                            continue
-                    else:
-                        index = selector.initial_path(int(fid[a]),
-                                                      entry.num_candidates,
-                                                      path_lengths=entry.lengths)
-                    path_index[a] = index
-                    cand_start[a] = entry.seg_start[index]
-                    cand_len[a] = entry.seg_len[index]
-                    mid = int(entry.seg_len[index])
-                    full_links = np.empty(mid + 2, dtype=np.int64)
-                    full_links[0] = inj_link[a]
-                    if mid:
-                        s = int(entry.seg_start[index])
-                        full_links[1:-1] = bank.pool[s:s + mid]
-                    full_links[-1] = ej_link[a]
-                    alloc.add(a, full_links, entry.max_links)
-                active = np.concatenate([active, np.arange(first_new, arrival_idx)])
-            else:
-                if completing is None:
-                    break
-                advance_to(completion_time)
-                now = completion_time
-                active = active[active != completing]
-                if not (faults_on and stalled[completing]):
-                    alloc.remove(completing)
-                records.append(make_record(completing, now))
-            if faults_on and faultrt.failed_links:
-                maybe_switch_paths_faulted()
-            else:
-                maybe_switch_paths()
-            recompute_rates()
-
+        core = EngineCore(self, len(arrivals), records.append)
+        core.set_mapping(mapping)
+        core.ingest(arrivals)
+        config = self.config
+        while (core.admit_idx < core.count or core.active.size) \
+                and core.events < config.max_events:
+            core.step()
         # drain any flows left when max_events was hit (same rate floor as the
         # completion search, matching the reference)
-        for a in active:
-            a = int(a)
-            records.append(make_record(
-                a, now + remaining[a] / max(float(rate[a]), config.rate_epsilon)))
+        for a in core.active:
+            records.append(core.drain_record(int(a)))
         records.sort(key=lambda r: r.flow_id)
-        self._link_util = alloc.link_util
-        meta = {"topology": self.topology.name,
-                "routing": getattr(self.routing, "name", type(self.routing).__name__),
-                "transport": self.transport.name,
-                "events": events,
-                "engine": "engine",
-                "allocator": alloc.name}
-        if faults_on:
-            meta["fault_events"] = fault_count
-            meta["reroutes"] = reroutes
-            meta["stalls"] = stall_count
-            meta["candidate_refilters"] = faultrt.refilters
-            meta["candidate_reuses"] = faultrt.reuses
-            meta["candidate_invalidated"] = faultrt.invalidated
-        return SimulationResult(records=records, name=workload.name, meta=meta)
+        self._link_util = core.alloc.link_util
+        return SimulationResult(records=records, name=workload.name, meta=core.meta())
 
 
 # ------------------------------------------------------------------ batched API

@@ -49,7 +49,8 @@ from repro.sim.engine import ENGINES, FlowEngine, SimCell, simulate_many
 from repro.sim.faults import FaultEvent, FaultSchedule, sample_link_faults
 from repro.sim.metrics import SimulationResult
 from repro.sim.reference import FlowLevelSimulator
-from repro.sim.simconfig import ALLOCATORS, FlowSimConfig
+from repro.sim.simconfig import ALLOCATORS, FlowSimConfig, StreamConfig
+from repro.sim.stream import StreamSimulator
 from repro.topologies.base import Topology
 from repro.traffic.flows import Workload
 
@@ -62,6 +63,8 @@ __all__ = [
     "FlowLevelSimulator",
     "FlowSimConfig",
     "SimCell",
+    "StreamConfig",
+    "StreamSimulator",
     "sample_link_faults",
     "simulate_many",
     "simulate_workload",

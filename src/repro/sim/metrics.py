@@ -1,9 +1,18 @@
-"""Flow-completion-time and throughput metrics (paper §VII-A5)."""
+"""Flow-completion-time and throughput metrics (paper §VII-A5).
+
+Batch summaries (:class:`SimulationResult`, :func:`summarize_flows`) plus the
+bounded-memory streaming estimators the streaming service layer
+(:mod:`repro.sim.stream`) feeds one completion at a time: :class:`P2Quantile`
+(the P² algorithm — five markers, no sample storage) and
+:class:`ReservoirSample` (uniform fixed-size sample, exact percentiles while
+under capacity).  Both expose ``state_dict``/``load_state`` so a stream
+checkpoint restores them bit-identically.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -56,9 +65,23 @@ class SimulationResult:
         """Per-flow sizes in bytes (record order)."""
         return np.array([r.size_bytes for r in self.records])
 
-    def warmup_filtered(self, warmup_fraction: float = 0.5) -> "SimulationResult":
+    def warmup_filtered(self, warmup_fraction: float = 0.5, *,
+                        start_after: Optional[float] = None,
+                        end_before: Optional[float] = None) -> "SimulationResult":
         """Drop flows that start in the first ``warmup_fraction`` of the start-time window
-        (the paper drops the first half of the window for warm-up)."""
+        (the paper drops the first half of the window for warm-up).
+
+        Explicit time bounds replace the fractional cutoff when given: records
+        with ``start_after <= start_time < end_before`` are kept (either bound
+        may be ``None`` for half-open filtering), which is what windowed stream
+        analysis needs — and, unlike the fractional form, an empty window stays
+        empty instead of falling back to all records.
+        """
+        if start_after is not None or end_before is not None:
+            kept = [r for r in self.records
+                    if (start_after is None or r.start_time >= start_after)
+                    and (end_before is None or r.start_time < end_before)]
+            return SimulationResult(records=kept, name=self.name, meta=dict(self.meta))
         if not self.records or warmup_fraction <= 0:
             return self
         starts = np.array([r.start_time for r in self.records])
@@ -68,9 +91,20 @@ class SimulationResult:
             kept = self.records
         return SimulationResult(records=kept, name=self.name, meta=dict(self.meta))
 
-    def summary(self, percentiles: Sequence[float] = (1, 10, 50, 90, 99)) -> Dict[str, float]:
-        """Mean/percentile FCT and throughput summary (see :func:`summarize_flows`)."""
-        return summarize_flows(self.records, percentiles)
+    def summary(self, percentiles: Sequence[float] = (1, 10, 50, 90, 99), *,
+                start_after: Optional[float] = None,
+                end_before: Optional[float] = None) -> Dict[str, float]:
+        """Mean/percentile FCT and throughput summary (see :func:`summarize_flows`).
+
+        ``start_after``/``end_before`` optionally restrict the summary to flows
+        starting inside ``[start_after, end_before)`` — the per-window view of a
+        stream — via :meth:`warmup_filtered`'s explicit-bounds form.
+        """
+        records = self.records
+        if start_after is not None or end_before is not None:
+            records = self.warmup_filtered(start_after=start_after,
+                                           end_before=end_before).records
+        return summarize_flows(records, percentiles)
 
     def by_size_bucket(self, buckets: Sequence[float]) -> Dict[float, "SimulationResult"]:
         """Partition records by flow size (bucket = largest bound >= size)."""
@@ -109,6 +143,162 @@ def summarize_flows(records: Sequence[FlowRecord],
     summary["throughput_tail"] = summary.get("throughput_p1", float(tput.min()))
     summary["fct_tail"] = summary.get("fct_p99", float(fct.max()))
     return summary
+
+
+# ------------------------------------------------------------ streaming estimators
+class P2Quantile:
+    """Streaming quantile estimate by the P² algorithm (Jain & Chlamtac, 1985).
+
+    Five markers track the running ``q``-quantile in O(1) memory: the first five
+    observations seed the markers, every later observation shifts marker
+    positions and adjusts heights by a piecewise-parabolic fit.  All state is a
+    handful of floats, entirely determined by the observation sequence — no RNG
+    — so a checkpointed estimator resumes bit-identically via
+    :meth:`state_dict`/:meth:`load_state`.  Below five observations
+    :meth:`value` falls back to the exact percentile of the buffer.
+    """
+
+    def __init__(self, q: float) -> None:
+        """Track the ``q``-quantile, ``0 < q < 1``."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._pos: List[float] = []
+        self._desired: List[float] = []
+        self._inc: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        value = float(value)
+        self.count += 1
+        h = self._heights
+        if self.count <= 5:
+            h.append(value)
+            h.sort()
+            if self.count == 5:
+                q = self.q
+                self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._inc = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        pos, desired, inc = self._pos, self._desired, self._inc
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            desired[i] += inc[i]
+        for i in (1, 2, 3):
+            delta = desired[i] - pos[i]
+            if (delta >= 1.0 and pos[i + 1] - pos[i] > 1.0) or \
+                    (delta <= -1.0 and pos[i - 1] - pos[i] < -1.0):
+                sign = 1.0 if delta >= 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                pos[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        """Piecewise-parabolic (P²) height adjustment of marker ``i``."""
+        h, pos = self._heights, self._pos
+        return h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + sign) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - sign) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1]))
+
+    def _linear(self, i: int, sign: float) -> float:
+        """Linear fallback when the parabolic fit leaves the bracketing heights."""
+        h, pos = self._heights, self._pos
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        if self.count == 0:
+            return float("nan")
+        if self.count < 5:
+            return float(np.quantile(np.array(self._heights), self.q))
+        return self._heights[2]
+
+    def state_dict(self) -> Dict[str, object]:
+        """All estimator state as plain floats (checkpoint payload)."""
+        return {"q": self.q, "count": self.count, "heights": list(self._heights),
+                "pos": list(self._pos), "desired": list(self._desired),
+                "inc": list(self._inc)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore from a :meth:`state_dict` payload (bit-identical resume)."""
+        self.q = float(state["q"])
+        self.count = int(state["count"])
+        self._heights = [float(v) for v in state["heights"]]
+        self._pos = [float(v) for v in state["pos"]]
+        self._desired = [float(v) for v in state["desired"]]
+        self._inc = [float(v) for v in state["inc"]]
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample of a stream (Vitter's algorithm R).
+
+    Holds at most ``capacity`` values; while under capacity the sample is the
+    whole stream, so :meth:`percentile` is exact — the per-window FCT reservoirs
+    of the streaming service are sized to cover a window's completions and only
+    degrade to sampling under overload.  Replacement draws come from the caller's
+    ``rng`` (one bounded-integer draw per observation past capacity), so a
+    checkpoint that also saves the generator state resumes bit-identically.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        """An empty reservoir of ``capacity`` values drawing from ``rng``."""
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.rng = rng
+        self.items: List[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        self.seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(float(value))
+            return
+        j = int(self.rng.integers(0, self.seen))
+        if j < self.capacity:
+            self.items[j] = float(value)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of the sample (NaN while empty)."""
+        if not self.items:
+            return float("nan")
+        return float(np.percentile(np.array(self.items), p))
+
+    def mean(self) -> float:
+        """Mean of the sample (NaN while empty)."""
+        if not self.items:
+            return float("nan")
+        return float(np.mean(self.items))
+
+    def state_dict(self) -> Dict[str, object]:
+        """Sample contents and counters (checkpoint payload; RNG saved by caller)."""
+        return {"capacity": self.capacity, "items": list(self.items),
+                "seen": self.seen}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore from a :meth:`state_dict` payload."""
+        self.capacity = int(state["capacity"])
+        self.items = [float(v) for v in state["items"]]
+        self.seen = int(state["seen"])
 
 
 def speedup_over_baseline(result: SimulationResult, baseline: SimulationResult,

@@ -53,6 +53,39 @@ class FlowSimConfig:
 
 
 @dataclass(frozen=True)
+class StreamConfig:
+    """Streaming-service parameters of :class:`repro.sim.stream.StreamSimulator`.
+
+    Windows are anchored at simulated time 0 and ``window`` seconds wide; the
+    first ``warmup_windows`` of them are excluded from the steady-state
+    estimators.  Compaction is governed purely by slot counts (never wall
+    clock), so two runs over the same stream — or a checkpoint-restored run —
+    compact at identical event positions.
+    """
+
+    window: float = 0.05                 # metrics window width in simulated seconds
+    warmup_windows: int = 2              # windows excluded from steady-state stats
+    reservoir: int = 2048                # per-window FCT reservoir capacity
+    keep_windows: int = 256              # closed WindowStats retained in memory
+    record_ring: int = 1024              # completed FlowRecords retained (no sink)
+    compact_factor: float = 2.0          # compact when retired > factor * live slots
+    min_retired: int = 1024              # retired slots needed before compacting
+    initial_slots: int = 1024            # initial slot-array capacity
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.warmup_windows < 0:
+            raise ValueError("warmup_windows must be >= 0")
+        if self.reservoir < 1 or self.keep_windows < 1 or self.record_ring < 1:
+            raise ValueError("reservoir, keep_windows and record_ring must be >= 1")
+        if self.compact_factor <= 0:
+            raise ValueError("compact_factor must be positive")
+        if self.min_retired < 1 or self.initial_slots < 1:
+            raise ValueError("min_retired and initial_slots must be >= 1")
+
+
+@dataclass(frozen=True)
 class PacketSimConfig:
     """Packet-simulator parameters (defaults per §VII-A6)."""
 

@@ -1,0 +1,750 @@
+"""Streaming service layer over the vectorized flow engine (`repro.sim.stream`).
+
+:class:`StreamSimulator` turns the batch :class:`repro.sim.engine.FlowEngine`
+into a long-running service: arrivals come from an open-ended iterator (or
+incremental :meth:`~StreamSimulator.push` / :meth:`~StreamSimulator.advance`
+calls) instead of a fully materialised workload, completed flows retire to a
+bounded ring (or a caller-supplied sink), and memory stays proportional to the
+*active* flow set — the slot arrays, the persistent allocation pool and the
+private candidate bank are periodically compacted
+(:meth:`~repro.sim.engine.EngineCore.compact_slots`,
+:meth:`~repro.sim.engine.EngineCore.reclaim_bank`) under a deterministic,
+counter-driven policy.
+
+Semantics are pinned to the batch engine: feeding a batch workload through the
+streaming API chunk-by-chunk — compacting between chunks — produces
+record-for-record identical results to
+:func:`repro.sim.flowsim.simulate_workload` (``tests/sim/test_stream.py``).
+The only driver-visible contract is arrival ordering: pushed flows must be
+nondecreasing in start time and must not start before the current simulated
+time, and the event loop must have processed every event *strictly before* an
+arrival's start by the time it is ingested (which
+:meth:`~StreamSimulator.run`'s pull-ahead loop and
+:meth:`~StreamSimulator.advance`'s ``inclusive=False`` mode guarantee) — then
+fault/arrival/completion tie-breaking is reproduced exactly.
+
+Steady-state metrics are incremental: completions land in per-window
+:class:`~repro.sim.metrics.ReservoirSample` FCT reservoirs (windows anchored at
+time 0, ``StreamConfig.window`` wide, closed lazily when an event crosses the
+boundary — long stalls skip empty windows in one jump) and, past the warm-up
+windows, in :class:`~repro.sim.metrics.P2Quantile` estimators for the
+steady-state p50/p90/p99.  Per-window link utilisation and wall-clock event
+rates ride along in :class:`WindowStats` (the wall-clock fields are
+informational and never enter scenario rows).
+
+:meth:`~StreamSimulator.checkpoint` serializes the *full* mutable run state —
+slot arrays, allocation state (both allocators), candidate-bank pool and
+entries, selector RNG stream, fault runtime (failed set, survivor views,
+dirty-region counters), window/estimator state and the metrics RNG — as a
+version-tagged dict of plain values and numpy arrays.
+:meth:`~StreamSimulator.restore` rebuilds it into a freshly constructed
+simulator (the caller re-supplies the immutable stack: topology, routing,
+selector, transport, config — validated against the checkpoint), after which
+the run continues bit-identically to one that was never interrupted, including
+selector RNG draws, fault bookkeeping counters and compaction points.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.loadbalance import PathSelector
+from repro.core.transport import TransportModel
+from repro.sim.engine import CandidateBank, CandidateEntry, EngineCore, FlowEngine, \
+    _SurvivorView
+from repro.sim.metrics import FlowRecord, P2Quantile, ReservoirSample
+from repro.sim.simconfig import FlowSimConfig, StreamConfig
+from repro.topologies.base import Topology
+
+#: Checkpoint format version written by :meth:`StreamSimulator.checkpoint`.
+CHECKPOINT_VERSION = 1
+
+#: Steady-state FCT percentiles tracked by the P² estimators.
+STEADY_PERCENTILES = (50, 90, 99)
+
+_INT64_FIELDS = ("fid", "src", "dst", "src_router", "dst_router", "inj_link",
+                 "ej_link", "num_switches", "congestion_events", "path_index",
+                 "num_candidates", "cand_start", "cand_len")
+_FLOAT_FIELDS = ("start", "size", "remaining", "rate", "bytes_since_switch")
+
+
+@dataclass
+class WindowStats:
+    """Closed metrics window of a streaming run.
+
+    All fields except ``wall_seconds`` are pure functions of the simulated event
+    sequence (deterministic, reproducible across checkpoint/restore);
+    ``wall_seconds`` is informational wall-clock time and must never enter
+    scenario rows or golden data.
+    """
+
+    index: int              # window number (start = index * window width)
+    start: float            # simulated window start time
+    end: float              # simulated window end time
+    arrivals: int           # flows admitted during the window
+    completions: int        # flows completed during the window
+    events: int             # engine events processed during the window
+    fct_p50: float          # window FCT median (reservoir; exact under capacity)
+    fct_p99: float          # window FCT 99th percentile
+    fct_mean: float         # exact window FCT mean
+    util_mean: float        # mean link utilisation at window close
+    util_max: float         # max link utilisation at window close
+    active: int             # active flows at window close
+    sampled: bool           # True if the reservoir overflowed (percentiles sampled)
+    wall_seconds: float     # wall-clock time spent in the window (informational)
+
+    @property
+    def events_per_second(self) -> float:
+        """Wall-clock event rate of the window (informational only)."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.events / self.wall_seconds
+
+
+class StreamSimulator:
+    """Open-ended flow simulation service with bounded memory.
+
+    Construct with the same stack as :class:`~repro.sim.engine.FlowEngine`
+    (topology, routing, selector, transport, :class:`FlowSimConfig`), then
+    either hand an ordered flow iterable to :meth:`run`, or drive incrementally
+    with :meth:`push` + :meth:`advance`.  Completed records go to
+    ``record_sink`` if given, else to the bounded :attr:`records` ring.
+
+    The candidate bank is private to the service (never the shared per-routing
+    bank), because bank reclamation rewrites segment offsets in place.
+    """
+
+    def __init__(self, topology: Topology, routing,
+                 selector: Optional[PathSelector] = None,
+                 transport: Optional[TransportModel] = None,
+                 config: Optional[FlowSimConfig] = None, seed: int = 0,
+                 stream_config: Optional[StreamConfig] = None,
+                 mapping: Optional[Sequence[int]] = None,
+                 record_sink: Optional[Callable[[FlowRecord], None]] = None) -> None:
+        """Bind a stack and start an empty service at simulated time zero."""
+        self.engine = FlowEngine(topology, routing, selector=selector,
+                                 transport=transport, config=config, seed=seed)
+        # private bank: reclaim_bank rewrites offsets, which a shared bank of
+        # other (batch) runs over the same routing object must never see
+        self.engine.bank = CandidateBank(self.engine.links)
+        self.stream_config = stream_config or StreamConfig()
+        cfg = self.stream_config
+        self._record_sink = record_sink
+        self.records: Deque[FlowRecord] = deque(maxlen=cfg.record_ring)
+        self.core = EngineCore(self.engine, cfg.initial_slots, self._on_complete)
+        self.core.set_mapping(mapping)
+        self._metrics_rng = np.random.default_rng([seed, 0x5EED])
+        # ---- window accounting
+        self.windows: Deque[WindowStats] = deque(maxlen=cfg.keep_windows)
+        self.windows_emitted = 0
+        self.windows_skipped = 0
+        self._window_index = 0
+        self._window_arrivals = 0
+        self._window_completions = 0
+        self._window_events = 0
+        self._window_fct_sum = 0.0
+        self._window_reservoir = ReservoirSample(cfg.reservoir, self._metrics_rng)
+        self._window_wall = time.perf_counter()
+        self._admit_snapshot = 0
+        # ---- steady-state estimators (window >= warmup_windows)
+        self._p2: Dict[int, P2Quantile] = {p: P2Quantile(p / 100.0)
+                                           for p in STEADY_PERCENTILES}
+        self._steady_count = 0
+        self._steady_fct_sum = 0.0
+        # ---- lifetime counters
+        self._total_arrivals = 0
+        self._total_completions = 0
+        self._next_flow_id = 0
+        self.peak_active = 0
+        self.peak_slots = 0
+        self.peak_pool = 0
+        self.peak_bank = 0
+        self.slot_compactions = 0
+        self.bank_reclaimed = 0
+
+    # ------------------------------------------------------------------ driving
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return float(self.core.now)
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently active (admitted, unfinished) flows."""
+        return int(self.core.active.size)
+
+    def push(self, flows: Iterable) -> int:
+        """Ingest a chunk of flows; returns how many were accepted.
+
+        Flows must be nondecreasing in start time — within the chunk and
+        against everything pushed before — and must not start before the
+        current simulated time (the service cannot insert events into its own
+        past).  Flows with a negative ``flow_id`` get sequential service ids.
+        Ingestion alone processes no events; call :meth:`advance`.
+        """
+        flows = list(flows)
+        if not flows:
+            return 0
+        core = self.core
+        for f in flows:
+            if f.flow_id < 0:
+                f.flow_id = self._next_flow_id
+                self._next_flow_id += 1
+            else:
+                self._next_flow_id = max(self._next_flow_id, f.flow_id + 1)
+        if flows[0].start_time < core.now:
+            raise ValueError(
+                "cannot push a flow starting before the current simulated time")
+        core.ingest(flows)
+        if core.count > self.peak_slots:
+            self.peak_slots = int(core.count)
+        return len(flows)
+
+    def advance(self, until: float = np.inf, inclusive: bool = True) -> int:
+        """Process events up to ``until``; returns the number processed.
+
+        ``inclusive=False`` stops strictly before ``until`` — required when the
+        caller is about to push flows starting exactly at ``until``, so that a
+        completion or fault epoch tied with that arrival keeps the batch
+        engine's tie-break order (fault >= arrival >= completion).  Simulated
+        time only moves with events; ``until`` is a horizon, not a target.
+        """
+        core = self.core
+        strict = not inclusive
+        processed = 0
+        while core.admit_idx < core.count or core.active.size:
+            if not core.step(until, strict):
+                break
+            self._after_event()
+            self._maybe_compact()
+            processed += 1
+        return processed
+
+    def run(self, stream: Iterable, finish: bool = True) -> Optional[Dict[str, object]]:
+        """Consume an ordered flow iterable, simulating as arrivals are pulled.
+
+        The loop pulls one arrival group ahead: all flows sharing the next
+        start time are ingested together (the batch engine admits every flow
+        with ``start <= now`` in one arrival event), then events are processed
+        strictly below the following group's start.  With ``finish`` (default)
+        the remaining active flows are drained to completion afterwards and
+        :meth:`summary` is returned; pass ``finish=False`` to keep the service
+        open for more pushes.
+        """
+        it = iter(stream)
+        pending = next(it, None)
+        while pending is not None:
+            t = pending.start_time
+            batch = [pending]
+            pending = next(it, None)
+            while pending is not None and pending.start_time <= t:
+                batch.append(pending)
+                pending = next(it, None)
+            self.push(batch)
+            if pending is not None:
+                self.advance(float(pending.start_time), inclusive=False)
+        if finish:
+            return self.finish()
+        return None
+
+    def finish(self) -> Dict[str, object]:
+        """Drain all ingested flows to completion and close the open window."""
+        self.advance()
+        if self._window_events or self._window_arrivals or self._window_completions:
+            self._close_window(self._window_index + 1)
+        return self.summary()
+
+    # --------------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        """Compact when retired slots dominate (deterministic, counter-driven).
+
+        Retired slots are admitted-and-finished arrival positions; once at
+        least ``StreamConfig.min_retired`` of them have accumulated *and* they
+        outnumber the live (active + pending) slots by
+        ``StreamConfig.compact_factor``, the slot space is renumbered.  Both
+        conditions are pure functions of the event sequence, so an uninterrupted
+        run and its checkpoint-restored twin compact at identical points.
+        """
+        core = self.core
+        retired = core.admit_idx - core.active.size
+        if retired < self.stream_config.min_retired:
+            return
+        live = core.count - retired
+        if retired >= self.stream_config.compact_factor * max(live, 1):
+            self.compact()
+
+    def compact(self) -> int:
+        """Renumber live slots now; returns the number of retired slots dropped.
+
+        Slot compaction rebuilds the allocation pool over the live slots; under
+        fault schedules the private candidate bank is reclaimed too (detour
+        segments of completed flows are the only per-flow bank growth).
+        """
+        core = self.core
+        dropped = core.compact_slots()
+        if dropped:
+            self.slot_compactions += 1
+            self._admit_snapshot = core.admit_idx
+            if core.faults_on:
+                self.bank_reclaimed += core.reclaim_bank()
+        return dropped
+
+    # ----------------------------------------------------------------- metrics
+    def _roll_windows(self) -> None:
+        """Close every window the current simulated time has moved past."""
+        idx = int(self.core.now // self.stream_config.window)
+        if idx > self._window_index:
+            self._close_window(idx)
+
+    def _close_window(self, new_index: int) -> None:
+        """Emit the current window's stats and reset the accumulators."""
+        cfg = self.stream_config
+        width = cfg.window
+        res = self._window_reservoir
+        completions = self._window_completions
+        core = self.core
+        self.windows.append(WindowStats(
+            index=self._window_index,
+            start=self._window_index * width,
+            end=(self._window_index + 1) * width,
+            arrivals=self._window_arrivals,
+            completions=completions,
+            events=self._window_events,
+            fct_p50=res.percentile(50.0),
+            fct_p99=res.percentile(99.0),
+            fct_mean=(self._window_fct_sum / completions) if completions
+            else float("nan"),
+            util_mean=float(core.alloc.link_util.mean()),
+            util_max=float(core.alloc.link_util.max()),
+            active=int(core.active.size),
+            sampled=res.seen > len(res.items),
+            wall_seconds=time.perf_counter() - self._window_wall))
+        self.windows_emitted += 1
+        self.windows_skipped += max(0, new_index - self._window_index - 1)
+        self._window_index = new_index
+        self._window_arrivals = 0
+        self._window_completions = 0
+        self._window_events = 0
+        self._window_fct_sum = 0.0
+        self._window_reservoir = ReservoirSample(cfg.reservoir, self._metrics_rng)
+        self._window_wall = time.perf_counter()
+
+    def _on_complete(self, record: FlowRecord) -> None:
+        """Core sink: account one completion, then retire the record."""
+        self._roll_windows()
+        fct = record.fct
+        self._window_completions += 1
+        self._window_fct_sum += fct
+        self._window_reservoir.add(fct)
+        if self._window_index >= self.stream_config.warmup_windows:
+            for est in self._p2.values():
+                est.add(fct)
+            self._steady_count += 1
+            self._steady_fct_sum += fct
+        self._total_completions += 1
+        if self._record_sink is not None:
+            self._record_sink(record)
+        else:
+            self.records.append(record)
+
+    def _after_event(self) -> None:
+        """Post-event accounting: window rollover, arrivals delta, peaks."""
+        core = self.core
+        self._roll_windows()
+        admitted = core.admit_idx - self._admit_snapshot
+        if admitted:
+            self._window_arrivals += admitted
+            self._total_arrivals += admitted
+            self._admit_snapshot = core.admit_idx
+        self._window_events += 1
+        if core.active.size > self.peak_active:
+            self.peak_active = int(core.active.size)
+        if core.count > self.peak_slots:
+            self.peak_slots = int(core.count)
+        used = int(core.alloc.state.used)
+        if used > self.peak_pool:
+            self.peak_pool = used
+        if core.bank.used > self.peak_bank:
+            self.peak_bank = int(core.bank.used)
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic service summary (counters, steady-state FCTs, peaks)."""
+        core = self.core
+        steady = self._steady_count
+        out: Dict[str, object] = {
+            "now": float(core.now),
+            "events": int(core.events),
+            "arrivals": int(self._total_arrivals),
+            "completions": int(self._total_completions),
+            "active": int(core.active.size),
+            "pending": int(core.count - core.admit_idx),
+            "steady_completions": int(steady),
+            "steady_fct_mean": (self._steady_fct_sum / steady) if steady
+            else float("nan"),
+            "windows": int(self.windows_emitted),
+            "windows_skipped": int(self.windows_skipped),
+            "peak_active": int(self.peak_active),
+            "peak_slots": int(self.peak_slots),
+            "peak_pool": int(self.peak_pool),
+            "peak_bank": int(self.peak_bank),
+            "slot_compactions": int(self.slot_compactions),
+            "pool_compactions": int(core.alloc.state.compactions),
+            "bank_reclaimed": int(self.bank_reclaimed),
+        }
+        for p in STEADY_PERCENTILES:
+            out[f"steady_fct_p{p}"] = self._p2[p].value()
+        return out
+
+    def meta(self) -> Dict[str, object]:
+        """The underlying engine run's meta dict (event/fault/allocator counters)."""
+        return self.core.meta()
+
+    @property
+    def link_util(self) -> np.ndarray:
+        """Current per-link utilisation (the allocator's live view)."""
+        return self.core.alloc.link_util
+
+    # ------------------------------------------------------- checkpoint/restore
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize the full mutable run state as a version-tagged dict.
+
+        The payload holds plain Python values and numpy arrays (picklable as a
+        unit): slot arrays, active set, allocation state, candidate-bank pool
+        and entry segments (in insertion order), selector and metrics RNG
+        states, fault runtime (failed set, registered pairs, survivor views,
+        counters) and all window/estimator/peak accounting.  The immutable
+        stack (topology, routing, selector, transport, configs) is *not*
+        serialized — :meth:`restore` validates the caller re-supplied the same
+        one via the ``stack`` descriptor.
+        """
+        core = self.core
+        n = core.count
+        arrays: Dict[str, np.ndarray] = {
+            name: getattr(core, name)[:n].copy()
+            for name in _INT64_FIELDS + _FLOAT_FIELDS}
+        chk: Dict[str, object] = {
+            "version": CHECKPOINT_VERSION,
+            "stack": {
+                "topology": core.topology.name,
+                "num_endpoints": core.links.num_endpoints,
+                "num_links": core.num_links,
+                "routing": getattr(core.routing, "name",
+                                   type(core.routing).__name__),
+                "selector": type(core.selector).__name__,
+                "transport": core.transport.name,
+                "allocator": core.alloc.name,
+                "config": core.config,
+                "stream_config": self.stream_config,
+            },
+            "core": {
+                "count": n,
+                "admit_idx": int(core.admit_idx),
+                "now": float(core.now),
+                "events": int(core.events),
+                "active": core.active.copy(),
+                "arrays": arrays,
+                "congested": core.currently_congested[:n].copy(),
+                "fault_idx": int(core.fault_idx),
+                "fault_count": int(core.fault_count),
+                "reroutes": int(core.reroutes),
+                "stall_count": int(core.stall_count),
+                "order_dirty": bool(core.order_dirty),
+            },
+            "bank": self._checkpoint_bank(),
+            "alloc": self._checkpoint_alloc(),
+            "selector": self._checkpoint_selector(),
+            "faults": self._checkpoint_faults(),
+            "metrics": self._checkpoint_metrics(),
+            "records": list(self.records),
+        }
+        if core.faults_on:
+            chk["core"]["stalled"] = core.stalled[:n].copy()          # type: ignore[index]
+            chk["core"]["on_detour"] = core.on_detour[:n].copy()      # type: ignore[index]
+            chk["core"]["record_hops"] = core.record_hops[:n].copy()  # type: ignore[index]
+        return chk
+
+    def _checkpoint_bank(self) -> Dict[str, object]:
+        """Bank pool prefix and entry segments, preserving insertion order."""
+        bank = self.core.bank
+        return {
+            "pool": bank.pool[:bank.used].copy(),
+            "used": int(bank.used),
+            "entries": [(key, list(entry.lengths), entry.seg_start.copy(),
+                         entry.seg_len.copy())
+                        for key, entry in bank.entries.items()],
+        }
+
+    def _checkpoint_alloc(self) -> Dict[str, object]:
+        """Allocation state (+ incremental-allocator tracker when in use)."""
+        alloc = self.core.alloc
+        state = alloc.state
+        n = self.core.count
+        out: Dict[str, object] = {
+            "link_util": alloc.link_util.copy(),
+            "pool_links": state.pool_links[:state.used].copy(),
+            "pool_slots": state.pool_slots[:state.used].copy(),
+            "used": int(state.used),
+            "live": int(state.live),
+            "active_caps": int(state.active_caps),
+            "seg_start": state.seg_start[:n].copy(),
+            "seg_cap": state.seg_cap[:n].copy(),
+            "seg_len": state.seg_len[:n].copy(),
+            "active_mask": state.active_mask[:n].copy(),
+            "compactions": int(state.compactions),
+        }
+        if alloc.name == "incremental":
+            out["incremental"] = {
+                "parent": alloc._parent.copy(),
+                "members": [(root, list(slots))
+                            for root, slots in alloc._members.items()],
+                "comp_links": [(root, list(links))
+                               for root, links in alloc._comp_links.items()],
+                "link_seen": alloc._link_seen.copy(),
+                "dirty": sorted(alloc._dirty),
+                "ops": int(alloc._ops),
+                "needs_full": bool(alloc._needs_full),
+            }
+        return out
+
+    def _checkpoint_selector(self) -> Dict[str, object]:
+        """Selector RNG stream state (selectors without RNG have none)."""
+        selector = self.core.selector
+        out: Dict[str, object] = {"type": type(selector).__name__}
+        rng = getattr(selector, "_rng", None)
+        if rng is not None:
+            out["rng_state"] = rng.bit_generator.state
+        return out
+
+    def _checkpoint_faults(self) -> Optional[Dict[str, object]]:
+        """Fault runtime: failed set, registered pairs, views, counters."""
+        rt = self.core.faultrt
+        if rt is None:
+            return None
+        return {
+            "failed_edges": sorted(rt.failed_edges),
+            "registered": sorted(rt.registered),
+            "views": [(key, view.survivors.copy())
+                      for key, view in rt.views.items()],
+            "refilters": int(rt.refilters),
+            "reuses": int(rt.reuses),
+            "invalidated": int(rt.invalidated),
+        }
+
+    def _checkpoint_metrics(self) -> Dict[str, object]:
+        """Window accounting, steady-state estimators and lifetime counters."""
+        return {
+            "rng_state": self._metrics_rng.bit_generator.state,
+            "window_index": self._window_index,
+            "window_arrivals": self._window_arrivals,
+            "window_completions": self._window_completions,
+            "window_events": self._window_events,
+            "window_fct_sum": self._window_fct_sum,
+            "reservoir": self._window_reservoir.state_dict(),
+            "p2": {p: est.state_dict() for p, est in self._p2.items()},
+            "steady_count": self._steady_count,
+            "steady_fct_sum": self._steady_fct_sum,
+            "total_arrivals": self._total_arrivals,
+            "total_completions": self._total_completions,
+            "next_flow_id": self._next_flow_id,
+            "admit_snapshot": self._admit_snapshot,
+            "windows": list(self.windows),
+            "windows_emitted": self.windows_emitted,
+            "windows_skipped": self.windows_skipped,
+            "peak_active": self.peak_active,
+            "peak_slots": self.peak_slots,
+            "peak_pool": self.peak_pool,
+            "peak_bank": self.peak_bank,
+            "slot_compactions": self.slot_compactions,
+            "bank_reclaimed": self.bank_reclaimed,
+        }
+
+    def restore(self, chk: Dict[str, object]) -> None:
+        """Rebuild a :meth:`checkpoint` into this freshly constructed simulator.
+
+        The caller constructs the simulator with the *same* immutable stack the
+        checkpoint was taken under (topology, routing, selector, transport,
+        configs, allocator) — mismatches raise ``ValueError`` — and the same
+        ``record_sink`` choice.  After restoring, the run continues
+        bit-identically to one that was never interrupted.
+        """
+        if chk.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {chk.get('version')!r} "
+                f"(this build writes version {CHECKPOINT_VERSION})")
+        core = self.core
+        if core.events or core.count:
+            raise ValueError("restore requires a freshly constructed simulator")
+        stack = chk["stack"]
+        mine = {
+            "topology": core.topology.name,
+            "num_endpoints": core.links.num_endpoints,
+            "num_links": core.num_links,
+            "routing": getattr(core.routing, "name", type(core.routing).__name__),
+            "selector": type(core.selector).__name__,
+            "transport": core.transport.name,
+            "allocator": core.alloc.name,
+            "config": core.config,
+            "stream_config": self.stream_config,
+        }
+        for key, value in mine.items():
+            if stack[key] != value:
+                raise ValueError(
+                    f"checkpoint stack mismatch on {key!r}: "
+                    f"saved {stack[key]!r}, constructed {value!r}")
+        self._restore_bank(chk["bank"])
+        self._restore_core(chk["core"])
+        self._restore_alloc(chk["alloc"])
+        self._restore_faults(chk["faults"])
+        rng_state = chk["selector"].get("rng_state")
+        if rng_state is not None:
+            core.selector._rng.bit_generator.state = rng_state
+        memo = getattr(core.selector, "_row_memo", None)
+        if memo is not None:
+            memo.clear()
+        self._restore_metrics(chk["metrics"])
+        self.records = deque(chk["records"], maxlen=self.stream_config.record_ring)
+
+    def _restore_bank(self, saved: Dict[str, object]) -> None:
+        """Rebuild the private bank's pool and entries (insertion order kept)."""
+        bank = self.core.bank
+        used = int(saved["used"])
+        pool = np.zeros(max(256, used), dtype=np.int64)
+        pool[:used] = saved["pool"]
+        bank.pool = pool
+        bank.used = used
+        bank.entries.clear()
+        for key, lengths, seg_start, seg_len in saved["entries"]:
+            bank.entries[tuple(key)] = CandidateEntry(
+                bank, list(lengths),
+                np.asarray(seg_start, dtype=np.int64).copy(),
+                np.asarray(seg_len, dtype=np.int64).copy())
+
+    def _restore_core(self, saved: Dict[str, object]) -> None:
+        """Rebuild the slot arrays, active set and event counters."""
+        core = self.core
+        n = int(saved["count"])
+        core.ensure_capacity(n)
+        arrays = saved["arrays"]
+        for name in _INT64_FIELDS + _FLOAT_FIELDS:
+            getattr(core, name)[:n] = arrays[name]
+        core.currently_congested[:n] = saved["congested"]
+        core.count = n
+        core.admit_idx = int(saved["admit_idx"])
+        core.now = float(saved["now"])
+        core.events = int(saved["events"])
+        core.active = np.asarray(saved["active"], dtype=np.int64).copy()
+        core.fault_idx = int(saved["fault_idx"])
+        core.fault_count = int(saved["fault_count"])
+        core.reroutes = int(saved["reroutes"])
+        core.stall_count = int(saved["stall_count"])
+        core.order_dirty = bool(saved["order_dirty"])
+        if core.faults_on:
+            core.stalled[:n] = saved["stalled"]
+            core.on_detour[:n] = saved["on_detour"]
+            core.record_hops[:n] = saved["record_hops"]
+        bank_entries = core.bank.entries
+        for a in range(core.admit_idx):
+            core.entries[a] = bank_entries[(int(core.src_router[a]),
+                                            int(core.dst_router[a]))]
+
+    def _restore_alloc(self, saved: Dict[str, object]) -> None:
+        """Rebuild the allocation state (+ incremental tracker when in use)."""
+        core = self.core
+        alloc = core.alloc
+        state = alloc.state
+        n = core.count
+        used = int(saved["used"])
+        pool_links = np.zeros(max(256, used), dtype=np.int64)
+        pool_links[:used] = saved["pool_links"]
+        pool_slots = np.full(max(256, used), state.sentinel, dtype=np.int64)
+        pool_slots[:used] = saved["pool_slots"]
+        state.pool_links, state.pool_slots = pool_links, pool_slots
+        state.used = used
+        state.live = int(saved["live"])
+        state.active_caps = int(saved["active_caps"])
+        state.seg_start[:n] = saved["seg_start"]
+        state.seg_cap[:n] = saved["seg_cap"]
+        state.seg_len[:n] = saved["seg_len"]
+        state.active_mask[:n] = saved["active_mask"]
+        state.compactions = int(saved["compactions"])
+        alloc.link_util = np.asarray(saved["link_util"], dtype=np.float64).copy()
+        inc = saved.get("incremental")
+        if inc is not None:
+            alloc._parent = np.asarray(inc["parent"], dtype=np.int64).copy()
+            alloc._members = {int(root): [int(s) for s in slots]
+                              for root, slots in inc["members"]}
+            alloc._comp_links = {int(root): [int(link) for link in links]
+                                 for root, links in inc["comp_links"]}
+            alloc._link_seen = np.asarray(inc["link_seen"], dtype=bool).copy()
+            alloc._dirty = {int(root) for root in inc["dirty"]}
+            alloc._ops = int(inc["ops"])
+            alloc._needs_full = bool(inc["needs_full"])
+
+    def _restore_faults(self, saved: Optional[Dict[str, object]]) -> None:
+        """Rebuild the fault runtime: failed set, registrations, views, counters."""
+        rt = self.core.faultrt
+        if saved is None or rt is None:
+            if (saved is None) != (rt is None):
+                raise ValueError("checkpoint fault schedule does not match config")
+            return
+        bank_entries = self.core.bank.entries
+        rt.failed_edges = {tuple(edge) for edge in saved["failed_edges"]}
+        edge_index = rt.links.edge_index
+        rt.failed_links.clear()
+        rt.failed_mask[:] = False
+        for u, v in rt.failed_edges:
+            a, b = edge_index[(u, v)], edge_index[(v, u)]
+            rt.failed_links.add(a)
+            rt.failed_links.add(b)
+            rt.failed_mask[a] = rt.failed_mask[b] = True
+        for key in saved["registered"]:
+            rt._register(tuple(key), bank_entries[tuple(key)])
+        rt.views = {tuple(key): _SurvivorView(
+            bank_entries[tuple(key)],
+            np.asarray(survivors, dtype=np.int64).copy())
+            for key, survivors in saved["views"]}
+        rt.refilters = int(saved["refilters"])
+        rt.reuses = int(saved["reuses"])
+        rt.invalidated = int(saved["invalidated"])
+
+    def _restore_metrics(self, saved: Dict[str, object]) -> None:
+        """Rebuild window accounting, estimators and lifetime counters."""
+        cfg = self.stream_config
+        self._metrics_rng.bit_generator.state = saved["rng_state"]
+        self._window_index = int(saved["window_index"])
+        self._window_arrivals = int(saved["window_arrivals"])
+        self._window_completions = int(saved["window_completions"])
+        self._window_events = int(saved["window_events"])
+        self._window_fct_sum = float(saved["window_fct_sum"])
+        self._window_reservoir = ReservoirSample(cfg.reservoir, self._metrics_rng)
+        self._window_reservoir.load_state(saved["reservoir"])
+        self._p2 = {}
+        for p in STEADY_PERCENTILES:
+            est = P2Quantile(p / 100.0)
+            est.load_state(saved["p2"][p])
+            self._p2[p] = est
+        self._steady_count = int(saved["steady_count"])
+        self._steady_fct_sum = float(saved["steady_fct_sum"])
+        self._total_arrivals = int(saved["total_arrivals"])
+        self._total_completions = int(saved["total_completions"])
+        self._next_flow_id = int(saved["next_flow_id"])
+        self._admit_snapshot = int(saved["admit_snapshot"])
+        self.windows = deque(saved["windows"], maxlen=cfg.keep_windows)
+        self.windows_emitted = int(saved["windows_emitted"])
+        self.windows_skipped = int(saved["windows_skipped"])
+        self.peak_active = int(saved["peak_active"])
+        self.peak_slots = int(saved["peak_slots"])
+        self.peak_pool = int(saved["peak_pool"])
+        self.peak_bank = int(saved["peak_bank"])
+        self.slot_compactions = int(saved["slot_compactions"])
+        self.bank_reclaimed = int(saved["bank_reclaimed"])
+        self._window_wall = time.perf_counter()
+
+
+__all__ = ["CHECKPOINT_VERSION", "STEADY_PERCENTILES", "StreamConfig",
+           "StreamSimulator", "WindowStats"]

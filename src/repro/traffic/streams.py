@@ -1,0 +1,76 @@
+"""Open-ended flow arrival streams (the workload side of the streaming service).
+
+:func:`poisson_flow_stream` is the lazy counterpart of
+:func:`repro.traffic.flows.poisson_workload`: every communicating pair of a
+traffic pattern generates flows at an exponential interarrival rate, and the
+per-pair arrival processes are merged through a heap so flows come out one at a
+time in global start-time order — exactly the ordering contract
+:class:`repro.sim.stream.StreamSimulator` ingests.  Nothing is materialised up
+front, so a ``duration=None`` stream is genuinely infinite and the consumer
+bounds it (by ``max_flows``, an ``itertools.islice``, or an ``advance`` horizon).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.traffic.flows import Flow, pfabric_flow_sizes
+from repro.traffic.patterns import TrafficPattern
+
+
+def poisson_flow_stream(pattern: TrafficPattern, arrival_rate: float,
+                        rng: Optional[np.random.Generator] = None,
+                        duration: Optional[float] = None,
+                        max_flows: Optional[int] = None,
+                        fixed_size: Optional[float] = None,
+                        mean_target: Optional[float] = None,
+                        start_id: int = 0) -> Iterator[Flow]:
+    """Lazily generate Poisson flows over ``pattern``'s pairs in start-time order.
+
+    Each communicating pair draws independent exponential interarrivals at
+    ``arrival_rate`` flows per second; a heap merges the per-pair processes so
+    the yielded flows are globally nondecreasing in ``start_time`` (ties broken
+    by pair index — deterministic).  Sizes come from ``fixed_size`` or the
+    pFabric distribution (optionally rescaled to ``mean_target``); flow ids are
+    assigned sequentially from ``start_id``.  ``duration`` stops each pair's
+    process at that simulated time, ``max_flows`` caps the total yield; with
+    neither the stream is infinite.
+
+    All draws (interarrivals and sizes) happen at yield order, so the stream is
+    a pure function of ``rng``'s state — two iterations with equal seeds are
+    identical, and resuming a half-consumed stream just means not re-creating it.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if duration is not None and duration <= 0:
+        raise ValueError("duration must be positive (or None for unbounded)")
+    rng = rng or np.random.default_rng(0)
+    pairs = [(s, d) for s, d in pattern.pairs if s != d]
+    if not pairs:
+        return
+    heap: list = []
+    for idx, _ in enumerate(pairs):
+        t = float(rng.exponential(1.0 / arrival_rate))
+        if duration is None or t < duration:
+            heapq.heappush(heap, (t, idx))
+    flow_id = start_id
+    emitted = 0
+    while heap:
+        t, idx = heapq.heappop(heap)
+        src, dst = pairs[idx]
+        if fixed_size is not None:
+            size = float(fixed_size)
+        else:
+            size = float(pfabric_flow_sizes(1, rng, mean_target=mean_target)[0])
+        yield Flow(start_time=t, source=src, destination=dst, size_bytes=size,
+                   flow_id=flow_id)
+        flow_id += 1
+        emitted += 1
+        if max_flows is not None and emitted >= max_flows:
+            return
+        nxt = t + float(rng.exponential(1.0 / arrival_rate))
+        if duration is None or nxt < duration:
+            heapq.heappush(heap, (nxt, idx))

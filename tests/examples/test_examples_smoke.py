@@ -34,6 +34,11 @@ EXAMPLES = {
         ["--dragonfly-p", "2", "--message-size", "50000"],
         ["cluster:", "stencil step"],
     ),
+    "streaming_service.py": (
+        ["--q", "5", "--duration", "0.02", "--arrival-rate", "150"],
+        ["fabric:", "per-window metrics", "steady-state summary",
+         "restored run matches the uninterrupted run: True"],
+    ),
     "scenario_sweep.py": (
         ["--scenarios", "fig19,shuffle", "--jobs", "2"],
         ["specs:", "grid:", "rows per (topology, scenario):"],

@@ -16,11 +16,17 @@ into one committed JSON file:
   fault epoch pays mid-run (see ``repro.kernels.dirtyregion`` and
   ``docs/resilience.md``);
 * ``packet_incast`` — scalar reference vs vectorized packet engine
-  (:mod:`repro.sim.packetengine`) event rates on the deep-incast workload.
+  (:mod:`repro.sim.packetengine`) event rates on the deep-incast workload;
+* ``stream_sustained`` — the streaming service layer (:mod:`repro.sim.stream`) on
+  an open-ended Poisson arrival stream: sustained events/sec plus the bounded-
+  memory evidence (peak active flows and slot peak versus total arrivals; see
+  ``docs/streaming.md``).
 
 Existing scales in the output file are preserved, so partial regenerations (e.g.
-``--scales small`` only) never drop history.  Regenerate deliberately — like the
-golden rows — and commit the diff together with the change that explains it:
+``--scales small`` only) never drop history, and ``--files`` restricts a
+regeneration to a subset of the benchmark modules (the other sections of that
+scale are kept).  Regenerate deliberately — like the golden rows — and commit the
+diff together with the change that explains it:
 
 Run:  PYTHONPATH=src python tools/bench_report.py --scales small medium
 """
@@ -38,7 +44,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO / "BENCH_flowsim.json"
-BENCH_FILES = ("benchmarks/test_bench_flowsim.py", "benchmarks/test_bench_packetsim.py")
+BENCH_FILES = ("benchmarks/test_bench_flowsim.py", "benchmarks/test_bench_packetsim.py",
+               "benchmarks/test_bench_stream.py")
 
 #: benchmark test name -> (report section, role key)
 BENCHMARKS = {
@@ -50,7 +57,11 @@ BENCHMARKS = {
     "test_bench_recovery_dirty_region": ("fault_recovery", "derived"),
     "test_bench_packetsim_reference_scalar": ("packet_incast", "reference"),
     "test_bench_packetsim_vectorized_engine": ("packet_incast", "engine"),
+    "test_bench_stream_sustained": ("stream_sustained", "stream"),
 }
+
+#: extra_info keys copied verbatim into a section (beyond the shared "events").
+EXTRA_INFO_KEYS = ("arrivals", "peak_active", "peak_slots")
 
 #: section -> (baseline role, fast role) for the derived speedup.
 SPEEDUPS = {
@@ -61,11 +72,11 @@ SPEEDUPS = {
 }
 
 
-def run_benchmarks(scale: str) -> dict:
+def run_benchmarks(scale: str, files=BENCH_FILES) -> dict:
     """Run the simulation benchmark modules at ``scale``; return the merged
     pytest-benchmark JSON records."""
     merged = {"benchmarks": []}
-    for bench_file in BENCH_FILES:
+    for bench_file in files:
         with tempfile.TemporaryDirectory() as tmp:
             out = Path(tmp) / "bench.json"
             env = dict(os.environ)
@@ -93,10 +104,14 @@ def consolidate(scale: str, bench_json: dict) -> dict:
         seconds = float(record["stats"]["mean"])
         entry = sections.setdefault(section, {})
         entry[f"{role}_seconds"] = round(seconds, 4)
-        events = record.get("extra_info", {}).get("events")
+        extra = record.get("extra_info", {})
+        events = extra.get("events")
         if events is not None:
             entry.setdefault("events", int(events))
             entry[f"{role}_events_per_second"] = round(int(events) / seconds, 1)
+        for key in EXTRA_INFO_KEYS:
+            if key in extra:
+                entry[key] = int(extra[key])
     for section, (baseline, fast) in SPEEDUPS.items():
         entry = sections.get(section, {})
         base, quick = entry.get(f"{baseline}_seconds"), entry.get(f"{fast}_seconds")
@@ -110,6 +125,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scales", nargs="+", default=["small"],
                         choices=["tiny", "small", "medium"])
+    parser.add_argument("--files", nargs="+", default=list(BENCH_FILES),
+                        choices=list(BENCH_FILES),
+                        help="restrict the run to these benchmark modules "
+                             "(other sections of the scale are preserved)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
@@ -120,9 +139,9 @@ def main(argv=None) -> int:
     report["benchmark"] = "repro.sim simulators"
     report["source"] = list(BENCH_FILES)
     for scale in args.scales:
-        print(f"== running {', '.join(BENCH_FILES)} at scale {scale}")
+        print(f"== running {', '.join(args.files)} at scale {scale}")
         existing = report["scales"].get(scale, {})
-        existing.update(consolidate(scale, run_benchmarks(scale)))
+        existing.update(consolidate(scale, run_benchmarks(scale, args.files)))
         report["scales"][scale] = existing
     report["updated"] = datetime.date.today().isoformat()
     args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
