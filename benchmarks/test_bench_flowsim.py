@@ -17,6 +17,14 @@ static-hash ``ecmp`` stack keeps both allocators on identical trajectories, so t
 comparison isolates allocation cost.  ``tools/bench_report.py`` consolidates these
 benchmarks' pytest-benchmark output into the committed ``BENCH_flowsim.json``.
 
+A companion pair benchmarks the *dense* regime the bottleneck-structure allocator
+(``repro.sim.bottleneck``) targets: shared-sender incast with every flow arriving
+at t=0, which welds the link–flow incidence into one connected component.  There
+the incremental allocator's component refiltering degenerates to a full
+progressive fill per event, while the bottleneck allocator still refills only the
+flows coupled to each event through *saturated* links — the hotspot's own fan-in
+plus whatever the expansion frontier drags in.
+
 A third pair benchmarks *fault recovery*: rebuilding a failed topology's routing
 kernels from scratch vs deriving them from the resident pristine entry through
 ``PathCache.mutated`` (:mod:`repro.kernels.dirtyregion`), which recomputes only
@@ -38,7 +46,7 @@ from repro.kernels.cache import GraphKernels, PathCache, fingerprint_edges
 from repro.kernels.csr import CSRGraph
 from repro.kernels.dirtyregion import faulted_kernels
 from repro.sim.flowsim import FlowSimConfig, simulate_workload
-from repro.traffic.flows import poisson_workload, uniform_size_workload
+from repro.traffic.flows import Flow, Workload, poisson_workload, uniform_size_workload
 from repro.traffic.patterns import incast_pattern, random_permutation
 
 KIB = 1024
@@ -50,6 +58,11 @@ _SPEEDUP_FLOOR = 5.0
 #: Incremental-vs-full allocator event-rate speedup floor on the staggered incast
 #: benchmark, asserted at small/medium scale (the PR's acceptance bar).
 _ALLOC_SPEEDUP_FLOOR = 2.0
+
+#: Bottleneck-vs-incremental event-rate speedup floor on the dense all-at-once
+#: incast benchmark, asserted at small/medium scale (the PR's acceptance bar).
+#: Tiny instances are dominated by per-event fixed costs and are not gated.
+_BOTTLENECK_SPEEDUP_FLOOR = 2.0
 
 #: Dirty-region derivation vs cold rebuild speedup floor for single-link fault
 #: recovery, asserted at medium scale — the instance size where the derivation's
@@ -63,6 +76,13 @@ _RECOVERY_SPEEDUP_FLOOR = 1.5
 #: decompose into components the incremental allocator can refill locally.
 _INCAST_SHAPE = {"tiny": (8, 8, 500.0, 3), "small": (64, 8, 500.0, 4),
                  "medium": (160, 8, 500.0, 4)}
+
+#: Dense incast shape per scale: (hotspots, fanin).  Senders are *shared* across
+#: hotspot groups and every flow arrives at t=0, so the incidence is one giant
+#: component from the first event to the last — the regime where component
+#: refiltering degenerates to full fills but saturation-coupling stays local
+#: (each hotspot's ejection link saturates; the shared sender links do not).
+_DENSE_INCAST_SHAPE = {"tiny": (12, 12), "small": (96, 12), "medium": (200, 12)}
 
 
 @pytest.fixture(scope="module")
@@ -184,6 +204,87 @@ def test_alloc_incremental_speedup_and_agreement(kgraph, incast_workload, scale)
           f"({events / incremental_seconds:.0f} ev/s), speedup {speedup:.2f}x")
     if scale.value != "tiny":
         assert speedup >= _ALLOC_SPEEDUP_FLOOR
+
+
+@pytest.fixture(scope="module")
+def dense_incast_workload(kgraph, scale):
+    """Dense all-at-once incast: shared-sender hotspot groups, every flow at t=0.
+
+    Sizes are drawn uniformly in [128, 512) KiB so completions stagger into a long
+    sequence of single-flow events instead of collapsing into a few simultaneous
+    batch completions (which would make every event's perturbation global).
+    """
+    hotspots, fanin = _DENSE_INCAST_SHAPE[scale.value]
+    pattern = incast_pattern(kgraph.num_endpoints, num_hotspots=hotspots,
+                             fanin=fanin, rng=np.random.default_rng(2),
+                             disjoint_senders=False)
+    rng = np.random.default_rng(3)
+    flows = [Flow(start_time=0.0, source=s, destination=t,
+                  size_bytes=float(rng.uniform(128, 512) * KIB))
+             for s, t in pattern.pairs if s != t]
+    return Workload(flows, name=f"dense({pattern.name})",
+                    meta={"pattern": pattern.name})
+
+
+def test_bench_alloc_incremental_dense(benchmark, kgraph, dense_incast_workload):
+    result = benchmark.pedantic(_run_alloc,
+                                args=(kgraph, dense_incast_workload, "incremental"),
+                                rounds=1, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events"] = int(result.meta["events"])
+    benchmark.extra_info["flows"] = len(result)
+    benchmark.extra_info["full_fills"] = int(
+        result.meta["allocator_stats"]["full_fills"])
+    assert len(result) == len(dense_incast_workload)
+
+
+def test_bench_alloc_bottleneck_dense(benchmark, kgraph, dense_incast_workload):
+    result = benchmark.pedantic(_run_alloc,
+                                args=(kgraph, dense_incast_workload, "bottleneck"),
+                                rounds=1, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events"] = int(result.meta["events"])
+    benchmark.extra_info["flows"] = len(result)
+    benchmark.extra_info["full_fills"] = int(
+        result.meta["allocator_stats"]["full_fills"])
+    assert len(result) == len(dense_incast_workload)
+
+
+def test_alloc_bottleneck_speedup_and_agreement(kgraph, dense_incast_workload,
+                                                scale):
+    """Time both refiltering allocators on the dense incast, pin the records, and
+    (at small/medium scale) assert the bottleneck event-rate speedup floor."""
+    _run_alloc(kgraph, dense_incast_workload, "bottleneck")    # warm shared caches
+    start = time.perf_counter()
+    incremental = _run_alloc(kgraph, dense_incast_workload, "incremental")
+    incremental_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    bottleneck = _run_alloc(kgraph, dense_incast_workload, "bottleneck")
+    bottleneck_seconds = time.perf_counter() - start
+
+    assert incremental.meta["events"] == bottleneck.meta["events"]
+    for inc, bot in zip(incremental.records, bottleneck.records):
+        assert inc.flow_id == bot.flow_id
+        assert bot.completion_time == pytest.approx(inc.completion_time, rel=1e-6)
+
+    # The counters explain the gap: the one-component incidence forces the
+    # incremental allocator into full fills on most events, while the bottleneck
+    # allocator's saturation-coupled downstream regions stay near the fan-in.
+    inc_stats = incremental.meta["allocator_stats"]
+    bot_stats = bottleneck.meta["allocator_stats"]
+    events = bottleneck.meta["events"]
+    assert inc_stats["full_fills"] >= events // 2
+    assert bot_stats["full_fills"] <= events // 10
+    assert bot_stats["refills"] > 0
+    fanin = _DENSE_INCAST_SHAPE[scale.value][1]
+    assert bot_stats["downstream_flows"] <= bot_stats["refills"] * 4 * fanin
+
+    speedup = incremental_seconds / max(bottleneck_seconds, 1e-9)
+    print(f"\ndense allocator {scale.value}: incremental "
+          f"{incremental_seconds * 1e3:.1f} ms "
+          f"({events / incremental_seconds:.0f} ev/s), bottleneck "
+          f"{bottleneck_seconds * 1e3:.1f} ms "
+          f"({events / bottleneck_seconds:.0f} ev/s), speedup {speedup:.2f}x")
+    if scale.value != "tiny":
+        assert speedup >= _BOTTLENECK_SPEEDUP_FLOOR
 
 
 @pytest.fixture(scope="module")

@@ -33,6 +33,11 @@ layers:
   merges/removals make the tracked partition stale or the dirty delta stops being
   local.
 
+:class:`repro.sim.bottleneck.BottleneckAllocator` (``allocator="bottleneck"``) builds
+on the same persistent state but decomposes by *saturated* links instead of
+topological connectivity, which keeps per-event cost O(perturbation) even when the
+incidence is one giant component — see that module's docstring.
+
 :func:`_progressive_fill` (moved here from :mod:`repro.sim.engine`) is the shared
 filling kernel; both allocators and the engine's tests import it from either module.
 """
@@ -332,6 +337,11 @@ class FullAllocator:
         self.capacities = capacities
         self.line_rate = line_rate
         self.link_util = np.zeros(capacities.shape[0])
+        self.counters = {"full_fills": 0}
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the per-run counters (every recompute is a full fill)."""
+        return dict(self.counters)
 
     def add(self, slot: int, links: np.ndarray, capacity: int) -> None:
         """Record one arrival's segment."""
@@ -363,6 +373,7 @@ class FullAllocator:
     def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
         """Refill every active flow; returns the refilled slots (all of ``active``)."""
         self.state.maybe_compact(active)
+        self.counters["full_fills"] += 1
         self.link_util = _full_fill(self.state, self.capacities, self.line_rate,
                                     active, rates_out)
         return active
@@ -400,6 +411,18 @@ class IncrementalAllocator:
         self._dirty: set = set()
         self._ops = 0
         self._needs_full = True
+        self.counters = {"full_fills": 0, "rebuilds": 0, "component_refills": 0,
+                         "refilled_flows": 0}
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the per-run counters.
+
+        ``full_fills`` counts dense-delta fallbacks (tracker untouched),
+        ``rebuilds`` the budgeted full fills with exact component re-derivation,
+        ``component_refills``/``refilled_flows`` the local refills and the total
+        flows they covered.
+        """
+        return dict(self.counters)
 
     # ------------------------------------------------------------- union-find
     def _find(self, link: int) -> int:
@@ -510,11 +533,14 @@ class IncrementalAllocator:
         if 2 * dirty_members >= active.size:
             # the delta is not local — a full fill is no dearer than refilling
             # most components one by one (tracked partition stays untouched)
+            self.counters["full_fills"] += 1
             self.link_util = _full_fill(self.state, self.capacities, self.line_rate,
                                         active, rates_out)
             return active
         refilled = [self._refill_component(root, rates_out) for root in dirty]
         refilled = [r for r in refilled if r.size]
+        self.counters["component_refills"] += len(refilled)
+        self.counters["refilled_flows"] += sum(r.size for r in refilled)
         if not refilled:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(refilled)
@@ -588,6 +614,7 @@ class IncrementalAllocator:
                 self._members[root] = group_flows.tolist()
         self._ops = 0
         self._needs_full = False
+        self.counters["rebuilds"] += 1
         return active
 
 
@@ -597,5 +624,10 @@ def make_allocator(name: str, num_flows: int, num_links: int, capacities: np.nda
     if name not in ALLOCATORS:
         raise ValueError(f"unknown allocator {name!r}; available: {ALLOCATORS}")
     state = AllocationState(num_flows, num_links)
+    if name == "bottleneck":
+        # imported lazily: repro.sim.bottleneck itself imports this module
+        from repro.sim.bottleneck import BottleneckAllocator
+
+        return BottleneckAllocator(state, capacities, line_rate)
     cls = FullAllocator if name == "full" else IncrementalAllocator
     return cls(state, capacities, line_rate)

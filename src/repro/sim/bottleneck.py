@@ -1,0 +1,430 @@
+"""Load-aware bottleneck-structure allocator (`repro.sim.bottleneck`).
+
+:class:`repro.sim.allocstate.IncrementalAllocator` made per-event allocation cost
+O(delta) — but its union-find components are *topological*: any shared link couples
+two flows into one component.  On dense traffic (all-at-once incast, shuffle,
+sustained streams) every flow shares some link, the incidence collapses into one
+giant component, and every event degenerates to a full fill.  Max-min coupling,
+however, propagates only through **saturated** links: progressive filling freezes
+flows in saturation rounds (bottleneck *levels*), and an event can only change the
+rate of a flow it can reach through links that are actually bottlenecks.  The flows
+reachable through slack links are — by the max-min decomposition — already frozen at
+rates an event elsewhere cannot move.
+
+:class:`BottleneckAllocator` (``FlowSimConfig(allocator="bottleneck")``) keeps that
+structure as persistent state across events:
+
+* ``link_load`` / ``sat_mask`` — per-link carried load and the saturated-link set of
+  the current allocation, amended O(delta) per event (completions subtract their
+  contribution immediately, arrivals and switches re-add after the refill);
+* ``link_level`` / ``level_rates`` — the bottleneck level (saturation round) of every
+  link and the cached per-level fair-share rates from the last structure build, the
+  quantities :func:`repro.sim.fairshare.bottleneck_levels` exposes publicly;
+* ``link_members`` — link → member-flow lists, appended on arrival/switch and
+  lazily filtered through ``AllocationState.active_mask`` (pruned at rebuilds);
+* ``_rates`` — the allocator's own slot-indexed rate cache, the splice source for
+  every flow an event does *not* touch.
+
+On each event :meth:`recompute` closes the event's seed (touched flows plus the
+members of touched links that were saturated before the event) over the cached
+structure — flow → its saturated links → their member flows — which yields exactly
+the *downstream* perturbation region of the bottleneck graph.  Only that region is
+refilled, against residual capacities (full capacity minus the load of untouched
+flows), while every upstream/sibling level keeps its cached rate: the splice is
+exact because slack links cannot constrain the refill and saturated links bring all
+their members into the region by construction.  One subtlety keeps this honest: a
+refill can newly saturate a link that still carries *outside* flows (their cached
+rates would then violate max-min), so newly-saturated boundary links trigger an
+expansion round that pulls their members in and refills again.  A budget guard
+falls back to one full fill whenever the downstream set covers most of the active
+flows, and the whole structure is rebuilt exactly (members pruned, levels
+recomputed via :func:`repro.sim.fairshare.leveled_fill`) on a per-ops budget —
+the same shape of fallback the incremental allocator uses.
+
+Like ``"incremental"``, this allocator is opt-in: component-local float
+accumulation differs from the global reference loop, so agreement is pinned to
+1e-9 rate tolerance, identical saturation sets and the
+:func:`repro.sim.fairshare.bottleneck_certificate` on randomized event sequences
+(``tests/sim/test_alloc_bottleneck.py``), not bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.sim.allocstate import AllocationState
+from repro.sim.fairshare import leveled_fill
+
+#: Relative slack below which a link counts as saturated for *coupling* purposes.
+#: Looser than the fill's own 1e-12 saturation epsilon so that float drift in the
+#: incrementally maintained ``link_load`` can never hide a truly saturated link
+#: from the downstream closure; treating a hairline-slack link as saturated only
+#: enlarges the refill region, which stays exact.
+_SAT_RTOL = 1e-9
+
+#: Refill/expansion iterations per event before falling back to a full fill.
+_EXPANSION_CAP = 4
+
+
+def _fresh_counters() -> Dict[str, int]:
+    """Per-run observability counters (surfaced through ``meta['allocator_stats']``)."""
+    return {"full_fills": 0, "rebuilds": 0, "refills": 0, "expansions": 0,
+            "downstream_flows": 0, "downstream_max": 0, "levels_refilled": 0}
+
+
+class BottleneckAllocator:
+    """Downstream-only refills over the cached bottleneck structure (opt-in)."""
+
+    name = "bottleneck"
+
+    def __init__(self, state: AllocationState, capacities: np.ndarray,
+                 line_rate: float) -> None:
+        """Bind the allocator to one run's state, capacities and line rate."""
+        self.state = state
+        self.capacities = capacities
+        self.line_rate = line_rate
+        num_links = capacities.shape[0]
+        self.link_util = np.zeros(num_links)
+        #: Load carried by each link under the current allocation (amended O(delta)).
+        self.link_load = np.zeros(num_links)
+        #: Saturated-link set of the current allocation — the coupling graph edges.
+        self.sat_mask = np.zeros(num_links, dtype=bool)
+        #: Bottleneck level per link from the last structure build (-1 = slack).
+        self.link_level = np.full(num_links, -1, dtype=np.int64)
+        #: Cached cumulative fair-share rate of each bottleneck level.
+        self.level_rates = np.zeros(0)
+        #: Freeze level per flow slot from the last build (-1 = unknown/slack).
+        self.flow_level = np.full(state.num_flows, -1, dtype=np.int64)
+        #: Allocator-owned rate cache (slot-indexed; the engine's array is rebound
+        #: under slot compaction, so a borrowed reference would go stale).
+        self._rates = np.zeros(state.num_flows)
+        #: link -> member flow slots (appended on add/switch, lazily filtered
+        #: through ``state.active_mask``, pruned exactly at rebuilds).
+        self.link_members: Dict[int, List[int]] = {}
+        self._dirty_slots: Set[int] = set()   # flows needing a refill (add/switch)
+        self._seed_links: Set[int] = set()    # links touched by events since recompute
+        self._ops = 0
+        self._needs_rebuild = True
+        self.counters = _fresh_counters()
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the per-run counters."""
+        return dict(self.counters)
+
+    # ------------------------------------------------------------- slot arrays
+    def _grow_slots(self, need: int) -> None:
+        """Ensure the per-slot caches cover ``need`` slots (amortized doubling)."""
+        if need <= self._rates.shape[0]:
+            return
+        size = max(need, 2 * self._rates.shape[0], 64)
+        rates = np.zeros(size)
+        rates[:self._rates.shape[0]] = self._rates
+        self._rates = rates
+        level = np.full(size, -1, dtype=np.int64)
+        level[:self.flow_level.shape[0]] = self.flow_level
+        self.flow_level = level
+
+    # ------------------------------------------------------------ event deltas
+    def add(self, slot: int, links: np.ndarray, capacity: int) -> None:
+        """Record one arrival: append its segment, join its links' member lists.
+
+        The new flow carries no load until its first refill; its links seed the
+        downstream closure so the structure it lands in is refilled around it.
+        """
+        self.state.add(slot, links, capacity)
+        self._grow_slots(slot + 1)
+        self._rates[slot] = 0.0
+        self.flow_level[slot] = -1
+        for link in np.unique(links):
+            link = int(link)
+            self.link_members.setdefault(link, []).append(slot)
+            self._seed_links.add(link)
+        self._dirty_slots.add(slot)
+        self._ops += 1
+
+    def remove(self, slot: int) -> None:
+        """Record one completion: subtract its load *now*, seed its links.
+
+        The links and cached rate are read immediately because the segment may
+        be compacted away before the next :meth:`recompute`.  ``sat_mask`` is
+        deliberately left at its pre-event value: the downstream closure must
+        see the coupling that existed when the flow still held its rate.
+        """
+        links = np.unique(self.state.flow_links(slot))
+        counts = np.bincount(
+            np.searchsorted(links, self.state.flow_links(slot)),
+            minlength=links.size)
+        self.state.remove(slot)
+        rate = float(self._rates[slot]) if slot < self._rates.shape[0] else 0.0
+        if rate and links.size:
+            self.link_load[links] -= counts * rate
+            self.link_util[links] = self.link_load[links] / self.capacities[links]
+        if slot < self._rates.shape[0]:
+            self._rates[slot] = 0.0
+            self.flow_level[slot] = -1
+        self._dirty_slots.discard(slot)
+        self._seed_links.update(int(link) for link in links)
+        self._ops += 1
+
+    def switch(self, slots: np.ndarray, inj: np.ndarray, ej: np.ndarray,
+               mid_pool: np.ndarray, mid_starts: np.ndarray,
+               mid_lens: np.ndarray) -> None:
+        """Record path switches: release old links' load, join the new links."""
+        state = self.state
+        slots = np.asarray(slots, dtype=np.int64)
+        for slot in slots:
+            slot = int(slot)
+            old = np.unique(state.flow_links(slot))
+            counts = np.bincount(np.searchsorted(old, state.flow_links(slot)),
+                                 minlength=old.size)
+            rate = float(self._rates[slot])
+            if rate and old.size:
+                self.link_load[old] -= counts * rate
+                self.link_util[old] = self.link_load[old] / self.capacities[old]
+            self._rates[slot] = 0.0
+            self._seed_links.update(int(link) for link in old)
+            self._dirty_slots.add(slot)
+            self._ops += 1
+        state.replace_paths(slots, inj, ej, mid_pool, mid_starts, mid_lens)
+        for slot in slots:
+            slot = int(slot)
+            for link in np.unique(state.flow_links(slot)):
+                link = int(link)
+                self.link_members.setdefault(link, []).append(slot)
+                self._seed_links.add(link)
+
+    def idle(self) -> None:
+        """No active flows: the structure is empty."""
+        self.link_util[:] = 0.0
+        self.link_load[:] = 0.0
+        self.sat_mask[:] = False
+        self.link_level[:] = -1
+        self.level_rates = np.zeros(0)
+        self.link_members.clear()
+        self._dirty_slots.clear()
+        self._seed_links.clear()
+        self._ops = 0
+
+    def rebind(self, state: AllocationState, old_to_new: Dict[int, int]) -> None:
+        """Adopt a renumbered state (the streaming driver's slot compaction).
+
+        Per-link caches are unaffected by slot renumbering; slot-indexed caches
+        and member lists are rewritten through ``old_to_new`` (retired slots
+        drop out, exactly like the ``active_mask`` filter would drop them).
+        """
+        state.compactions += self.state.compactions
+        self.state = state
+        size = max(state.num_flows, 64)
+        rates = np.zeros(size)
+        level = np.full(size, -1, dtype=np.int64)
+        for old, new in old_to_new.items():
+            if old < self._rates.shape[0]:
+                rates[new] = self._rates[old]
+                level[new] = self.flow_level[old]
+        self._rates = rates
+        self.flow_level = level
+        self.link_members = {
+            link: [old_to_new[s] for s in members if s in old_to_new]
+            for link, members in self.link_members.items()}
+        self._dirty_slots = {old_to_new[s] for s in self._dirty_slots
+                             if s in old_to_new}
+
+    # -------------------------------------------------------------- recompute
+    def recompute(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+        """Refill the downstream region of this event's perturbation.
+
+        Returns the slots whose rates were recomputed — the engine re-evaluates
+        congestion episodes exactly for those.
+        """
+        if active.size == 0:
+            self.idle()
+            return active
+        # compaction moves segments, not (slot, link) structure: the caches hold
+        self.state.maybe_compact(active)
+        self._grow_slots(int(active[-1]) + 1)
+        dirty = sorted(self._dirty_slots)
+        seeds = sorted(self._seed_links)
+        self._dirty_slots = set()
+        self._seed_links = set()
+        if self._needs_rebuild or self._ops >= max(64, active.size):
+            return self._rebuild(active, rates_out)
+        region = self._downstream(dirty, seeds)
+        committed: Set[int] = set()
+        for iteration in range(_EXPANSION_CAP + 1):
+            if not region:
+                break
+            if 2 * len(region) >= active.size or iteration == _EXPANSION_CAP:
+                # the perturbation is not local (or refuses to stop growing):
+                # one full fill is no dearer than refilling most of the set
+                self.counters["full_fills"] += 1
+                self._full_refresh(active, rates_out)
+                return active
+            if iteration:
+                self.counters["expansions"] += 1
+            expand = self._refill(region, rates_out, committed)
+            if not expand:
+                break
+            region = self._downstream(sorted(region), expand)
+        # seed links no commit touched (e.g. the sole flow of a link completed):
+        # refresh their saturation from the maintained loads
+        leftover = [link for link in seeds if link not in committed]
+        if leftover:
+            idx = np.asarray(leftover, dtype=np.int64)
+            caps = self.capacities[idx]
+            self.sat_mask[idx] = \
+                caps - self.link_load[idx] <= _SAT_RTOL * caps + _SAT_RTOL
+        if not region:
+            return np.empty(0, dtype=np.int64)
+        return np.fromiter(sorted(region), dtype=np.int64, count=len(region))
+
+    def _downstream(self, dirty: List[int], seeds: List[int]) -> Set[int]:
+        """Close the event seed over the cached saturated-coupling structure.
+
+        Alternating closure: a reached flow couples through every *saturated*
+        link it crosses; a reached link couples to all its member flows.  Slack
+        links never propagate — that is the bottleneck-structure pruning.
+        Member lists are filtered (and pruned in place) through ``active_mask``.
+        """
+        state = self.state
+        mask = state.active_mask
+        sat = self.sat_mask
+        members = self.link_members
+        seen_flows: Set[int] = set(s for s in dirty if mask[s])
+        seen_links: Set[int] = set(link for link in seeds if sat[link])
+        pending_flows = list(seen_flows)
+        pending_links = list(seen_links)
+        while pending_links or pending_flows:
+            if pending_links:
+                link = pending_links.pop()
+                alive = [s for s in members.get(link, ()) if mask[s]]
+                members[link] = alive
+                for s in alive:
+                    if s not in seen_flows:
+                        seen_flows.add(s)
+                        pending_flows.append(s)
+                continue
+            flow = pending_flows.pop()
+            for link in state.flow_links(flow):
+                link = int(link)
+                if sat[link] and link not in seen_links:
+                    seen_links.add(link)
+                    pending_links.append(link)
+        return seen_flows
+
+    def _refill(self, region: Set[int], rates_out: np.ndarray,
+                committed: Set[int]) -> List[int]:
+        """Refill ``region`` against residual capacities; commit the result.
+
+        Residual capacity of a touched link is its full capacity minus the load
+        of flows *outside* the region (computed by subtracting the region's own
+        cached contribution from the maintained total).  Saturated links have no
+        outside flows by closure, so their full capacity is in play; slack links
+        keep their outside load reserved.  Returns the newly saturated links
+        that still carry outside members — the expansion frontier (empty when
+        the commit is final).
+        """
+        state = self.state
+        member = np.fromiter(sorted(region), dtype=np.int64, count=len(region))
+        starts = state.seg_start[member]
+        lens = state.seg_len[member]
+        total = int(lens.sum())
+        offsets = np.cumsum(lens) - lens
+        idx = np.arange(total)
+        src = np.repeat(starts - offsets, lens) + idx
+        entry_links = state.pool_links[src]
+        entry_flows = np.repeat(np.arange(member.size), lens)
+        touched, compressed = np.unique(entry_links, return_inverse=True)
+        old_entry_rates = np.repeat(self._rates[member], lens)
+        old_load = np.bincount(compressed, weights=old_entry_rates,
+                               minlength=touched.size)
+        residual = self.capacities[touched] - (self.link_load[touched] - old_load)
+        np.maximum(residual, 0.0, out=residual)
+        fair, flow_round, link_round, levels = leveled_fill(
+            entry_flows, member.size, residual, compressed, touched.size)
+        np.minimum(fair, self.line_rate, out=fair)
+        # commit: rates, loads, utilisation and the structure over touched links
+        rates_out[member] = fair
+        self._rates[member] = fair
+        new_load = np.bincount(compressed, weights=fair[entry_flows],
+                               minlength=touched.size)
+        self.link_load[touched] += new_load - old_load
+        self.link_util[touched] = self.link_load[touched] / self.capacities[touched]
+        was_sat = self.sat_mask[touched]
+        now_sat = link_round >= 0
+        newly = touched[now_sat & ~was_sat]
+        self.sat_mask[touched] = now_sat
+        self.flow_level[member] = flow_round
+        committed.update(int(link) for link in touched)
+        self.counters["refills"] += 1
+        self.counters["downstream_flows"] += len(region)
+        self.counters["downstream_max"] = max(self.counters["downstream_max"],
+                                              len(region))
+        self.counters["levels_refilled"] += int(levels.size)
+        # expansion frontier: newly saturated links whose member lists reach
+        # outside the region — their outside flows' cached rates may now be
+        # wrong (either squeezed below or left under the new bottleneck rate)
+        mask = state.active_mask
+        expand: List[int] = []
+        for link in newly:
+            link = int(link)
+            alive = [s for s in self.link_members.get(link, ()) if mask[s]]
+            self.link_members[link] = alive
+            if any(s not in region for s in alive):
+                expand.append(link)
+        return expand
+
+    def _full_refresh(self, active: np.ndarray, rates_out: np.ndarray) -> None:
+        """One full fill over the persistent pool; refresh every per-link cache.
+
+        Mirrors :func:`repro.sim.allocstate._full_fill` (same relabelling, same
+        float path) but runs the instrumented kernel so loads, the saturated
+        set and the bottleneck levels come out of the fill itself instead of
+        being re-derived against a tolerance.
+        """
+        state = self.state
+        entry_links, entry_slots = state.entries()
+        local = np.searchsorted(active, entry_slots)  # sentinel -> active.size
+        unfixed = np.ones(active.size + 1, dtype=bool)
+        unfixed[active.size] = False
+        touched, compressed = np.unique(entry_links, return_inverse=True)
+        fair, flow_round, link_round, levels = leveled_fill(
+            local, active.size + 1, self.capacities[touched], compressed,
+            touched.size, unfixed=unfixed)
+        np.minimum(fair, self.line_rate, out=fair)
+        rates_out[active] = fair[:active.size]
+        self._rates[active] = fair[:active.size]
+        # dead entries carry exactly 0.0 weight (their local index is the fixed
+        # sentinel), so the scatters below see only live load
+        load = np.bincount(compressed, weights=fair[local], minlength=touched.size)
+        self.link_load[:] = 0.0
+        self.link_load[touched] = load
+        self.link_util[:] = 0.0
+        self.link_util[touched] = load / self.capacities[touched]
+        self.sat_mask[:] = False
+        self.sat_mask[touched] = link_round >= 0
+        self.link_level[:] = -1
+        self.link_level[touched] = link_round
+        self.level_rates = levels
+        self.flow_level[active] = flow_round[:active.size]
+
+    def _rebuild(self, active: np.ndarray, rates_out: np.ndarray) -> np.ndarray:
+        """Full fill plus an exact structure rebuild (member lists pruned)."""
+        self._full_refresh(active, rates_out)
+        members: Dict[int, List[int]] = {}
+        links, slots = self.state.live_entries()
+        if links.size:
+            order = np.argsort(links, kind="stable")
+            glinks = links[order]
+            gslots = slots[order]
+            bounds = np.flatnonzero(np.diff(glinks)) + 1
+            for group_links, group_slots in zip(np.split(glinks, bounds),
+                                                np.split(gslots, bounds)):
+                members[int(group_links[0])] = \
+                    np.unique(group_slots).tolist()
+        self.link_members = members
+        self._ops = 0
+        self._needs_rebuild = False
+        self.counters["rebuilds"] += 1
+        return active

@@ -919,6 +919,7 @@ class EngineCore:
             "events": self.events,
             "engine": "engine",
             "allocator": self.alloc.name,
+            "allocator_stats": self.alloc.stats(),
             "pool_compactions": self.alloc.state.compactions}
         if self.faults_on:
             meta["fault_events"] = self.fault_count

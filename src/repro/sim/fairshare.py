@@ -100,6 +100,108 @@ def max_min_fair_rates(paths_links: Sequence[Sequence[int]], link_capacities: np
     return rates
 
 
+def leveled_fill(entry_flows: np.ndarray, num_flows: int, touched_caps: np.ndarray,
+                 compressed: np.ndarray, num_touched: int, epsilon: float = 1e-12,
+                 unfixed: np.ndarray | None = None
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Progressive filling instrumented with the bottleneck structure it produces.
+
+    Operates on a *compressed* incidence: ``compressed`` maps each entry to a
+    touched-link index ``0..num_touched-1`` and ``touched_caps`` holds those links'
+    capacities (the ``np.unique(entry_links, return_inverse=True)`` form the
+    engine's allocators already compute).  The filling rounds evaluate the same
+    float expressions as :func:`max_min_fair_rates` /
+    :func:`repro.sim.allocstate._progressive_fill`; on top of the rates this
+    returns *which round froze what*:
+
+    ``(rates, flow_round, link_round, level_rates)`` — ``flow_round[f]`` is the
+    saturation round that froze flow ``f`` (-1 if never frozen), ``link_round[l]``
+    the round at which touched link ``l`` saturated (-1 if it keeps slack), and
+    ``level_rates[k]`` the cumulative fair-share level of round ``k`` — the rate
+    every flow bottlenecked at a level-``k`` link receives.  These are the
+    saturation tiers of the bottleneck structure
+    (:mod:`repro.sim.bottleneck`); :func:`bottleneck_levels` is the public
+    uncompressed wrapper.
+
+    ``unfixed`` optionally restricts the fill to a subset of flows (copied, never
+    mutated), exactly as in ``_progressive_fill``.
+    """
+    rates = np.zeros(num_flows)
+    flow_round = np.full(num_flows, -1, dtype=np.int64)
+    link_round = np.full(num_touched, -1, dtype=np.int64)
+    levels: List[float] = []
+    if compressed.size == 0 or num_touched == 0:
+        return rates, flow_round, link_round, np.zeros(0)
+    remaining = touched_caps.astype(np.float64).copy()
+    saturation_threshold = epsilon * remaining + epsilon
+    unfixed = np.ones(num_flows, dtype=bool) if unfixed is None else unfixed.copy()
+    level = 0.0
+    for rnd in range(num_touched + 1):
+        if not unfixed.any():
+            break
+        live = unfixed[entry_flows]
+        load = np.bincount(compressed[live], minlength=num_touched)
+        active_links = load > 0
+        if not active_links.any():
+            break
+        increment = float((remaining[active_links] / load[active_links]).min())
+        if increment <= 0:
+            increment = 0.0
+        rates[unfixed] += increment
+        level += increment
+        remaining = remaining - load * increment
+        saturated = active_links & (remaining <= saturation_threshold)
+        if not saturated.any():
+            # no link saturates (should not happen with finite capacities); freeze all
+            break
+        levels.append(level)
+        link_round[saturated & (link_round < 0)] = rnd
+        newly_fixed = np.zeros(num_flows, dtype=bool)
+        newly_fixed[entry_flows[saturated[compressed] & live]] = True
+        flow_round[newly_fixed] = rnd
+        unfixed &= ~newly_fixed
+    return rates, flow_round, link_round, np.asarray(levels)
+
+
+def bottleneck_levels(entry_links: np.ndarray, entry_flows: np.ndarray,
+                      link_capacities: np.ndarray, epsilon: float = 1e-12
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Bottleneck level of every link under max-min progressive filling.
+
+    The *bottleneck structure* of an allocation tiers the saturated links by the
+    filling round that saturated them: level-0 links saturate first (their flows
+    get the lowest fair share), level-1 links saturate once level-0 flows are
+    frozen, and so on.  Max-min coupling propagates only *downstream* through
+    this structure — an event on a level-``k`` link can never change the rates
+    of flows frozen strictly upstream without touching their links — which is
+    what the load-aware allocator (:mod:`repro.sim.bottleneck`) exploits.
+
+    Parameters mirror :func:`bottleneck_certificate`: parallel ``entry_links``/
+    ``entry_flows`` arrays (one entry per link a flow crosses) and per-link
+    capacities.  Returns ``(link_levels, level_rates)``: ``link_levels`` has one
+    entry per link — its saturation round, or -1 for links that keep slack
+    (including links with no entries at all) — and ``level_rates[k]`` is the
+    fair-share rate of flows bottlenecked at level ``k`` (strictly increasing
+    except for zero-capacity tiers, which saturate at level 0 with rate 0).
+    """
+    entry_links = np.asarray(entry_links, dtype=np.int64)
+    entry_flows = np.asarray(entry_flows, dtype=np.int64)
+    capacities = np.asarray(link_capacities, dtype=np.float64)
+    num_links = capacities.shape[0]
+    link_levels = np.full(num_links, -1, dtype=np.int64)
+    if entry_links.size == 0:
+        return link_levels, np.zeros(0)
+    if entry_links.min() < 0 or entry_links.max() >= num_links:
+        raise ValueError("entries reference an unknown link index")
+    num_flows = int(entry_flows.max()) + 1
+    touched, compressed = np.unique(entry_links, return_inverse=True)
+    _, _, link_round, level_rates = leveled_fill(
+        entry_flows, num_flows, capacities[touched], compressed, touched.size,
+        epsilon=epsilon)
+    link_levels[touched] = link_round
+    return link_levels, level_rates
+
+
 def incidence_components(entry_links: np.ndarray, entry_flows: np.ndarray
                          ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Connected components of a (link, flow) incidence graph.

@@ -74,8 +74,9 @@ class FlowLevelSimulator:
         if self.config.allocator != "full":
             raise ValueError(
                 "the scalar reference simulator only implements the 'full' "
-                f"allocator (got {self.config.allocator!r}); incremental "
-                "refiltering is an engine feature (repro.sim.allocstate)")
+                f"allocator (got {self.config.allocator!r}); incremental and "
+                "bottleneck refiltering are engine features "
+                "(repro.sim.allocstate, repro.sim.bottleneck)")
         self.rng = np.random.default_rng(seed)
 
         # Link index space: directed router links, then per-endpoint injection and

@@ -19,9 +19,13 @@ from repro.sim.faults import FaultSchedule
 #: Rate-allocation strategies of the vectorized engine (see
 #: :mod:`repro.sim.allocstate`): ``"full"`` refills every active flow each event
 #: (bit-identical to the scalar reference), ``"incremental"`` refills only the
-#: incidence components the event touched (max-min exact, float accumulation order
-#: differs — opt-in).  The scalar reference simulator implements only ``"full"``.
-ALLOCATORS = ("full", "incremental")
+#: incidence components the event touched, ``"bottleneck"`` refills only the
+#: region downstream of the event in the cached bottleneck structure — O(true
+#: perturbation) even on single-component dense traffic (see
+#: :mod:`repro.sim.bottleneck`).  Both refiltering allocators are max-min exact
+#: but accumulate floats in a different order than the global loop, so they are
+#: opt-in.  The scalar reference simulator implements only ``"full"``.
+ALLOCATORS = ("full", "incremental", "bottleneck")
 
 
 @dataclass(frozen=True)
@@ -35,7 +39,7 @@ class FlowSimConfig:
     congestion_rate_fraction: float = 0.5  # "congested" = rate below this fraction of line rate
     rate_epsilon: float = 1.0            # bytes/s resolution for completion times
     max_events: int = 5_000_000
-    allocator: str = "full"              # engine rate allocator ("full" | "incremental")
+    allocator: str = "full"   # engine rate allocator ("full" | "incremental" | "bottleneck")
     #: Optional link/switch failure-and-recovery schedule (see
     #: :mod:`repro.sim.faults`); ``None`` runs on a static topology.
     faults: Optional[FaultSchedule] = None

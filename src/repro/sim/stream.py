@@ -480,7 +480,7 @@ class StreamSimulator:
         }
 
     def _checkpoint_alloc(self) -> Dict[str, object]:
-        """Allocation state (+ incremental-allocator tracker when in use)."""
+        """Allocation state (+ the refiltering allocator's tracker when in use)."""
         alloc = self.core.alloc
         state = alloc.state
         n = self.core.count
@@ -496,7 +496,24 @@ class StreamSimulator:
             "seg_len": state.seg_len[:n].copy(),
             "active_mask": state.active_mask[:n].copy(),
             "compactions": int(state.compactions),
+            "counters": dict(alloc.counters),
         }
+        if alloc.name == "bottleneck":
+            alloc._grow_slots(n)
+            out["bottleneck"] = {
+                "link_load": alloc.link_load.copy(),
+                "sat_mask": alloc.sat_mask.copy(),
+                "link_level": alloc.link_level.copy(),
+                "level_rates": alloc.level_rates.copy(),
+                "flow_level": alloc.flow_level[:n].copy(),
+                "rates": alloc._rates[:n].copy(),
+                "members": [(link, list(slots))
+                            for link, slots in alloc.link_members.items()],
+                "dirty": sorted(alloc._dirty_slots),
+                "seeds": sorted(alloc._seed_links),
+                "ops": int(alloc._ops),
+                "needs_rebuild": bool(alloc._needs_rebuild),
+            }
         if alloc.name == "incremental":
             out["incremental"] = {
                 "parent": alloc._parent.copy(),
@@ -653,7 +670,7 @@ class StreamSimulator:
                                             int(core.dst_router[a]))]
 
     def _restore_alloc(self, saved: Dict[str, object]) -> None:
-        """Rebuild the allocation state (+ incremental tracker when in use)."""
+        """Rebuild the allocation state (+ the refiltering tracker when in use)."""
         core = self.core
         alloc = core.alloc
         state = alloc.state
@@ -673,6 +690,23 @@ class StreamSimulator:
         state.active_mask[:n] = saved["active_mask"]
         state.compactions = int(saved["compactions"])
         alloc.link_util = np.asarray(saved["link_util"], dtype=np.float64).copy()
+        alloc.counters = dict(saved["counters"])   # type: ignore[arg-type]
+        bot = saved.get("bottleneck")
+        if bot is not None:
+            alloc._grow_slots(n)
+            alloc.link_load = np.asarray(bot["link_load"], dtype=np.float64).copy()
+            alloc.sat_mask = np.asarray(bot["sat_mask"], dtype=bool).copy()
+            alloc.link_level = np.asarray(bot["link_level"], dtype=np.int64).copy()
+            alloc.level_rates = np.asarray(bot["level_rates"],
+                                           dtype=np.float64).copy()
+            alloc.flow_level[:n] = bot["flow_level"]
+            alloc._rates[:n] = bot["rates"]
+            alloc.link_members = {int(link): [int(s) for s in slots]
+                                  for link, slots in bot["members"]}
+            alloc._dirty_slots = {int(s) for s in bot["dirty"]}
+            alloc._seed_links = {int(link) for link in bot["seeds"]}
+            alloc._ops = int(bot["ops"])
+            alloc._needs_rebuild = bool(bot["needs_rebuild"])
         inc = saved.get("incremental")
         if inc is not None:
             alloc._parent = np.asarray(inc["parent"], dtype=np.int64).copy()

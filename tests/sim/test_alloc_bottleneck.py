@@ -1,0 +1,352 @@
+"""Bottleneck-structure allocator suite (`repro.sim.bottleneck`).
+
+The generic refiltering contract (randomized event sequences, 1e-9 agreement,
+identical saturation sets, certificate) runs in
+``tests/sim/test_alloc_incremental.py`` with ``challenger="bottleneck"``.  This
+file covers what is *specific* to the bottleneck structure: the public
+:func:`repro.sim.fairshare.bottleneck_levels` helper on hand-built incidences,
+the two propagation patterns a naive level-splice gets wrong (downstream closure
+and newly-saturated expansion), cache-consistency invariants under churn and
+compaction, and engine-level agreement including faulted runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from test_alloc_incremental import SyntheticFlows
+
+from repro.experiments.simcommon import build_stack
+from repro.sim.allocstate import AllocationState, FullAllocator
+from repro.sim.bottleneck import BottleneckAllocator
+from repro.sim.fairshare import (
+    bottleneck_certificate,
+    bottleneck_levels,
+    max_min_fair_rates,
+)
+from repro.sim.faults import FaultSchedule
+from repro.sim.flowsim import FlowSimConfig, simulate_workload
+from repro.topologies import comparable_configurations
+from repro.topologies.configs import SizeClass
+from repro.traffic.flows import poisson_workload
+from repro.traffic.patterns import incast_pattern, random_permutation
+
+
+# ----------------------------------------------------------- bottleneck_levels
+class TestBottleneckLevels:
+    def test_star_two_tiers(self):
+        """Hub shared by three flows; one flow's thin private link freezes first."""
+        #         hub  p0    p1    p2
+        caps = [3.0, 10.0, 10.0, 0.5]
+        links = np.array([0, 1, 0, 2, 0, 3])
+        flows = np.array([0, 0, 1, 1, 2, 2])
+        levels, rates = bottleneck_levels(links, flows, np.asarray(caps))
+        # flow 2 freezes at 0.5 on its private link (level 0); the hub then
+        # splits its remaining 2.5 between flows 0 and 1 (level 1 at 1.25)
+        assert list(levels) == [1, -1, -1, 0]
+        np.testing.assert_allclose(rates, [0.5, 1.25])
+
+    def test_chain_staircase(self):
+        """A chain of increasing capacities saturates front to back."""
+        caps = np.array([1.0, 2.0, 3.0, 4.0])
+        links = np.array([0, 1, 1, 2, 2, 3])
+        flows = np.array([0, 0, 1, 1, 2, 2])
+        levels, rates = bottleneck_levels(links, flows, caps)
+        assert list(levels) == [0, 0, 1, -1]
+        np.testing.assert_allclose(rates, [1.0, 2.0])
+
+    def test_disjoint_saturation_tiers(self):
+        """Disconnected groups still tier globally by saturation round."""
+        caps = np.array([1.0, 10.0, 100.0, 100.0])
+        links = np.array([0, 0, 1, 1])
+        flows = np.array([0, 1, 2, 3])
+        levels, rates = bottleneck_levels(links, flows, caps)
+        assert list(levels) == [0, 1, -1, -1]
+        np.testing.assert_allclose(rates, [0.5, 5.0])
+
+    def test_zero_capacity_link_is_level_zero(self):
+        caps = np.array([0.0, 5.0])
+        links = np.array([0, 1])
+        flows = np.array([0, 0])
+        levels, rates = bottleneck_levels(links, flows, caps)
+        assert levels[0] == 0 and rates[0] == 0.0
+
+    def test_empty_incidence(self):
+        levels, rates = bottleneck_levels(np.empty(0, dtype=np.int64),
+                                          np.empty(0, dtype=np.int64),
+                                          np.ones(4))
+        assert list(levels) == [-1, -1, -1, -1] and rates.size == 0
+
+    def test_rejects_out_of_range_links(self):
+        with pytest.raises(ValueError):
+            bottleneck_levels(np.array([5]), np.array([0]), np.ones(3))
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_levels_tier_the_max_min_rates(self, seed):
+        """level_rates is non-decreasing and every saturated link's bottlenecked
+        flows run at exactly its level's rate."""
+        rng = np.random.default_rng(seed)
+        num_links, num_flows = 12, 9
+        caps = rng.uniform(1.0, 8.0, size=num_links)
+        paths = [list(rng.choice(num_links, size=int(rng.integers(1, 4)),
+                                 replace=False)) for _ in range(num_flows)]
+        entry_links = np.concatenate([np.asarray(p) for p in paths])
+        entry_flows = np.repeat(np.arange(num_flows), [len(p) for p in paths])
+        levels, level_rates = bottleneck_levels(entry_links, entry_flows, caps)
+        assert np.all(np.diff(level_rates) >= 0)
+        assert levels.max() == level_rates.size - 1
+        rates = max_min_fair_rates(paths, caps)
+        for link in np.flatnonzero(levels >= 0):
+            on_link = entry_flows[entry_links == link]
+            # the *bottlenecked* flows of a saturated link run at its level rate
+            assert rates[on_link].max() == \
+                pytest.approx(level_rates[levels[link]], rel=1e-9)
+
+
+# ------------------------------------------------- propagation counterexamples
+def _lockstep(num_flows, caps):
+    """A (full, bottleneck) allocator pair over the same capacities."""
+    caps = np.asarray(caps, dtype=np.float64)
+    line = float(caps.max())
+    full = FullAllocator(AllocationState(num_flows, caps.size), caps, line)
+    bot = BottleneckAllocator(AllocationState(num_flows, caps.size), caps, line)
+    return full, bot
+
+
+def _recompute(full, bot, active, rates_full, rates_bot):
+    active = np.asarray(sorted(active), dtype=np.int64)
+    full.recompute(active, rates_full)
+    bot.recompute(active, rates_bot)
+    np.testing.assert_allclose(rates_bot[active], rates_full[active],
+                               rtol=1e-9, atol=1e-9)
+
+
+def _assert_structure_consistent(bot, rates, num_links):
+    """The maintained loads/saturation must match the live incidence exactly."""
+    links, slots = bot.state.live_entries()
+    loads = np.bincount(links, weights=rates[slots], minlength=num_links)
+    np.testing.assert_allclose(bot.link_load, loads, rtol=1e-9, atol=1e-9)
+    caps = bot.capacities
+    saturated = loads >= caps * (1.0 - 1e-7)
+    assert (bot.sat_mask == saturated).all()
+    assert bottleneck_certificate(links, slots, rates, caps, rtol=1e-7).size == 0
+
+
+class TestDownstreamPropagation:
+    """The two couplings a naive 'splice upstream levels' scheme would miss."""
+
+    def _bystanders(self, full, bot, caps, start_slot, count, first_link):
+        """Disjoint two-link flows that pad the active set (so the dense-delta
+        full-fill guard does not mask the local-refill path under test)."""
+        slots = []
+        for i in range(count):
+            slot = start_slot + i
+            links = np.array([first_link + 2 * i, first_link + 2 * i + 1])
+            full.add(slot, links, 2)
+            bot.add(slot, links, 2)
+            slots.append(slot)
+        return slots
+
+    def test_arrivals_on_slack_link_squeeze_upstream_flow(self):
+        """New flows saturate a link that was slack — the old flow bottlenecked
+        *elsewhere* must be pulled in and squeezed (expansion round)."""
+        # link 0: thin private link (cap 2); link 1: big shared link (cap 10);
+        # links 2..10: private links of the nine arrivals; 11..: bystanders
+        caps = np.concatenate([[2.0, 10.0], np.full(9, 100.0),
+                               np.full(28, 50.0)])
+        full, bot = _lockstep(32, caps)
+        rates_full = np.zeros(32)
+        rates_bot = np.zeros(32)
+        active = [0]
+        full.add(0, np.array([0, 1]), 2)
+        bot.add(0, np.array([0, 1]), 2)
+        active += self._bystanders(full, bot, caps, 1, 14, 11)
+        _recompute(full, bot, active, rates_full, rates_bot)
+        assert rates_bot[0] == pytest.approx(2.0)     # bottlenecked on link 0
+        for i in range(9):                            # nine arrivals on link 1
+            slot = 15 + i
+            full.add(slot, np.array([1, 2 + i]), 2)
+            bot.add(slot, np.array([1, 2 + i]), 2)
+            active.append(slot)
+        _recompute(full, bot, active, rates_full, rates_bot)
+        # link 1 saturates at 10/10: every flow on it (including flow 0, whose
+        # own links the event never touched) now runs at 1.0
+        np.testing.assert_allclose(rates_bot[[0] + list(range(15, 24))], 1.0,
+                                   rtol=1e-9)
+        assert bot.counters["expansions"] >= 1
+        _assert_structure_consistent(bot, rates_bot, caps.size)
+
+    def test_completion_propagates_through_newly_saturated_link(self):
+        """A completion frees capacity; the refilled flow's rise saturates a
+        previously-slack shared link and drags a third flow down with it."""
+        # link 0: cap 2 (two flows), link 1: cap 2.5 (slack), link 2: cap 1.4,
+        # link 3: cap 100, links 4..: bystanders
+        caps = np.concatenate([[2.0, 2.5, 1.4, 100.0], np.full(12, 50.0)])
+        full, bot = _lockstep(16, caps)
+        rates_full = np.zeros(16)
+        rates_bot = np.zeros(16)
+        full.add(0, np.array([0, 1]), 2)   # squeezed on link 0, crosses link 1
+        bot.add(0, np.array([0, 1]), 2)
+        full.add(1, np.array([0, 3]), 2)   # shares link 0, completes below
+        bot.add(1, np.array([0, 3]), 2)
+        full.add(2, np.array([1, 2]), 2)   # bottlenecked on link 2 at 1.4
+        bot.add(2, np.array([1, 2]), 2)
+        active = [0, 1, 2] + self._bystanders(full, bot, caps, 3, 6, 4)
+        _recompute(full, bot, active, rates_full, rates_bot)
+        assert rates_bot[0] == pytest.approx(1.0)
+        assert rates_bot[2] == pytest.approx(1.4)
+        full.remove(1)
+        bot.remove(1)
+        active.remove(1)
+        _recompute(full, bot, active, rates_full, rates_bot)
+        # flow 0 would take 2.0, but link 1 (slack before the event, untouched
+        # by it) saturates at 2.5 and caps both flows at 1.25
+        assert rates_bot[0] == pytest.approx(1.25)
+        assert rates_bot[2] == pytest.approx(1.25)
+        assert bot.counters["expansions"] >= 1
+        _assert_structure_consistent(bot, rates_bot, caps.size)
+
+
+# ------------------------------------------------------------- cache invariants
+class TestStructureInvariants:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_loads_and_saturation_track_the_incidence(self, seed):
+        """After every event the maintained link loads equal a fresh bincount
+        over the live incidence and sat_mask matches true saturation."""
+        rng = np.random.default_rng(seed)
+        sim = SyntheticFlows(rng, num_links=24, num_flows=24,
+                             challenger="bottleneck")
+        pending = list(range(24))
+        rng.shuffle(pending)
+        for _ in range(60):
+            roll = rng.random()
+            if pending and (roll < 0.45 or not sim.active):
+                sim.add(pending.pop(), cand=int(rng.integers(0, 3)))
+            elif sim.active and roll < 0.75:
+                sim.switch(int(rng.choice(sim.active)), int(rng.integers(0, 3)))
+            elif sim.active:
+                sim.remove(int(rng.choice(sim.active)))
+            if sim.recompute().size:
+                _assert_structure_consistent(sim.incremental, sim.rates_inc,
+                                             sim.num_links)
+
+    def test_compaction_churn_preserves_agreement(self):
+        """Heavy churn drives pool compaction under the bottleneck caches."""
+        rng = np.random.default_rng(7)
+        sim = SyntheticFlows(rng, num_links=20, num_flows=36, max_mids=6,
+                             challenger="bottleneck")
+        for slot in range(24):
+            sim.add(slot)
+        sim.recompute()
+        for slot in range(20):
+            sim.remove(slot)
+            sim.recompute()
+            sim.check_agreement()
+        for slot in range(24, 36):
+            sim.add(slot)
+            sim.recompute()
+            sim.check_agreement()
+        _assert_structure_consistent(sim.incremental, sim.rates_inc,
+                                     sim.num_links)
+
+    def test_forced_rebuild_is_a_fixed_point(self):
+        """An explicit structure rebuild must not change any cached quantity."""
+        rng = np.random.default_rng(11)
+        sim = SyntheticFlows(rng, num_links=24, num_flows=20,
+                             challenger="bottleneck")
+        for slot in range(16):
+            sim.add(slot)
+            sim.recompute()
+        sim.check_agreement()
+        bot = sim.incremental
+        before_rates = sim.rates_inc.copy()
+        before_load = bot.link_load.copy()
+        before_sat = bot.sat_mask.copy()
+        active = np.asarray(sorted(sim.active), dtype=np.int64)
+        bot._rebuild(active, sim.rates_inc)
+        np.testing.assert_allclose(sim.rates_inc, before_rates,
+                                   rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(bot.link_load, before_load,
+                                   rtol=1e-9, atol=1e-9)
+        assert (bot.sat_mask == before_sat).all()
+        # rebuild prunes member lists down to exactly the live incidence
+        links, slots = bot.state.live_entries()
+        for link, members in bot.link_members.items():
+            expected = np.unique(slots[links == link]).tolist()
+            assert members == expected
+        sim.check_agreement()
+
+
+# ------------------------------------------------------------------ engine level
+class TestEngineBottleneck:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return comparable_configurations(SizeClass.TINY, topologies=["SF"],
+                                         seed=0)["SF"]
+
+    def _run(self, topo, workload, allocator, stack_name="ecmp", faults=None):
+        stack = build_stack(topo, stack_name, seed=0)
+        return simulate_workload(topo, stack.routing, workload,
+                                 selector=stack.selector, transport=stack.transport,
+                                 config=FlowSimConfig(allocator=allocator,
+                                                      faults=faults), seed=0)
+
+    def _incast(self, topo, pattern_seed=0, flow_seed=1):
+        rng = np.random.default_rng(pattern_seed)
+        pattern = incast_pattern(topo.num_endpoints, num_hotspots=4, fanin=8,
+                                 rng=rng, disjoint_senders=True)
+        return poisson_workload(pattern, 400.0, 0.01,
+                                rng=np.random.default_rng(flow_seed),
+                                fixed_size=128 * 1024)
+
+    def test_staggered_incast_matches_full(self, topo):
+        workload = self._incast(topo)
+        full = self._run(topo, workload, "full")
+        bot = self._run(topo, workload, "bottleneck")
+        assert bot.meta["allocator"] == "bottleneck"
+        assert len(full) == len(bot)
+        for f, b in zip(full.records, bot.records):
+            assert f.flow_id == b.flow_id
+            assert b.completion_time == pytest.approx(f.completion_time, rel=1e-6)
+        stats = bot.meta["allocator_stats"]
+        assert stats["refills"] > 0 and stats["rebuilds"] >= 1
+        assert full.meta["allocator_stats"]["full_fills"] > 0
+
+    def test_permutation_workload_matches_full(self, topo):
+        rng = np.random.default_rng(2)
+        pattern = random_permutation(topo.num_endpoints, rng).subsample(0.3, rng)
+        workload = poisson_workload(pattern, 300.0, 0.01,
+                                    rng=np.random.default_rng(3))
+        full = self._run(topo, workload, "full")
+        bot = self._run(topo, workload, "bottleneck")
+        for f, b in zip(full.records, bot.records):
+            assert b.completion_time == pytest.approx(f.completion_time, rel=1e-6)
+
+    def test_adaptive_stack_aggregates_agree(self, topo):
+        workload = self._incast(topo, pattern_seed=4, flow_seed=5)
+        full = self._run(topo, workload, "full", stack_name="fatpaths")
+        bot = self._run(topo, workload, "bottleneck", stack_name="fatpaths")
+        fct_full = np.array([r.completion_time - r.start_time
+                             for r in full.records])
+        fct_bot = np.array([r.completion_time - r.start_time
+                            for r in bot.records])
+        assert fct_bot.mean() == pytest.approx(fct_full.mean(), rel=1e-2)
+        assert np.median(fct_bot) == pytest.approx(np.median(fct_full), rel=1e-2)
+
+    def test_faulted_run_matches_full(self, topo):
+        """Outage + recovery epochs (displacements, stalls, revivals) keep the
+        faulted trajectory pinned to the full allocator on a static stack."""
+        workload = self._incast(topo, pattern_seed=6, flow_seed=7)
+        faults = FaultSchedule.link_outage(topo.edges[:3], 2e-4,
+                                           restore_time=6e-4)
+        full = self._run(topo, workload, "full", faults=faults)
+        bot = self._run(topo, workload, "bottleneck", faults=faults)
+        for key in ("fault_events", "reroutes", "stalls"):
+            assert full.meta[key] == bot.meta[key]
+        assert full.meta["fault_events"] >= 1
+        assert len(full) == len(bot)
+        for f, b in zip(full.records, bot.records):
+            assert f.flow_id == b.flow_id
+            assert b.completion_time == pytest.approx(f.completion_time, rel=1e-6)

@@ -1,12 +1,14 @@
-"""Property suite: incremental-vs-full allocator agreement (`repro.sim.allocstate`).
+"""Property suite: refiltering-vs-full allocator agreement (`repro.sim.allocstate`).
 
-The incremental allocator must be *max-min exact*: on any event sequence
+A refiltering allocator (``"incremental"``, and ``"bottleneck"`` from
+:mod:`repro.sim.bottleneck`) must be *max-min exact*: on any event sequence
 (arrivals, completions, path switches — including component merges and splits) its
 cached rates must agree with a full progressive fill over the same incidence to
 tight tolerance, saturate exactly the same links, and carry the classical
 bottleneck certificate.  Trajectory-level behaviour is additionally pinned end to
 end against ``allocator="full"`` on the engine (static-selector stack, where both
-allocators walk identical trajectories).
+allocators walk identical trajectories).  Bottleneck-structure-specific coverage
+lives in ``tests/sim/test_alloc_bottleneck.py``.
 """
 
 import numpy as np
@@ -23,6 +25,7 @@ from repro.sim.allocstate import (
     _progressive_fill,
     make_allocator,
 )
+from repro.sim.bottleneck import BottleneckAllocator
 from repro.sim.fairshare import (
     bottleneck_certificate,
     incidence_components,
@@ -36,16 +39,23 @@ from repro.traffic.patterns import incast_pattern, random_permutation
 
 
 # --------------------------------------------------------------- synthetic driver
+#: Challenger allocators the lockstep driver can pit against :class:`FullAllocator`.
+CHALLENGERS = {"incremental": IncrementalAllocator, "bottleneck": BottleneckAllocator}
+
+
 class SyntheticFlows:
     """Random flows over a synthetic link space, driven through both allocators.
 
     Every flow has a fixed (inject, eject) link pair and a few candidate middle
     link lists (mirroring the engine's candidate bank); ``add``/``remove``/``switch``
-    apply the same operation to a :class:`FullAllocator` and an
-    :class:`IncrementalAllocator` so their post-event state can be compared.
+    apply the same operation to a :class:`FullAllocator` and the chosen
+    ``challenger`` allocator so their post-event state can be compared.  The
+    challenger instance is kept under the historical ``incremental`` attribute
+    (with rates in ``rates_inc``) so existing edge-case tests read naturally.
     """
 
-    def __init__(self, rng, num_links=36, num_flows=40, max_mids=4, candidates=3):
+    def __init__(self, rng, num_links=36, num_flows=40, max_mids=4, candidates=3,
+                 challenger="incremental"):
         self.rng = rng
         self.num_links = num_links
         self.capacities = rng.uniform(1.0, 10.0, size=num_links)
@@ -64,8 +74,8 @@ class SyntheticFlows:
         self.mid_pool = np.asarray(mid_pool, dtype=np.int64)
         self.full = FullAllocator(AllocationState(num_flows, num_links),
                                   self.capacities, self.line_rate)
-        self.incremental = IncrementalAllocator(AllocationState(num_flows, num_links),
-                                                self.capacities, self.line_rate)
+        self.incremental = CHALLENGERS[challenger](
+            AllocationState(num_flows, num_links), self.capacities, self.line_rate)
         self.rates_full = np.zeros(num_flows)
         self.rates_inc = np.zeros(num_flows)
         self.active = []
@@ -137,15 +147,16 @@ class SyntheticFlows:
                                    rtol=1e-9, atol=1e-9)
 
 
+@pytest.mark.parametrize("challenger", sorted(CHALLENGERS))
 class TestRandomizedEventSequences:
     """The ISSUE's acceptance property: agreement on random event sequences."""
 
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=25, deadline=None)
-    def test_random_adds_removes_switches(self, seed):
+    def test_random_adds_removes_switches(self, challenger, seed):
         rng = np.random.default_rng(seed)
         sim = SyntheticFlows(rng, num_links=int(rng.integers(12, 48)),
-                             num_flows=32)
+                             num_flows=32, challenger=challenger)
         pending = list(range(32))
         rng.shuffle(pending)
         for _ in range(90):
@@ -161,10 +172,10 @@ class TestRandomizedEventSequences:
 
     @given(seed=st.integers(0, 5_000))
     @settings(max_examples=15, deadline=None)
-    def test_drain_to_empty_and_refill(self, seed):
+    def test_drain_to_empty_and_refill(self, challenger, seed):
         """Complete everything, then re-arrive: caches must reset cleanly."""
         rng = np.random.default_rng(seed)
-        sim = SyntheticFlows(rng, num_flows=12)
+        sim = SyntheticFlows(rng, num_flows=12, challenger=challenger)
         for slot in range(8):
             sim.add(slot)
             sim.recompute()
@@ -399,11 +410,19 @@ class TestAllocatorDispatch:
             FlowSimConfig(allocator="magic")
 
     def test_allocators_registry(self):
-        assert ALLOCATORS == ("full", "incremental")
+        assert ALLOCATORS == ("full", "incremental", "bottleneck")
         with pytest.raises(ValueError):
             make_allocator("magic", 4, 4, np.ones(4), 1.0)
 
-    def test_reference_rejects_incremental(self):
+    def test_make_allocator_dispatches(self):
+        for name, cls in [("full", FullAllocator),
+                          ("incremental", IncrementalAllocator),
+                          ("bottleneck", BottleneckAllocator)]:
+            alloc = make_allocator(name, 4, 4, np.ones(4), 1.0)
+            assert isinstance(alloc, cls) and alloc.name == name
+
+    @pytest.mark.parametrize("allocator", ["incremental", "bottleneck"])
+    def test_reference_rejects_refiltering(self, allocator):
         from repro.sim.reference import FlowLevelSimulator
 
         topo = comparable_configurations(SizeClass.TINY, topologies=["SF"],
@@ -411,4 +430,4 @@ class TestAllocatorDispatch:
         stack = build_stack(topo, "ecmp", seed=0)
         with pytest.raises(ValueError, match="reference"):
             FlowLevelSimulator(topo, stack.routing,
-                               config=FlowSimConfig(allocator="incremental"))
+                               config=FlowSimConfig(allocator=allocator))

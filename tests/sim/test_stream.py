@@ -148,13 +148,40 @@ class TestChunkedReplay:
         assert sim.meta()["fault_events"] == batch.meta["fault_events"]
         assert summary["bank_reclaimed"] > 0
 
-    def test_matches_batch_incremental_allocator(self, topo, workload, flows):
-        config = FlowSimConfig(allocator="incremental")
+    @pytest.mark.parametrize("allocator", ["incremental", "bottleneck"])
+    def test_matches_batch_refiltering_allocator(self, topo, workload, flows,
+                                                 allocator):
+        config = FlowSimConfig(allocator=allocator)
         batch = batch_run(topo, "fatpaths", workload, config=config)
         sink = []
         sim = stream_sim(topo, "fatpaths", config=config, record_sink=sink.append)
         chunked_replay(sim, flows)
         assert_records_identical(batch.records, sink)
+
+    def test_compaction_rebinds_bottleneck_structure(self, topo, workload, flows):
+        """Forced slot compactions must leave the bottleneck caches consistent
+        with the (renumbered) live incidence at every chunk boundary."""
+        config = FlowSimConfig(allocator="bottleneck")
+        sim = stream_sim(topo, "fatpaths", config=config)
+        chunks = [flows[i:i + CHUNK] for i in range(0, len(flows), CHUNK)]
+        compactions = 0
+        for i, part in enumerate(chunks):
+            sim.push(part)
+            if i + 1 < len(chunks):
+                sim.advance(float(chunks[i + 1][0].start_time), inclusive=False)
+                compactions += 1 if sim.compact() else 0
+                alloc = sim.core.alloc
+                links, slots = alloc.state.live_entries()
+                loads = np.bincount(links, weights=alloc._rates[slots],
+                                    minlength=alloc.capacities.shape[0])
+                np.testing.assert_allclose(alloc.link_load, loads,
+                                           rtol=1e-9, atol=1e-9)
+                for link, members in alloc.link_members.items():
+                    live = set(np.unique(slots[links == link]).tolist())
+                    kept = {s for s in members if alloc.state.active_mask[s]}
+                    assert live <= kept    # members may be stale, never missing
+        assert compactions > 0
+        sim.finish()
 
     def test_run_generator_driver(self, topo, workload, flows):
         """run() over a flow iterator equals the batch result and chunked push."""
@@ -282,7 +309,7 @@ def assert_windows_equal(wa, wb):
 class TestCheckpointRestore:
     CUT = 6   # checkpoint after driving this many chunks
 
-    @pytest.mark.parametrize("allocator", ["full", "incremental"])
+    @pytest.mark.parametrize("allocator", ["full", "incremental", "bottleneck"])
     def test_bit_identical_resume_mid_fault_epoch(self, topo, flows,
                                                   fault_config, allocator):
         """Interrupt mid-fault-epoch, pickle the checkpoint, resume on a fresh

@@ -11,6 +11,10 @@ into one committed JSON file:
 * ``incast_staggered`` — ``allocator="full"`` vs ``allocator="incremental"`` event
   rates on the staggered multi-tenant incast workload (the dirty-component
   refiltering benchmark; see ``repro.sim.allocstate``);
+* ``incast_dense`` — ``allocator="incremental"`` vs ``allocator="bottleneck"``
+  event rates on the dense all-at-once shared-sender incast, where the one-
+  component incidence defeats component refiltering but saturation-coupled
+  refills stay local (see ``repro.sim.bottleneck``);
 * ``fault_recovery`` — cold kernel rebuild vs dirty-region derivation
   (``PathCache.mutated``) of a 5%-degraded topology's routing kernels, the cost a
   fault epoch pays mid-run (see ``repro.kernels.dirtyregion`` and
@@ -53,6 +57,8 @@ BENCHMARKS = {
     "test_bench_flowsim_vectorized_engine": ("fig02_permutation", "engine"),
     "test_bench_alloc_full": ("incast_staggered", "full"),
     "test_bench_alloc_incremental": ("incast_staggered", "incremental"),
+    "test_bench_alloc_incremental_dense": ("incast_dense", "incremental"),
+    "test_bench_alloc_bottleneck_dense": ("incast_dense", "bottleneck"),
     "test_bench_recovery_cold_rebuild": ("fault_recovery", "rebuild"),
     "test_bench_recovery_dirty_region": ("fault_recovery", "derived"),
     "test_bench_packetsim_reference_scalar": ("packet_incast", "reference"),
@@ -67,6 +73,7 @@ EXTRA_INFO_KEYS = ("arrivals", "peak_active", "peak_slots")
 SPEEDUPS = {
     "fig02_permutation": ("reference", "engine"),
     "incast_staggered": ("full", "incremental"),
+    "incast_dense": ("incremental", "bottleneck"),
     "fault_recovery": ("rebuild", "derived"),
     "packet_incast": ("reference", "engine"),
 }
