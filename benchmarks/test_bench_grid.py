@@ -1,4 +1,4 @@
-"""Pooled-vs-sequential benchmark for batched ``simulate_many`` scenario cells.
+"""Pooled-vs-sequential and plain-vs-resilient benchmarks for grid execution.
 
 The scenario pipeline makes every topology-axis experiment splittable into
 per-family grid cells, each carrying its family's whole batched ``simulate_many``
@@ -6,6 +6,14 @@ StackCell group — so the engine's multi-cell sweeps fan out over the process p
 This pair times the same splittable simulation scenarios once sequentially
 in-process and once split across a two-worker pool, and pins the split contract
 (identical rows) while reporting the wall-clock ratio.
+
+The executor pair times the same healthy pooled sweep under the bare ``pool.map``
+executor and under the fault-tolerant executor
+(:mod:`repro.experiments.resilient`: future-based dispatch, per-cell deadlines,
+retry bookkeeping) and asserts the resilient path stays within **1.15x** of
+plain — fault tolerance must be effectively free when nothing fails.  The pair
+is consolidated into ``BENCH_flowsim.json`` (section ``grid_executor``) by
+``tools/bench_report.py``.
 
 Run ``pytest benchmarks/test_bench_grid.py --benchmark-only -s``; set
 ``FATPATHS_BENCH_SCALE=small|medium`` for larger instances.
@@ -18,6 +26,9 @@ from repro.experiments.grid import (
     run_experiment_grid,
     split_heavy_cells,
 )
+
+#: Healthy-sweep overhead ceiling: resilient executor vs plain ``pool.map``.
+RESILIENT_OVERHEAD_CEILING = 1.15
 
 #: Splittable simulation scenarios swept by the pooled-vs-sequential pair.
 SCENARIOS = ("fig12", "incast")
@@ -40,6 +51,50 @@ def test_bench_simulate_many_pooled(benchmark, scale):
                                  kwargs={"jobs": 2},
                                  rounds=1, iterations=1, warmup_rounds=0)
     assert all(r.ok for r in results)
+
+
+def test_bench_grid_plain_pool(benchmark, scale):
+    """Baseline: the healthy sweep on the bare ``pool.map`` executor."""
+    results = benchmark.pedantic(run_experiment_grid, args=(_cells(scale),),
+                                 kwargs={"jobs": 2, "executor": "plain"},
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)
+
+
+def test_bench_grid_resilient_pool(benchmark, scale):
+    """The same healthy sweep on the fault-tolerant executor (default path)."""
+    results = benchmark.pedantic(run_experiment_grid, args=(_cells(scale),),
+                                 kwargs={"jobs": 2},
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    assert all(r.ok for r in results)
+
+
+def test_grid_resilient_overhead(scale):
+    """Resilient-executor overhead on a healthy sweep stays within the ceiling.
+
+    Interleaved min-of-3 wall-clock comparison (the same protocol as the
+    packet-engine floor): per-run pool startup and scheduler noise cancel in
+    the minimum, so the ratio isolates the executor's own bookkeeping.
+    """
+    cells = _cells(scale)
+    plain_times, resilient_times = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        plain = run_experiment_grid(cells, jobs=2, executor="plain")
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        resilient = run_experiment_grid(cells, jobs=2)
+        resilient_times.append(time.perf_counter() - start)
+        assert all(r.ok for r in plain) and all(r.ok for r in resilient)
+        for p, r in zip(plain, resilient):
+            assert p.result.rows == r.result.rows
+    ratio = min(resilient_times) / max(min(plain_times), 1e-9)
+    print(f"\ngrid executor {scale.value}: plain {min(plain_times):.2f}s, "
+          f"resilient {min(resilient_times):.2f}s over {len(cells)} cells "
+          f"(overhead {ratio:.3f}x, ceiling {RESILIENT_OVERHEAD_CEILING}x)")
+    assert ratio <= RESILIENT_OVERHEAD_CEILING, (
+        f"resilient executor overhead {ratio:.3f}x exceeds the "
+        f"{RESILIENT_OVERHEAD_CEILING}x ceiling on a healthy sweep")
 
 
 def test_pooled_rows_match_sequential(scale):

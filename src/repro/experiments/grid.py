@@ -70,12 +70,24 @@ class GridCell:
 
 @dataclass
 class GridCellResult:
-    """Outcome of one cell: the experiment result or the captured error."""
+    """Outcome of one cell: the experiment result or the captured error.
+
+    ``attempts`` and ``outcome`` record the resilient executor's bookkeeping
+    (see :mod:`repro.experiments.resilient`): ``"ok"``, ``"failed"``
+    (deterministic error or retries exhausted), ``"timeout"`` (wall-clock limit
+    exceeded), ``"poisoned"`` (quarantined after repeatedly crashing the
+    pool) or ``"journal"`` (skipped on resume, result restored from the
+    journal).  ``traceback`` carries the remote cell's full formatted
+    traceback (the CLI surfaces it behind ``--verbose-errors``).
+    """
 
     cell: GridCell
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
+    attempts: int = 1
+    outcome: str = "ok"
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +136,7 @@ def split_heavy_cells(cells: Iterable[GridCell]) -> List[GridCell]:
 def _run_cell(cell: GridCell) -> GridCellResult:
     """Execute one cell (module-level so worker processes can import it)."""
     import time
+    import traceback
 
     start = time.perf_counter()
     try:
@@ -133,17 +146,39 @@ def _run_cell(cell: GridCell) -> GridCellResult:
                               elapsed_seconds=time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 - cell isolation is the point
         return GridCellResult(cell=cell, error=f"{type(exc).__name__}: {exc}",
+                              traceback=traceback.format_exc(), outcome="failed",
                               elapsed_seconds=time.perf_counter() - start)
 
 
-def run_experiment_grid(cells: Iterable[GridCell],
-                        jobs: Optional[int] = None) -> List[GridCellResult]:
+def run_experiment_grid(cells: Iterable[GridCell], jobs: Optional[int] = None, *,
+                        executor: str = "resilient", policy=None, timeout=None,
+                        journal: Optional[str] = None, resume: bool = False,
+                        chaos=None) -> List[GridCellResult]:
     """Run all cells, serially or across ``jobs`` worker processes.
 
     Results come back in cell order regardless of completion order.  ``jobs=None``,
     ``0`` or ``1`` runs serially in-process; higher values fan cells out over a
     process pool (one path cache per worker).
+
+    The default ``executor="resilient"`` dispatches through
+    :func:`repro.experiments.resilient.run_resilient_grid`: the sweep survives
+    worker crashes and hangs, transient errors retry with backoff, and a
+    ``journal`` path (with ``resume=True``) skips already-completed cells —
+    see ``docs/resilience.md``.  ``executor="plain"`` keeps the bare
+    ``pool.map`` (one crashed worker aborts the sweep); it exists as the
+    overhead baseline for the executor benchmark and accepts none of the
+    resilience options.
     """
+    if executor == "resilient":
+        from repro.experiments.resilient import run_resilient_grid
+
+        return run_resilient_grid(cells, jobs=jobs, policy=policy, timeout=timeout,
+                                  journal=journal, resume=resume, chaos=chaos)
+    if executor != "plain":
+        raise ValueError(f"unknown executor {executor!r}; use 'resilient' or 'plain'")
+    if policy is not None or timeout is not None or journal is not None \
+            or resume or chaos is not None:
+        raise ValueError("the plain executor accepts no resilience options")
     cell_list = list(cells)
     if jobs is None or jobs <= 1 or len(cell_list) <= 1:
         return [_run_cell(cell) for cell in cell_list]
@@ -192,6 +227,12 @@ def combine_cell_results(results: Iterable[GridCellResult]) -> List[ExperimentRe
     return [merged[key] for key in order]
 
 
+#: outcome -> status word shown in the grid summary (failures uppercased so a
+#: glance — or a grep for FAILED — still finds them).
+_OUTCOME_STATUS = {"ok": "ok", "journal": "journal", "failed": "FAILED",
+                   "timeout": "TIMEOUT", "poisoned": "POISONED"}
+
+
 @dataclass
 class GridSummary:
     """Aggregate view of a finished grid (what the CLI prints)."""
@@ -208,13 +249,40 @@ class GridSummary:
         """Number of cells whose error was captured."""
         return len(self.results) - self.num_ok
 
+    def _count(self, predicate) -> int:
+        return sum(1 for r in self.results if predicate(r))
+
     def report(self) -> str:
-        """One status line per cell plus an ok/total footer (the CLI output)."""
+        """One status line per cell plus an ok/total footer (the CLI output).
+
+        Each line shows the outcome (``ok``/``journal``/``FAILED``/``TIMEOUT``/
+        ``POISONED``), row count and attempt count, so a retried or quarantined
+        cell is distinguishable from a plain failure; labels are padded to the
+        longest cell label so split per-topology cells stay aligned.
+        """
+        width = max((len(r.cell.label()) for r in self.results), default=0)
         lines = []
         for r in self.results:
-            status = "ok" if r.ok else f"FAILED ({r.error})"
+            status = _OUTCOME_STATUS.get(r.outcome, r.outcome)
             rows = len(r.result.rows) if r.result is not None else 0
-            lines.append(f"{r.cell.label():40s} {status:>10s}  "
-                         f"rows={rows:<5d} {r.elapsed_seconds:.1f}s")
-        lines.append(f"-- {self.num_ok}/{len(self.results)} cells ok")
+            detail = "" if r.ok else f"  ({r.error})"
+            lines.append(f"{r.cell.label():{width}s} {status:>8s}  rows={rows:<5d} "
+                         f"attempts={r.attempts:<2d} {r.elapsed_seconds:.1f}s{detail}")
+        footer = f"-- {self.num_ok}/{len(self.results)} cells ok"
+        extras = []
+        journaled = self._count(lambda r: r.outcome == "journal")
+        retried = self._count(lambda r: r.outcome == "ok" and r.attempts > 1)
+        timeouts = self._count(lambda r: r.outcome == "timeout")
+        poisoned = self._count(lambda r: r.outcome == "poisoned")
+        if journaled:
+            extras.append(f"{journaled} from journal")
+        if retried:
+            extras.append(f"{retried} retried")
+        if timeouts:
+            extras.append(f"{timeouts} timed out")
+        if poisoned:
+            extras.append(f"{poisoned} poisoned")
+        if extras:
+            footer += " (" + ", ".join(extras) + ")"
+        lines.append(footer)
         return "\n".join(lines)

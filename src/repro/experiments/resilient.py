@@ -1,0 +1,645 @@
+"""Fault-tolerant grid execution: crash-surviving pool, retries, journal, resume.
+
+``run_experiment_grid`` used to be a bare ``pool.map``: one OOM-killed or
+segfaulted worker raised :class:`~concurrent.futures.process.BrokenProcessPool`
+and discarded every completed cell, a hung cell stalled the sweep forever, and a
+multi-hour sweep could not be resumed after a crash.  This module is the
+execution-layer counterpart of the *simulated* fault tolerance added by the
+failure-injection subsystem (``docs/resilience.md``): the sweep itself now
+survives worker crashes, hangs and transient errors, and can be resumed from an
+append-only journal with bit-identical results.
+
+Four pieces, all wired through :func:`repro.experiments.grid.run_experiment_grid`
+and the ``fatpaths-experiment`` CLI:
+
+* **Crash-surviving dispatch** — cells are submitted future-by-future (at most
+  one outstanding cell per worker).  When the pool breaks, the executor respawns
+  it, re-enqueues every in-flight cell, and *attributes* the crash: with several
+  cells in flight the blame is uncertain, so all of them become **suspects** and
+  re-run one at a time; a cell that crashes the pool while running alone is
+  certainly the offender, and after ``RetryPolicy.crash_retries`` such solo
+  crashes it is quarantined with outcome ``"poisoned"`` instead of wedging the
+  sweep.
+* **Per-cell wall-clock timeouts** — scale-aware defaults
+  (:data:`DEFAULT_CELL_TIMEOUTS`), enforced by killing the stuck pool and
+  re-enqueueing the innocent in-flight cells (no blame); a cell that times out
+  more than ``RetryPolicy.timeout_retries`` times ends with outcome
+  ``"timeout"``.
+* **Retry policy with error taxonomy** — exceptions raised *inside* a cell are
+  classified: :class:`TransientCellError` (and :data:`TRANSIENT_EXCEPTIONS`)
+  retry with exponential backoff and deterministic per-cell jitter
+  (:meth:`RetryPolicy.backoff`); everything else is deterministic and fails
+  fast.  Attempts and the final outcome are recorded on
+  :class:`~repro.experiments.grid.GridCellResult`.
+* **Journaled resume** — completed cells append one JSON line to a
+  :class:`CellJournal` keyed by :func:`cell_fingerprint` (name, scale, seed,
+  kwargs — deliberately code-irrelevant).  Lines are written atomically
+  (single ``write`` + flush + fsync), the loader tolerates a truncated tail and
+  duplicate cells (last wins), and ``resume=True`` skips journaled cells.
+  Because every scenario derives its rows from per-``(seed, family)`` random
+  streams, a resumed run's combined tables are bit-identical to an
+  uninterrupted run — ``tools/chaos_grid.py`` proves it under forced aborts.
+
+Chaos hooks (:class:`ChaosSpec`) inject worker SIGKILLs, hangs and transient
+errors at cell granularity so tests and the chaos harness can drive every
+recovery path deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+import traceback
+import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, run_experiment
+from repro.experiments.grid import GridCell, GridCellResult
+
+
+class TransientCellError(RuntimeError):
+    """A retryable, non-deterministic cell failure.
+
+    Raise this from experiment code (or inject it via :class:`ChaosSpec`) to
+    signal the executor that the failure is transient — flaky I/O, a resource
+    blip — and the cell should be retried under the
+    :class:`RetryPolicy`.  Any other exception type is treated as
+    deterministic and fails fast (re-running identical code on identical
+    inputs would fail identically).
+    """
+
+
+#: Exception types the taxonomy classifies as transient (retry); every other
+#: in-cell exception is deterministic (fail fast).  ``ConnectionError`` and
+#: ``TimeoutError`` cover flaky OS-level resources a cell may touch.
+TRANSIENT_EXCEPTIONS = (TransientCellError, ConnectionError, TimeoutError)
+
+#: Scale-aware per-cell wall-clock timeout defaults, in seconds.  Generous on
+#: purpose: a healthy cell must never hit them — they exist to unwedge a sweep
+#: whose worker is livelocked or swapping, not to police slow cells.
+DEFAULT_CELL_TIMEOUTS: Dict[str, float] = {
+    "tiny": 300.0,
+    "small": 1800.0,
+    "medium": 7200.0,
+}
+
+#: ``timeout=`` argument shape: ``None`` (scale defaults), one number for every
+#: cell, or a per-scale mapping overlaid on the defaults.
+TimeoutSpec = Union[None, float, int, Mapping[str, float]]
+
+
+def classify_error(exc: BaseException) -> str:
+    """The taxonomy bucket of an in-cell exception: ``transient`` or ``deterministic``."""
+    return "transient" if isinstance(exc, TRANSIENT_EXCEPTIONS) else "deterministic"
+
+
+def resolve_timeout(cell: GridCell, timeout: TimeoutSpec) -> float:
+    """The wall-clock limit for one cell under a ``timeout=`` specification.
+
+    ``None`` uses :data:`DEFAULT_CELL_TIMEOUTS` by scale; a number applies to
+    every cell (``0`` or ``inf`` disables); a mapping overrides per scale and
+    falls back to the defaults for unlisted scales.
+    """
+    if timeout is None:
+        return DEFAULT_CELL_TIMEOUTS.get(cell.scale, max(DEFAULT_CELL_TIMEOUTS.values()))
+    if isinstance(timeout, Mapping):
+        if cell.scale in timeout:
+            return float(timeout[cell.scale])
+        return DEFAULT_CELL_TIMEOUTS.get(cell.scale, max(DEFAULT_CELL_TIMEOUTS.values()))
+    limit = float(timeout)
+    return float("inf") if limit <= 0 else limit
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures retry: attempt budgets per taxonomy bucket plus backoff shape.
+
+    ``max_attempts`` bounds *transient* in-cell failures; ``crash_retries`` is
+    the number of certain (solo) pool crashes a cell may cause before it is
+    quarantined as poisoned; ``timeout_retries`` the number of wall-clock
+    timeouts before the cell ends with outcome ``"timeout"``.  Backoff grows
+    exponentially from ``backoff_base`` by ``backoff_factor`` up to
+    ``backoff_cap``, with multiplicative jitter in ``[0, jitter]`` drawn from a
+    deterministic per-(cell, attempt) stream — re-running a sweep reproduces
+    the exact same schedule.
+    """
+
+    max_attempts: int = 3
+    crash_retries: int = 2
+    timeout_retries: int = 1
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    jitter: float = 0.5
+
+    def backoff(self, fingerprint: str, attempt: int) -> float:
+        """Delay in seconds before re-running ``fingerprint``'s attempt ``attempt + 1``.
+
+        Deterministic: the jitter stream is seeded from the cell fingerprint
+        and the attempt number, so two runs of the same sweep back off
+        identically (and distinct cells desynchronise instead of thundering
+        back in lockstep).
+        """
+        base = min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** max(0, attempt - 1))
+        if self.jitter <= 0 or base <= 0:
+            return base
+        rng = np.random.default_rng((zlib.crc32(fingerprint.encode("utf-8")), attempt))
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+# ---------------------------------------------------------------- fingerprints
+def _canonical(value):
+    """``value`` reduced to JSON-stable primitives (tuples become lists)."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def cell_fingerprint(cell: GridCell) -> str:
+    """A stable content key for one grid cell: what it computes, not how.
+
+    Hashes the canonical JSON of ``(name, scale, seed, kwargs)`` — deliberately
+    *code-irrelevant*, so a journal written before a refactor still resumes
+    after it (the golden-row suite is what guards result drift across code
+    changes).
+    """
+    payload = json.dumps(
+        {"name": cell.name, "scale": cell.scale, "seed": cell.seed,
+         "kwargs": [[k, _canonical(v)] for k, v in cell.kwargs]},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+# -------------------------------------------------------------------- journal
+def _encode(value):
+    """Round-trippable JSON encoding of a result value (tuples are tagged)."""
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot journal value of type {type(value).__name__}: {value!r}")
+
+
+def _decode(value):
+    """Inverse of :func:`_encode`."""
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode(v) for v in value["__tuple__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+class CellJournal:
+    """Append-only JSONL journal of completed grid cells, keyed by fingerprint.
+
+    One line per completed cell: the fingerprint, a human-readable cell label,
+    attempt/elapsed bookkeeping and the full serialized
+    :class:`~repro.experiments.common.ExperimentResult`.  Lines are written in
+    a single ``write`` call and fsynced, so a crash can at worst truncate the
+    final line — the loader skips undecodable lines (counted in
+    ``corrupt_lines``) and lets duplicates resolve last-wins, which makes
+    re-journaling a re-run cell safe.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self.corrupt_lines = 0
+        self._records: Dict[str, dict] = {}
+        self._fh = None
+        self._load()
+
+    def _load(self) -> None:
+        """Read existing journal lines, tolerating a truncated/corrupt tail."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    fingerprint = record["fingerprint"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._records[fingerprint] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def record(self, cell: GridCell, result: GridCellResult) -> None:
+        """Append one completed cell atomically (no-op if the result has no rows payload).
+
+        Results whose rows/notes/meta cannot be serialized round-trippably are
+        skipped rather than journaled lossily — the cell simply re-runs on
+        resume.
+        """
+        if result.result is None:
+            return
+        try:
+            payload = {
+                "fingerprint": cell_fingerprint(cell),
+                "label": cell.label(),
+                "attempts": result.attempts,
+                "elapsed_seconds": result.elapsed_seconds,
+                "result": {
+                    "name": result.result.name,
+                    "description": result.result.description,
+                    "paper_reference": result.result.paper_reference,
+                    "rows": _encode(result.result.rows),
+                    "notes": _encode(result.result.notes),
+                    "meta": _encode(result.result.meta),
+                },
+            }
+            line = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+        except TypeError:
+            return
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records[payload["fingerprint"]] = payload
+
+    def lookup(self, cell: GridCell) -> Optional[GridCellResult]:
+        """The journaled result for ``cell`` (outcome ``"journal"``), or ``None``."""
+        record = self._records.get(cell_fingerprint(cell))
+        if record is None:
+            return None
+        stored = record["result"]
+        result = ExperimentResult(
+            name=stored["name"], description=stored["description"],
+            paper_reference=stored["paper_reference"], rows=_decode(stored["rows"]),
+            notes=_decode(stored["notes"]), meta=_decode(stored["meta"]))
+        return GridCellResult(cell=cell, result=result,
+                              elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                              attempts=int(record.get("attempts", 1)),
+                              outcome="journal")
+
+    def close(self) -> None:
+        """Close the append handle (loaded records stay available)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ---------------------------------------------------------------- chaos hooks
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Injectable worker faults, matched by substring against ``cell.label()``.
+
+    ``kill`` SIGKILLs the worker on a cell's first attempt (one pool crash,
+    then recovery); ``poison`` SIGKILLs on *every* attempt (the cell can never
+    complete — it must end quarantined); ``hang`` sleeps ``hang_seconds`` on
+    the first attempt (drives the timeout path); ``transient`` raises
+    :class:`TransientCellError` on the first attempt and ``transient_always``
+    on every attempt (drives retry exhaustion).  Hooks that kill or block the
+    process are rejected in serial mode, where the "worker" is the caller.
+    """
+
+    kill: Tuple[str, ...] = ()
+    poison: Tuple[str, ...] = ()
+    hang: Tuple[str, ...] = ()
+    transient: Tuple[str, ...] = ()
+    transient_always: Tuple[str, ...] = ()
+    hang_seconds: float = 3600.0
+
+    @staticmethod
+    def _matches(patterns: Tuple[str, ...], label: str) -> bool:
+        """True iff any pattern is a substring of the cell label."""
+        return any(p in label for p in patterns)
+
+    @property
+    def needs_pool(self) -> bool:
+        """True iff any hook kills or blocks the executing process."""
+        return bool(self.kill or self.poison or self.hang)
+
+    def apply(self, cell: GridCell, attempt: int) -> None:
+        """Fire the configured faults for ``cell``'s ``attempt`` (1-based)."""
+        label = cell.label()
+        if self._matches(self.poison, label):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._matches(self.transient_always, label):
+            raise TransientCellError(f"chaos: injected transient failure in {label}")
+        if attempt == 1:
+            if self._matches(self.kill, label):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if self._matches(self.hang, label):
+                time.sleep(self.hang_seconds)
+            if self._matches(self.transient, label):
+                raise TransientCellError(f"chaos: injected transient failure in {label}")
+
+
+# -------------------------------------------------------------------- workers
+def _run_cell_attempt(cell: GridCell, attempt: int,
+                      chaos: Optional[ChaosSpec]) -> Tuple[GridCellResult, str]:
+    """Execute one attempt of one cell (module-level so workers can import it).
+
+    Returns the cell result plus its taxonomy bucket (``"ok"``, ``"transient"``
+    or ``"deterministic"``); chaos hooks fire before the experiment runs.
+    """
+    start = time.perf_counter()
+    try:
+        if chaos is not None:
+            chaos.apply(cell, attempt)
+        result = run_experiment(cell.name, scale=cell.scale, seed=cell.seed,
+                                **dict(cell.kwargs))
+        return GridCellResult(cell=cell, result=result,
+                              elapsed_seconds=time.perf_counter() - start), "ok"
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+        return GridCellResult(cell=cell, error=f"{type(exc).__name__}: {exc}",
+                              traceback=traceback.format_exc(), outcome="failed",
+                              elapsed_seconds=time.perf_counter() - start), \
+            classify_error(exc)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker and discard the pool (used for timeouts and crashes)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except OSError:  # already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _CellState:
+    """Executor-side bookkeeping for one cell across attempts."""
+
+    attempts: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    suspect: bool = False
+
+
+# ------------------------------------------------------------------- executor
+def run_resilient_grid(cells: Iterable[GridCell], jobs: Optional[int] = None, *,
+                       policy: Optional[RetryPolicy] = None,
+                       timeout: TimeoutSpec = None,
+                       journal: Optional[str] = None,
+                       resume: bool = False,
+                       chaos: Optional[ChaosSpec] = None) -> List[GridCellResult]:
+    """Run a grid fault-tolerantly; results come back in cell order.
+
+    Serial mode (``jobs`` absent or ``<= 1``) applies the retry policy and the
+    journal but cannot preempt a cell, so wall-clock timeouts (and chaos hooks
+    that kill or block the process) require a pool.  ``resume=True`` with a
+    ``journal`` path skips already-journaled cells, returning their stored
+    results with outcome ``"journal"``.
+    """
+    cell_list = list(cells)
+    policy = policy or RetryPolicy()
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
+    journal_obj = CellJournal(journal) if journal is not None else None
+    results: Dict[int, GridCellResult] = {}
+    todo: List[int] = []
+    for index, cell in enumerate(cell_list):
+        cached = journal_obj.lookup(cell) if (journal_obj is not None and resume) else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            todo.append(index)
+    try:
+        if jobs is None or jobs <= 1 or len(todo) <= 1:
+            _run_serial(cell_list, todo, results, policy, chaos, journal_obj)
+        else:
+            _run_pooled(cell_list, todo, results, min(jobs, len(todo)), policy,
+                        timeout, chaos, journal_obj)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+    return [results[index] for index in range(len(cell_list))]
+
+
+def _finalize(result: GridCellResult, attempts: int, outcome: str) -> GridCellResult:
+    """Stamp executor bookkeeping onto a finished cell result."""
+    result.attempts = attempts
+    result.outcome = outcome
+    return result
+
+
+def _run_serial(cell_list, todo, results, policy, chaos, journal_obj) -> None:
+    """In-process execution with retry/backoff and journaling (no preemption)."""
+    if chaos is not None and chaos.needs_pool:
+        raise ValueError("chaos kill/poison/hang hooks require a worker pool "
+                         "(jobs >= 2); serial mode would kill or block the caller")
+    for index in todo:
+        cell = cell_list[index]
+        attempt = 0
+        while True:
+            attempt += 1
+            result, kind = _run_cell_attempt(cell, attempt, chaos)
+            if result.ok or kind != "transient" or attempt >= policy.max_attempts:
+                break
+            time.sleep(policy.backoff(cell_fingerprint(cell), attempt))
+        results[index] = _finalize(result, attempt, "ok" if result.ok else "failed")
+        if journal_obj is not None and result.ok:
+            journal_obj.record(cell, results[index])
+
+
+def _run_pooled(cell_list, todo, results, workers, policy, timeout, chaos,
+                journal_obj) -> None:
+    """Future-based pool execution surviving crashes, hangs and transient errors.
+
+    The scheduler keeps at most one outstanding cell per worker so crash blame
+    stays tight.  While any *suspect* exists (a cell that was in flight during
+    an uncertain pool crash), the pool drains and suspects re-run one at a
+    time: a solo crash is certain attribution, counted against
+    ``policy.crash_retries``.
+    """
+    state = {index: _CellState() for index in todo}
+    queue = deque(todo)
+    waiting: List[Tuple[float, int]] = []   # (ready_at, index) backoff-delayed retries
+    inflight: Dict[object, Tuple[int, float]] = {}  # future -> (index, deadline)
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def settle(index: int, result: GridCellResult, outcome: str) -> None:
+        results[index] = _finalize(result, state[index].attempts, outcome)
+        if journal_obj is not None and result.ok:
+            journal_obj.record(cell_list[index], results[index])
+
+    def requeue(index: int, backoff_attempt: Optional[int] = None) -> None:
+        if backoff_attempt:
+            delay = policy.backoff(cell_fingerprint(cell_list[index]), backoff_attempt)
+            waiting.append((time.monotonic() + delay, index))
+        else:
+            queue.append(index)
+
+    def handle_crash(crashed_indices: List[int]) -> None:
+        """Attribute a broken pool: certain when one cell was in flight, else suspects."""
+        if len(crashed_indices) == 1:
+            index = crashed_indices[0]
+            cell_state = state[index]
+            cell_state.suspect = True
+            cell_state.crashes += 1
+            if cell_state.crashes > policy.crash_retries:
+                cell = cell_list[index]
+                settle(index, GridCellResult(
+                    cell=cell,
+                    error=(f"BrokenProcessPool: cell crashed the worker "
+                           f"{cell_state.crashes} times; quarantined")), "poisoned")
+            else:
+                requeue(index, backoff_attempt=cell_state.attempts)
+            return
+        for index in crashed_indices:
+            state[index].suspect = True
+            requeue(index)
+
+    try:
+        while queue or waiting or inflight:
+            now = time.monotonic()
+            still_waiting = []
+            for ready_at, index in waiting:
+                (queue.append(index) if ready_at <= now
+                 else still_waiting.append((ready_at, index)))
+            waiting = still_waiting
+
+            # Submission: a *ready* suspect runs alone (drain first, then solo,
+            # so a repeat crash is certain attribution); otherwise fill the
+            # pool with ordinary cells.
+            while queue and len(inflight) < workers:
+                if any(state[i].suspect for i, _ in inflight.values()):
+                    break  # a suspect is running alone; nothing rides along
+                ready_suspects = [i for i in queue if state[i].suspect]
+                if ready_suspects and inflight:
+                    break  # drain before running a suspect alone
+                solo = bool(ready_suspects)
+                if solo:
+                    index = ready_suspects[0]
+                    queue.remove(index)
+                else:
+                    index = queue.popleft()
+                state[index].attempts += 1
+                cell = cell_list[index]
+                try:
+                    future = pool.submit(_run_cell_attempt, cell,
+                                         state[index].attempts, chaos)
+                except BrokenProcessPool:
+                    # the pool broke between loops; put the cell back, blame the
+                    # in-flight cells, and respawn before resubmitting
+                    state[index].attempts -= 1
+                    queue.appendleft(index)
+                    crashed = [i for i, _ in inflight.values()]
+                    inflight.clear()
+                    if crashed:
+                        handle_crash(crashed)
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    break
+                inflight[future] = (index, now + resolve_timeout(cell, timeout))
+                if solo:
+                    break  # exactly one suspect in flight at a time
+
+            if not inflight:
+                if queue:
+                    continue
+                if waiting:
+                    time.sleep(max(0.0, min(t for t, _ in waiting) - time.monotonic()))
+                continue
+
+            next_deadline = min(deadline for _, deadline in inflight.values())
+            budget = next_deadline - time.monotonic()
+            if waiting:
+                budget = min(budget, min(t for t, _ in waiting) - time.monotonic())
+            wait_timeout = None if budget == float("inf") else max(0.0, budget)
+            done, _ = futures_wait(set(inflight), timeout=wait_timeout,
+                                   return_when=FIRST_COMPLETED)
+
+            crashed_done: List[int] = []
+            for future in done:
+                index, _deadline = inflight.pop(future)
+                cell_state = state[index]
+                exc = future.exception()
+                if exc is not None:
+                    if isinstance(exc, BrokenProcessPool):
+                        crashed_done.append(index)
+                    else:
+                        # infrastructure error (e.g. unpicklable payload): the
+                        # retry would fail identically, so fail fast
+                        settle(index, GridCellResult(
+                            cell=cell_list[index],
+                            error=f"{type(exc).__name__}: {exc}",
+                            traceback=traceback.format_exc()), "failed")
+                    continue
+                result, kind = future.result()
+                cell_state.suspect = False
+                if result.ok:
+                    settle(index, result, "ok")
+                elif kind == "transient" and cell_state.attempts < policy.max_attempts:
+                    requeue(index, backoff_attempt=cell_state.attempts)
+                else:
+                    settle(index, result, "failed")
+
+            if crashed_done:
+                # every cell still in flight shares the broken pool; re-enqueue
+                # all of them and attribute the crash
+                survivors = [index for index, _ in inflight.values()]
+                inflight.clear()
+                handle_crash(crashed_done + survivors)
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                continue
+
+            if not done:
+                now = time.monotonic()
+                expired = [(future, index) for future, (index, deadline)
+                           in inflight.items() if deadline <= now]
+                if not expired:
+                    continue
+                # a worker is stuck: kill the whole pool, charge the timed-out
+                # cells, and re-enqueue the innocent in-flight cells unblamed
+                expired_indices = {index for _, index in expired}
+                for future, (index, _deadline) in list(inflight.items()):
+                    cell_state = state[index]
+                    if index in expired_indices:
+                        cell_state.timeouts += 1
+                        if cell_state.timeouts > policy.timeout_retries:
+                            limit = resolve_timeout(cell_list[index], timeout)
+                            settle(index, GridCellResult(
+                                cell=cell_list[index],
+                                error=(f"Timeout: cell exceeded {limit:.0f}s "
+                                       f"wall clock {cell_state.timeouts} times")),
+                                "timeout")
+                        else:
+                            requeue(index, backoff_attempt=cell_state.attempts)
+                    else:
+                        requeue(index)
+                inflight.clear()
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+    finally:
+        _kill_pool(pool)

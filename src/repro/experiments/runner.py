@@ -66,6 +66,14 @@ def main(argv: Optional[List[str]] = None) -> int:
       whole-experiment cells.  ``--tables`` additionally prints the merged result
       tables (split cells recombined).  Cell failures are captured per cell and
       reported in the summary (exit code 1) instead of aborting the sweep.
+
+    Grid mode runs on the fault-tolerant executor
+    (:mod:`repro.experiments.resilient`): worker crashes respawn the pool,
+    hung cells are killed at a scale-aware ``--cell-timeout``, transient errors
+    retry up to ``--retries`` times with backoff, ``--journal PATH`` appends
+    completed cells to a JSONL journal and ``--resume`` skips them on a rerun
+    (bit-identical combined tables); ``--verbose-errors`` prints failed cells'
+    remote tracebacks.  See ``docs/resilience.md``.
     """
     parser = argparse.ArgumentParser(
         prog="fatpaths-experiment",
@@ -91,6 +99,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tables", action="store_true",
                         help="grid mode: also print the merged result tables "
                              "(split cells recombined per experiment)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="grid mode: append completed cells to a JSONL journal "
+                             "(atomic line writes; see docs/resilience.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="grid mode: skip cells already recorded in --journal "
+                             "(resumed tables are bit-identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--verbose-errors", action="store_true",
+                        help="print the full remote traceback of every failed cell "
+                             "after the grid summary")
+    parser.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                        help="grid mode: per-cell wall-clock limit (default: "
+                             "scale-aware; 0 disables)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="grid mode: max retries for transient cell failures "
+                             "(default: 2)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -116,7 +140,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     # only exist in grid mode).  A lone --no-split is a no-op and keeps the full
     # report output; plain "all" or comma lists also print every table.
     grid_mode = (args.jobs is not None or args.scales is not None
-                 or args.seeds is not None or args.split is True or args.tables)
+                 or args.seeds is not None or args.split is True or args.tables
+                 or args.journal is not None or args.resume)
+    if args.resume and args.journal is None:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
     if grid_mode:
         scales = ([s for s in args.scales.split(",") if s] if args.scales
                   else [args.scale])
@@ -139,11 +167,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not cells:
             print("grid is empty (no seeds selected)", file=sys.stderr)
             return 2
+        policy = None
+        if args.retries is not None:
+            from repro.experiments.resilient import RetryPolicy
+
+            policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
         start = time.perf_counter()
-        results = run_experiment_grid(cells, jobs=args.jobs)
+        results = run_experiment_grid(cells, jobs=args.jobs, policy=policy,
+                                      timeout=args.cell_timeout,
+                                      journal=args.journal, resume=args.resume)
         elapsed = time.perf_counter() - start
         summary = GridSummary(results=results)
         print(summary.report())
+        if args.verbose_errors:
+            for r in results:
+                if not r.ok and r.traceback:
+                    print(f"\n-- traceback for {r.cell.label()}:\n{r.traceback}",
+                          end="")
         if args.tables:
             for combined in combine_cell_results(results):
                 print()

@@ -1,0 +1,359 @@
+"""Tests for the fault-tolerant grid executor (``repro.experiments.resilient``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.grid import (
+    GridCell,
+    GridSummary,
+    combine_cell_results,
+    make_grid,
+    run_experiment_grid,
+    split_heavy_cells,
+)
+from repro.experiments.resilient import (
+    DEFAULT_CELL_TIMEOUTS,
+    CellJournal,
+    ChaosSpec,
+    RetryPolicy,
+    TransientCellError,
+    cell_fingerprint,
+    classify_error,
+    resolve_timeout,
+)
+from repro.experiments.runner import main as runner_main
+
+
+def _cells():
+    """The standard mixed grid: split per-topology cells plus an unsplit cell."""
+    return split_heavy_cells(make_grid(["fig06", "tab05"], seeds=[0]))
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    """Uninterrupted serial reference run of the standard grid."""
+    results = run_experiment_grid(_cells(), jobs=None)
+    assert all(r.ok for r in results)
+    return results
+
+
+def _assert_combined_equal(expected, actual):
+    """Combined tables bit-identical: rows, notes and metadata."""
+    want, got = combine_cell_results(expected), combine_cell_results(actual)
+    assert len(want) == len(got)
+    for a, b in zip(want, got):
+        assert a.name == b.name
+        assert a.rows == b.rows
+        assert a.notes == b.notes
+        assert a.meta == b.meta
+
+
+class TestTaxonomy:
+    def test_transient_exceptions_retryable(self):
+        assert classify_error(TransientCellError("x")) == "transient"
+        assert classify_error(ConnectionResetError("x")) == "transient"
+        assert classify_error(TimeoutError("x")) == "transient"
+
+    def test_other_exceptions_deterministic(self):
+        assert classify_error(ValueError("x")) == "deterministic"
+        assert classify_error(KeyError("x")) == "deterministic"
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_cap=1.0, jitter=0.5)
+        fp = cell_fingerprint(GridCell(name="fig06"))
+        first = policy.backoff(fp, 1)
+        assert first == policy.backoff(fp, 1)  # same cell+attempt -> same delay
+        assert 0.1 <= first <= 0.1 * 1.5
+        assert 0.2 <= policy.backoff(fp, 2) <= 0.2 * 1.5
+        # capped growth: the undithered base saturates at backoff_cap
+        assert policy.backoff(fp, 50) <= 1.0 * 1.5
+
+    def test_jitter_differs_across_cells(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.5)
+        a = policy.backoff(cell_fingerprint(GridCell(name="fig06")), 1)
+        b = policy.backoff(cell_fingerprint(GridCell(name="tab05")), 1)
+        assert a != b
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0,
+                             backoff_cap=10.0, jitter=0.0)
+        assert policy.backoff("anything", 1) == 0.5
+        assert policy.backoff("anything", 3) == 2.0
+
+
+class TestFingerprint:
+    def test_stable_and_content_keyed(self):
+        cell = GridCell(name="fig06", scale="tiny", seed=3,
+                        kwargs=(("topologies", ("SF",)),))
+        assert cell_fingerprint(cell) == cell_fingerprint(
+            GridCell(name="fig06", scale="tiny", seed=3,
+                     kwargs=(("topologies", ("SF",)),)))
+
+    def test_every_axis_changes_the_key(self):
+        base = GridCell(name="fig06", scale="tiny", seed=0)
+        keys = {cell_fingerprint(base),
+                cell_fingerprint(GridCell(name="tab05", scale="tiny", seed=0)),
+                cell_fingerprint(GridCell(name="fig06", scale="small", seed=0)),
+                cell_fingerprint(GridCell(name="fig06", scale="tiny", seed=1)),
+                cell_fingerprint(GridCell(name="fig06", scale="tiny", seed=0,
+                                          kwargs=(("topologies", ("SF",)),)))}
+        assert len(keys) == 5
+
+
+class TestTimeouts:
+    def test_scale_aware_defaults(self):
+        for scale, limit in DEFAULT_CELL_TIMEOUTS.items():
+            assert resolve_timeout(GridCell(name="x", scale=scale), None) == limit
+
+    def test_uniform_and_disabled(self):
+        cell = GridCell(name="x", scale="tiny")
+        assert resolve_timeout(cell, 12.5) == 12.5
+        assert resolve_timeout(cell, 0) == float("inf")
+
+    def test_per_scale_mapping_with_default_fallback(self):
+        assert resolve_timeout(GridCell(name="x", scale="tiny"), {"tiny": 7.0}) == 7.0
+        assert resolve_timeout(GridCell(name="x", scale="small"), {"tiny": 7.0}) \
+            == DEFAULT_CELL_TIMEOUTS["small"]
+
+
+class TestJournal:
+    def test_round_trip_bit_identical(self, tmp_path, clean_results):
+        path = tmp_path / "j.jsonl"
+        journal = CellJournal(path)
+        for r in clean_results:
+            journal.record(r.cell, r)
+        journal.close()
+        reloaded = CellJournal(path)
+        assert len(reloaded) == len(clean_results)
+        for r in clean_results:
+            cached = reloaded.lookup(r.cell)
+            assert cached is not None and cached.outcome == "journal"
+            assert cached.result.rows == r.result.rows
+            assert cached.result.notes == r.result.notes
+            assert cached.result.meta == r.result.meta
+
+    def test_lines_are_atomic_json(self, tmp_path, clean_results):
+        path = tmp_path / "j.jsonl"
+        journal = CellJournal(path)
+        journal.record(clean_results[0].cell, clean_results[0])
+        journal.close()
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert json.loads(raw.decode())["fingerprint"] == \
+            cell_fingerprint(clean_results[0].cell)
+
+    def test_truncated_tail_tolerated(self, tmp_path, clean_results):
+        path = tmp_path / "j.jsonl"
+        journal = CellJournal(path)
+        for r in clean_results[:2]:
+            journal.record(r.cell, r)
+        journal.close()
+        # simulate a crash mid-write: chop the last line in half
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - len(raw.splitlines(True)[-1]) // 2 - 1])
+        reloaded = CellJournal(path)
+        assert reloaded.corrupt_lines == 1
+        assert reloaded.lookup(clean_results[0].cell) is not None
+        assert reloaded.lookup(clean_results[1].cell) is None  # re-runs on resume
+
+    def test_duplicate_cell_last_wins(self, tmp_path, clean_results):
+        path = tmp_path / "j.jsonl"
+        journal = CellJournal(path)
+        journal.record(clean_results[0].cell, clean_results[0])
+        journal.record(clean_results[0].cell, clean_results[0])
+        journal.close()
+        assert len(path.read_bytes().splitlines()) == 2  # append-only
+        reloaded = CellJournal(path)
+        assert len(reloaded) == 1
+        assert reloaded.lookup(clean_results[0].cell).result.rows \
+            == clean_results[0].result.rows
+
+    def test_failed_cells_are_not_journaled(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        results = run_experiment_grid([GridCell(name="nope")], journal=str(path))
+        assert not results[0].ok
+        assert not path.exists() or not path.read_bytes()
+
+
+class TestSerialResilience:
+    def test_transient_retry_recovers(self, clean_results):
+        cells = _cells()
+        chaos = ChaosSpec(transient=(cells[0].label(),))
+        results = run_experiment_grid(cells, chaos=chaos,
+                                      policy=RetryPolicy(backoff_base=0.01))
+        assert all(r.ok for r in results)
+        assert results[0].attempts == 2 and results[0].outcome == "ok"
+        assert results[1].attempts == 1
+        for want, got in zip(clean_results, results):
+            assert want.result.rows == got.result.rows
+
+    def test_retry_exhaustion_fails(self):
+        cell = GridCell(name="tab05")
+        chaos = ChaosSpec(transient_always=(cell.label(),))
+        results = run_experiment_grid(
+            [cell], chaos=chaos,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.01))
+        assert results[0].outcome == "failed"
+        assert results[0].attempts == 2
+        assert "TransientCellError" in results[0].error
+
+    def test_deterministic_error_fails_fast_with_traceback(self):
+        chaos = ChaosSpec(transient=())
+        results = run_experiment_grid([GridCell(name="nope")], chaos=chaos,
+                                      policy=RetryPolicy(max_attempts=5))
+        assert results[0].outcome == "failed" and results[0].attempts == 1
+        assert "KeyError" in results[0].error
+        assert "Traceback (most recent call last)" in results[0].traceback
+
+    def test_process_killing_chaos_rejected_in_serial(self):
+        with pytest.raises(ValueError, match="worker pool"):
+            run_experiment_grid([GridCell(name="tab05"), GridCell(name="fig06")],
+                                chaos=ChaosSpec(kill=("tab05",)))
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            run_experiment_grid([GridCell(name="tab05")], resume=True)
+
+
+class TestPooledResilience:
+    def test_worker_kill_recovers_bit_identical(self, clean_results):
+        cells = _cells()
+        chaos = ChaosSpec(kill=(cells[0].label(),))
+        results = run_experiment_grid(cells, jobs=2, chaos=chaos,
+                                      policy=RetryPolicy(backoff_base=0.01))
+        assert all(r.ok for r in results), \
+            [(r.cell.label(), r.error) for r in results if not r.ok]
+        assert results[0].attempts > 1
+        for want, got in zip(clean_results, results):
+            assert want.result.rows == got.result.rows
+
+    def test_poisoned_cell_quarantined_others_complete(self):
+        cells = _cells()
+        chaos = ChaosSpec(poison=(cells[1].label(),))
+        results = run_experiment_grid(
+            cells, jobs=2, chaos=chaos,
+            policy=RetryPolicy(crash_retries=1, backoff_base=0.01))
+        assert results[1].outcome == "poisoned" and not results[1].ok
+        assert "quarantined" in results[1].error
+        others = [r for i, r in enumerate(results) if i != 1]
+        assert all(r.ok for r in others)
+        report = GridSummary(results=results).report()
+        assert "POISONED" in report and "1 poisoned" in report
+
+    def test_hang_times_out_and_retries(self):
+        cells = _cells()
+        chaos = ChaosSpec(hang=(cells[2].label(),), hang_seconds=60.0)
+        results = run_experiment_grid(cells, jobs=2, chaos=chaos, timeout=5.0,
+                                      policy=RetryPolicy(backoff_base=0.01))
+        assert all(r.ok for r in results)
+        assert results[2].attempts == 2
+
+    def test_hang_exhausts_timeout_budget(self):
+        cells = _cells()[:3]
+        chaos = ChaosSpec(hang=(cells[1].label(),), hang_seconds=60.0)
+        results = run_experiment_grid(
+            cells, jobs=2, chaos=chaos, timeout=4.0,
+            policy=RetryPolicy(timeout_retries=0, backoff_base=0.01))
+        assert results[1].outcome == "timeout" and not results[1].ok
+        assert "Timeout" in results[1].error
+        assert results[0].ok and results[2].ok
+
+
+class TestResumeEqualsUninterrupted:
+    """The tentpole property: kill the pool mid-sweep, resume, get identical tables."""
+
+    def test_resume_after_crash_is_bit_identical(self, tmp_path, clean_results):
+        cells = _cells()
+        journal = str(tmp_path / "grid.jsonl")
+        # pass 1: two cells (one split, one unsplit) can never complete — they
+        # SIGKILL their worker on every attempt until quarantined
+        chaos = ChaosSpec(poison=(cells[2].label(), cells[-1].label()))
+        first = run_experiment_grid(
+            cells, jobs=2, chaos=chaos, journal=journal,
+            policy=RetryPolicy(crash_retries=0, backoff_base=0.01))
+        assert first[2].outcome == "poisoned"
+        assert first[-1].outcome == "poisoned"
+        completed = [r for r in first if r.ok]
+        assert 0 < len(completed) < len(cells)  # a genuinely partial sweep
+        # pass 2: resume without chaos completes only the missing cells
+        second = run_experiment_grid(cells, jobs=2, journal=journal, resume=True)
+        assert all(r.ok for r in second)
+        resumed = [r for r in second if r.outcome == "journal"]
+        assert len(resumed) == len(completed)
+        _assert_combined_equal(clean_results, second)
+
+    def test_resume_with_truncated_journal_tail(self, tmp_path, clean_results):
+        cells = _cells()
+        journal = str(tmp_path / "grid.jsonl")
+        first = run_experiment_grid(cells, jobs=None, journal=journal)
+        assert all(r.ok for r in first)
+        raw = open(journal, "rb").read()
+        with open(journal, "wb") as fh:  # crash-truncated final line
+            fh.write(raw[:-20])
+        second = run_experiment_grid(cells, jobs=2, journal=journal, resume=True)
+        assert all(r.ok for r in second)
+        assert sum(1 for r in second if r.outcome == "journal") == len(cells) - 1
+        _assert_combined_equal(clean_results, second)
+
+    def test_resume_with_duplicate_journal_lines(self, tmp_path, clean_results):
+        cells = _cells()
+        journal = str(tmp_path / "grid.jsonl")
+        first = run_experiment_grid(cells, jobs=None, journal=journal)
+        assert all(r.ok for r in first)
+        lines = open(journal, "rb").readlines()
+        with open(journal, "ab") as fh:  # duplicate the first cell's record
+            fh.write(lines[0])
+        second = run_experiment_grid(cells, jobs=None, journal=journal, resume=True)
+        assert all(r.outcome == "journal" for r in second)
+        _assert_combined_equal(clean_results, second)
+
+
+class TestRunnerFlags:
+    def test_journal_then_resume_cli(self, tmp_path, capsys):
+        journal = str(tmp_path / "grid.jsonl")
+        assert runner_main(["tab05,fig10", "--journal", journal]) == 0
+        capsys.readouterr()
+        assert os.path.getsize(journal) > 0
+        assert runner_main(["tab05,fig10", "--journal", journal, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 from journal" in out
+        assert "2/2 cells ok" in out
+
+    def test_resume_without_journal_rejected(self, capsys):
+        assert runner_main(["tab05", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_verbose_errors_prints_traceback(self, capsys):
+        assert runner_main(["tab05", "--seeds", "0", "--verbose-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "traceback" not in out  # healthy cells stay quiet
+        # force a failure: valid experiment, invalid option via bad topology
+        cells_exit = runner_main(
+            ["fig06", "--seeds", "0,1", "--verbose-errors"])
+        assert cells_exit == 0
+
+    def test_verbose_errors_surfaces_failed_cell(self, capsys, monkeypatch):
+        import repro.experiments.grid as grid_mod
+
+        real = grid_mod.run_experiment_grid
+
+        def with_failure(cells, jobs=None, **kwargs):
+            bad = [GridCell(name="nope")] + list(cells)
+            return real(bad, jobs=jobs, **kwargs)
+
+        monkeypatch.setattr("repro.experiments.runner.run_experiment_grid",
+                            with_failure)
+        assert runner_main(["tab05", "--seeds", "0", "--verbose-errors"]) == 1
+        out = capsys.readouterr().out
+        assert "-- traceback for nope" in out
+        assert "Traceback (most recent call last)" in out
+
+    def test_retries_and_cell_timeout_flags_accepted(self, capsys):
+        assert runner_main(["tab05", "--seeds", "0", "--retries", "1",
+                            "--cell-timeout", "0"]) == 0
+        assert "1/1 cells ok" in capsys.readouterr().out

@@ -24,7 +24,12 @@ into one committed JSON file:
 * ``stream_sustained`` — the streaming service layer (:mod:`repro.sim.stream`) on
   an open-ended Poisson arrival stream: sustained events/sec plus the bounded-
   memory evidence (peak active flows and slot peak versus total arrivals; see
-  ``docs/streaming.md``).
+  ``docs/streaming.md``);
+* ``grid_executor`` — plain ``pool.map`` vs the fault-tolerant grid executor
+  (:mod:`repro.experiments.resilient`) on a healthy pooled sweep; the derived
+  ``resilient_overhead`` ratio must stay ≤ 1.15x (asserted in CI by
+  ``benchmarks/test_bench_grid.py::test_grid_resilient_overhead``; see
+  ``docs/resilience.md``).
 
 Existing scales in the output file are preserved, so partial regenerations (e.g.
 ``--scales small`` only) never drop history, and ``--files`` restricts a
@@ -49,7 +54,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO / "BENCH_flowsim.json"
 BENCH_FILES = ("benchmarks/test_bench_flowsim.py", "benchmarks/test_bench_packetsim.py",
-               "benchmarks/test_bench_stream.py")
+               "benchmarks/test_bench_stream.py", "benchmarks/test_bench_grid.py")
 
 #: benchmark test name -> (report section, role key)
 BENCHMARKS = {
@@ -64,6 +69,8 @@ BENCHMARKS = {
     "test_bench_packetsim_reference_scalar": ("packet_incast", "reference"),
     "test_bench_packetsim_vectorized_engine": ("packet_incast", "engine"),
     "test_bench_stream_sustained": ("stream_sustained", "stream"),
+    "test_bench_grid_plain_pool": ("grid_executor", "plain"),
+    "test_bench_grid_resilient_pool": ("grid_executor", "resilient"),
 }
 
 #: extra_info keys copied verbatim into a section (beyond the shared "events").
@@ -124,6 +131,12 @@ def consolidate(scale: str, bench_json: dict) -> dict:
         base, quick = entry.get(f"{baseline}_seconds"), entry.get(f"{fast}_seconds")
         if base and quick:
             entry[f"{fast}_speedup"] = round(base / quick, 2)
+    executor = sections.get("grid_executor", {})
+    plain = executor.get("plain_seconds")
+    resilient = executor.get("resilient_seconds")
+    if plain and resilient:
+        # an overhead ratio, not a speedup: >= ~1.0 is expected, <= 1.15 required
+        executor["resilient_overhead"] = round(resilient / plain, 3)
     return sections
 
 
